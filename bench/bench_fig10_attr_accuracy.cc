@@ -1,0 +1,210 @@
+// Figure 10 reproduction: accuracy of attribute adjustment / explanation
+// for outliers with injected errors on a Letter-shaped dataset (n = 1000,
+// m = 10): (a)/(b) Jaccard of the identified error attributes vs eps and
+// eta, for DISC, SSE and the cleaning baselines; (c)/(d) the number of
+// modified attributes; (e)/(f) the adjustment cost (magnitude).
+//
+// Expected shape (paper): DISC's Jaccard slightly above SSE and clearly
+// above the cleaners; DISC modifies ~2 of 10 attributes, cleaners like
+// HoloClean many more with much larger adjustment cost (over-change).
+
+#include <algorithm>
+#include <cmath>
+
+#include "cleaning/sse.h"
+#include "eval/repair_metrics.h"
+#include "eval/set_metrics.h"
+#include "support.h"
+
+namespace {
+
+using namespace disc;
+using namespace disc::bench;
+
+/// Per-method accuracy aggregates at one (eps, eta) setting.
+struct MethodStats {
+  double jaccard = 0;
+  double modified_attrs = 0;
+  double adjust_cost = 0;
+};
+
+AttributeSet TruthAttrs(const PaperDataset& ds, std::size_t row) {
+  AttributeSet truth;
+  for (const CellError& e : ds.errors) {
+    if (e.row == row) truth.insert(e.attribute);
+  }
+  return truth;
+}
+
+MethodStats StatsFromRepair(const PaperDataset& ds,
+                            const DistanceEvaluator& evaluator,
+                            const Relation& repaired) {
+  MethodStats stats;
+  std::size_t measured = 0;
+  for (std::size_t row : ds.dirty_rows) {
+    AttributeSet truth = TruthAttrs(ds, row);
+    if (truth.empty()) continue;
+    AttributeSet modified = ModifiedAttributes(ds.dirty, repaired, row);
+    stats.jaccard += JaccardIndex(truth, modified);
+    stats.modified_attrs += static_cast<double>(modified.size());
+    stats.adjust_cost += evaluator.Distance(ds.dirty[row], repaired[row]);
+    ++measured;
+  }
+  if (measured > 0) {
+    double d = static_cast<double>(measured);
+    stats.jaccard /= d;
+    stats.modified_attrs /= d;
+    stats.adjust_cost /= d;
+  }
+  return stats;
+}
+
+MethodStats SseStats(const PaperDataset& ds,
+                     const DistanceEvaluator& evaluator,
+                     const DistanceConstraint& c) {
+  // SSE explains attributes but adjusts nothing: cost / #modified are n/a.
+  (void)c;
+  MethodStats stats;
+  std::size_t measured = 0;
+  // Reference inliers: everything except the dirty rows.
+  std::vector<std::size_t> inlier_rows;
+  for (std::size_t row = 0; row < ds.dirty.size(); ++row) {
+    if (std::find(ds.dirty_rows.begin(), ds.dirty_rows.end(), row) ==
+        ds.dirty_rows.end()) {
+      inlier_rows.push_back(row);
+    }
+  }
+  Relation inliers = ds.dirty.Select(inlier_rows);
+  for (std::size_t row : ds.dirty_rows) {
+    AttributeSet truth = TruthAttrs(ds, row);
+    if (truth.empty()) continue;
+    AttributeSet explained =
+        ExplainOutlierSse(inliers, evaluator, ds.dirty[row]);
+    stats.jaccard += JaccardIndex(truth, explained);
+    stats.modified_attrs += static_cast<double>(explained.size());
+    ++measured;
+  }
+  if (measured > 0) {
+    stats.jaccard /= static_cast<double>(measured);
+    stats.modified_attrs /= static_cast<double>(measured);
+  }
+  return stats;
+}
+
+void PrintSweepRow(const std::string& label, const PaperDataset& ds,
+                   const DistanceEvaluator& evaluator,
+                   const DistanceConstraint& c) {
+  // DISC.
+  OutlierSavingOptions disc_opts;
+  disc_opts.constraint = c;
+  disc_opts.save.kappa = 2;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, disc_opts);
+  MethodStats disc_stats = StatsFromRepair(ds, evaluator, saved.repaired);
+  // SSE.
+  MethodStats sse_stats = SseStats(ds, evaluator, c);
+  // DORC.
+  DorcOptions dorc_opts;
+  dorc_opts.constraint = c;
+  dorc_opts.use_index = true;
+  MethodStats dorc_stats =
+      StatsFromRepair(ds, evaluator, Dorc(ds.dirty, evaluator, dorc_opts));
+  // HoloClean.
+  HolocleanOptions holo_opts;
+  holo_opts.constraint = c;
+  MethodStats holo_stats = StatsFromRepair(
+      ds, evaluator, Holoclean(ds.dirty, evaluator, holo_opts));
+  // ERACER.
+  MethodStats eracer_stats =
+      StatsFromRepair(ds, evaluator, Eracer(ds.dirty, evaluator));
+
+  PrintRow({label, Fmt(disc_stats.jaccard), Fmt(sse_stats.jaccard),
+            Fmt(dorc_stats.jaccard), Fmt(holo_stats.jaccard),
+            Fmt(eracer_stats.jaccard)});
+  PrintRow({"  #attrs", Fmt(disc_stats.modified_attrs, 2),
+            Fmt(sse_stats.modified_attrs, 2),
+            Fmt(dorc_stats.modified_attrs, 2),
+            Fmt(holo_stats.modified_attrs, 2),
+            Fmt(eracer_stats.modified_attrs, 2)});
+  PrintRow({"  cost", Fmt(disc_stats.adjust_cost, 2), "-",
+            Fmt(dorc_stats.adjust_cost, 2), Fmt(holo_stats.adjust_cost, 2),
+            Fmt(eracer_stats.adjust_cost, 2)});
+}
+
+/// A Letter-like dataset reduced to 10 attributes, n = 1000, as in Fig. 10.
+PaperDataset MakeFig10Dataset() {
+  PaperDataset base = MakePaperDataset("letter", 42, 0.05);
+  // Project to the first 10 attributes.
+  std::vector<AttributeDef> defs;
+  for (std::size_t a = 0; a < 10; ++a) {
+    defs.push_back(base.dirty.schema().attribute(a));
+  }
+  Schema schema(defs);
+  PaperDataset out;
+  out.name = "letter10";
+  out.labels = base.labels;
+  out.dirty_rows = base.dirty_rows;
+  out.natural_outlier_rows = base.natural_outlier_rows;
+  out.clean = Relation(schema);
+  out.dirty = Relation(schema);
+  for (std::size_t row = 0; row < base.dirty.size(); ++row) {
+    Tuple ct(10);
+    Tuple dt(10);
+    for (std::size_t a = 0; a < 10; ++a) {
+      ct[a] = base.clean[row][a];
+      dt[a] = base.dirty[row][a];
+    }
+    out.clean.AppendUnchecked(std::move(ct));
+    out.dirty.AppendUnchecked(std::move(dt));
+  }
+  for (const CellError& e : base.errors) {
+    if (e.attribute < 10) out.errors.push_back(e);
+  }
+  // Drop dirty rows whose only errors were in projected-away attributes.
+  std::vector<std::size_t> kept;
+  for (std::size_t row : out.dirty_rows) {
+    for (const CellError& e : out.errors) {
+      if (e.row == row) {
+        kept.push_back(row);
+        break;
+      }
+    }
+  }
+  out.dirty_rows = kept;
+  out.suggested = base.suggested;
+  out.suggested.epsilon = base.suggested.epsilon * std::sqrt(10.0 / 16.0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PaperDataset ds = MakeFig10Dataset();
+  DistanceEvaluator evaluator(ds.dirty.schema());
+  std::printf("letter-shaped, n=%zu m=%zu, %zu dirty rows\n",
+              ds.dirty.size(), ds.dirty.arity(), ds.dirty_rows.size());
+
+  PrintHeader("Figure 10(a)(c)(e): sweep of eps at fixed eta");
+  PrintRow({"eps", "DISC", "SSE", "DORC", "HoloClean", "ERACER"});
+  for (double factor : {0.8, 1.0, 1.2}) {
+    DistanceConstraint c = ds.suggested;
+    c.epsilon *= factor;
+    PrintSweepRow(Fmt(c.epsilon, 2), ds, evaluator, c);
+  }
+
+  PrintHeader("Figure 10(b)(d)(f): sweep of eta at fixed eps");
+  PrintRow({"eta", "DISC", "SSE", "DORC", "HoloClean", "ERACER"});
+  for (double factor : {0.66, 1.0, 1.5}) {
+    DistanceConstraint c = ds.suggested;
+    c.eta = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(ds.suggested.eta) *
+                                    factor));
+    PrintSweepRow(std::to_string(c.eta), ds, evaluator, c);
+  }
+
+  std::printf(
+      "\nShape check vs paper Fig. 10: DISC Jaccard >= SSE > cleaners; DISC "
+      "modifies\n~2 of 10 attributes at small cost; DORC swaps whole tuples "
+      "and HoloClean\nre-decides many cells — both with far higher #attrs "
+      "and cost.\n");
+  return 0;
+}

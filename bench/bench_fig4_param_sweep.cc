@@ -1,0 +1,89 @@
+// Figure 4 reproduction: clustering F1 / precision / recall as functions of
+// (a) the distance threshold ε at fixed η and (b) the neighbor threshold η
+// at fixed ε, on a Letter-shaped dataset (m = 16, n = 1000), for DISC and
+// DORC; ERACER / HoloClean / Holistic are parameter-free baselines (flat
+// lines).
+//
+// Expected shape (paper): an interior optimum in both sweeps — small ε
+// (or large η) over-changes, large ε (or small η) misses errors; DISC above
+// DORC throughout.
+
+#include "support.h"
+
+namespace {
+
+using namespace disc;
+using namespace disc::bench;
+
+ClusterScores DiscAt(const PaperDataset& ds,
+                     const DistanceEvaluator& evaluator,
+                     const DistanceConstraint& c) {
+  OutlierSavingOptions options;
+  options.constraint = c;
+  options.save.kappa = 2;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+  return ScoreDbscan(saved.repaired, evaluator, c, ds.labels);
+}
+
+ClusterScores DorcAt(const PaperDataset& ds,
+                     const DistanceEvaluator& evaluator,
+                     const DistanceConstraint& c) {
+  DorcOptions options;
+  options.constraint = c;
+  options.use_index = true;  // sweep speed; accuracy identical
+  Relation repaired = Dorc(ds.dirty, evaluator, options);
+  return ScoreDbscan(repaired, evaluator, c, ds.labels);
+}
+
+}  // namespace
+
+int main() {
+  PaperDataset ds = MakePaperDataset("letter", 42, 0.05);  // n = 1000, m = 16
+  DistanceEvaluator evaluator(ds.dirty.schema());
+
+  // Parameter-free baselines, evaluated once at the calibrated constraint.
+  std::vector<Treatment> all = RunAllTreatments(ds, evaluator, true);
+  double eracer_f1 = 0;
+  double holo_f1 = 0;
+  double holistic_f1 = 0;
+  for (const Treatment& t : all) {
+    double f1 = ScoreDbscan(t.data, evaluator, ds.suggested, ds.labels).f1;
+    if (t.name == "ERACER") eracer_f1 = f1;
+    if (t.name == "HoloClean") holo_f1 = f1;
+    if (t.name == "Holistic") holistic_f1 = f1;
+  }
+
+  PrintHeader("Figure 4(a): sweep of eps at fixed eta");
+  std::printf("(eta fixed at %zu; ERACER=%.3f HoloClean=%.3f Holistic=%.3f "
+              "as flat baselines)\n",
+              ds.suggested.eta, eracer_f1, holo_f1, holistic_f1);
+  PrintRow({"eps", "DISC_F1", "DISC_P", "DISC_R", "DORC_F1"});
+  for (double factor : {0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5}) {
+    DistanceConstraint c = ds.suggested;
+    c.epsilon *= factor;
+    ClusterScores d = DiscAt(ds, evaluator, c);
+    ClusterScores o = DorcAt(ds, evaluator, c);
+    PrintRow({Fmt(c.epsilon, 2), Fmt(d.f1), Fmt(d.precision), Fmt(d.recall),
+              Fmt(o.f1)});
+  }
+
+  PrintHeader("Figure 4(b): sweep of eta at fixed eps");
+  std::printf("(eps fixed at %.2f)\n", ds.suggested.epsilon);
+  PrintRow({"eta", "DISC_F1", "DISC_P", "DISC_R", "DORC_F1"});
+  for (double factor : {0.33, 0.66, 1.0, 1.33, 1.66, 2.0}) {
+    DistanceConstraint c = ds.suggested;
+    c.eta = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(ds.suggested.eta) *
+                                    factor));
+    ClusterScores d = DiscAt(ds, evaluator, c);
+    ClusterScores o = DorcAt(ds, evaluator, c);
+    PrintRow({std::to_string(c.eta), Fmt(d.f1), Fmt(d.precision),
+              Fmt(d.recall), Fmt(o.f1)});
+  }
+
+  std::printf(
+      "\nShape check vs paper Fig. 4: interior maximum near the calibrated "
+      "(eps, eta);\nboth extremes lose accuracy; DISC >= DORC across the "
+      "sweep.\n");
+  return 0;
+}

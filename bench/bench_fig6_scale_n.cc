@@ -1,0 +1,111 @@
+// Figure 6 reproduction: scalability in the number of tuples n on the
+// Flight-shaped dataset (m = 3): clustering F1 after repair and the repair
+// time, for DISC, the Exact algorithm, DORC, ERACER, HoloClean, Holistic.
+//
+// Expected shape (paper): DISC/ERACER/HoloClean time grows near-linearly;
+// the pairwise DORC grows quadratically and hits the time cutoff first; the
+// Exact algorithm beats DISC slightly on F1 at a much higher (still
+// linear-in-n) time.
+
+#include "core/exact_saver.h"
+#include "support.h"
+
+namespace {
+
+using namespace disc;
+using namespace disc::bench;
+
+constexpr double kCutoffSeconds = 60.0;
+
+struct ExactOutcome {
+  double f1 = 0;
+  double seconds = 0;
+  bool timed_out = false;
+};
+
+ExactOutcome RunExact(const PaperDataset& ds,
+                      const DistanceEvaluator& evaluator) {
+  ExactOutcome out;
+  Timer timer;
+  OutlierSavingOptions options;
+  options.constraint = ds.suggested;
+  options.use_exact = true;
+  // Candidate budget keeps a single outlier from consuming the cutoff by
+  // itself. With continuous domains d ≈ n, the optimal single-attribute
+  // fix is explored within the first ~d candidates, so the budget mostly
+  // trims the exhaustive tail (the paper's Exact shows the same trade:
+  // better F1 at much higher time).
+  options.exact_max_candidates = 25000;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+  out.seconds = timer.Seconds();
+  out.timed_out = out.seconds > kCutoffSeconds;
+  out.f1 = ScoreDbscan(saved.repaired, evaluator, ds.suggested, ds.labels).f1;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 6: scalability in n (Flight-shaped, m=3)");
+  PrintRow({"n", "F1_DISC", "F1_Exact", "F1_DORC", "t_DISC", "t_Exact",
+            "t_DORC", "t_ERACER", "t_HoloCl", "t_Holist"});
+
+  bool dorc_cut = false;
+  // Start at n = 200: below that, clusters hold fewer members than η = 31
+  // and every method degenerates.
+  for (double scale : {0.001, 0.002, 0.004, 0.008, 0.016}) {
+    PaperDataset ds = MakePaperDataset("flight", 42, scale);
+    DistanceEvaluator evaluator(ds.dirty.schema());
+
+    Treatment disc_t = RunDisc(ds, evaluator);
+    double f1_disc =
+        ScoreDbscan(disc_t.data, evaluator, ds.suggested, ds.labels).f1;
+
+    ExactOutcome exact = RunExact(ds, evaluator);
+
+    // DORC pairwise, with the paper-style cutoff once it explodes.
+    std::string f1_dorc = "-";
+    std::string t_dorc = ">cutoff";
+    if (!dorc_cut) {
+      DorcOptions dorc_opts;
+      dorc_opts.constraint = ds.suggested;
+      Timer timer;
+      Relation dorc = Dorc(ds.dirty, evaluator, dorc_opts);
+      double secs = timer.Seconds();
+      f1_dorc =
+          Fmt(ScoreDbscan(dorc, evaluator, ds.suggested, ds.labels).f1);
+      t_dorc = Fmt(secs, 3);
+      if (secs > kCutoffSeconds) dorc_cut = true;
+    }
+
+    Timer t1;
+    Relation eracer = Eracer(ds.dirty, evaluator);
+    double t_eracer = t1.Seconds();
+    (void)eracer;
+
+    Timer t2;
+    HolocleanOptions hopts;
+    hopts.constraint = ds.suggested;
+    Relation holo = Holoclean(ds.dirty, evaluator, hopts);
+    double t_holo = t2.Seconds();
+    (void)holo;
+
+    Timer t3;
+    Relation holistic = Holistic(ds.dirty, evaluator);
+    double t_holistic = t3.Seconds();
+    (void)holistic;
+
+    PrintRow({std::to_string(ds.dirty.size()), Fmt(f1_disc),
+              exact.timed_out ? ">cutoff" : Fmt(exact.f1), f1_dorc,
+              Fmt(disc_t.seconds, 3),
+              exact.timed_out ? ">cutoff" : Fmt(exact.seconds, 3), t_dorc,
+              Fmt(t_eracer, 3), Fmt(t_holo, 3), Fmt(t_holistic, 3)});
+  }
+
+  std::printf(
+      "\nShape check vs paper Fig. 6: t_DORC grows ~quadratically in n (the "
+      "published\nILP DORC additionally pays a large constant, which is what "
+      "the paper's one-hour\ncutoff reflects); Exact's time dominates "
+      "DISC's at comparable F1.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 8 reproduction: record-matching F1 on the Restaurant-shaped string
+// dataset, over raw dirty data and data treated by DISC / DORC / HoloClean /
+// Holistic (ERACER is numeric-only and does not apply), sweeping (a) the
+// neighbor threshold eta at fixed eps and (b) the distance threshold eps at
+// fixed eta.
+//
+// Expected shape (paper): DISC lifts matching F1 clearly above Raw across
+// the sweeps; tuple-substituting DORC helps less; an interior optimum in
+// both sweeps.
+
+#include "matching/record_matching.h"
+#include "support.h"
+
+namespace {
+
+using namespace disc;
+using namespace disc::bench;
+
+double MatchF1(const Relation& data, const std::vector<MatchPair>& truth) {
+  return ScoreMatching(MatchRecords(data), truth).f1;
+}
+
+struct SweepPoint {
+  double disc_f1 = 0;
+  double dorc_f1 = 0;
+  double holo_f1 = 0;
+};
+
+SweepPoint RunAt(const PaperDataset& ds, const DistanceEvaluator& evaluator,
+                 const DistanceConstraint& c,
+                 const std::vector<MatchPair>& truth) {
+  SweepPoint p;
+  {
+    OutlierSavingOptions options;
+    options.constraint = c;
+    options.save.kappa = 2;  // singletons stay unchanged (no ≤2-attr repair)
+    SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+    p.disc_f1 = MatchF1(saved.repaired, truth);
+  }
+  {
+    DorcOptions options;
+    options.constraint = c;
+    options.use_index = true;
+    p.dorc_f1 = MatchF1(Dorc(ds.dirty, evaluator, options), truth);
+  }
+  {
+    HolocleanOptions options;
+    options.constraint = c;
+    p.holo_f1 = MatchF1(Holoclean(ds.dirty, evaluator, options), truth);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  PaperDataset ds = MakePaperDataset("restaurant", 42, 0.5);
+  DistanceEvaluator evaluator(ds.dirty.schema());
+  std::vector<MatchPair> truth = PairsFromEntityIds(ds.labels);
+
+  double raw_f1 = MatchF1(ds.dirty, truth);
+  double clean_f1 = MatchF1(ds.clean, truth);
+  Relation holistic = Holistic(ds.dirty, evaluator);
+  double holistic_f1 = MatchF1(holistic, truth);
+  std::printf("restaurant-shaped: %zu records, %zu true pairs; "
+              "F1 raw=%.4f clean=%.4f holistic=%.4f (flat)\n",
+              ds.dirty.size(), truth.size(), raw_f1, clean_f1, holistic_f1);
+
+  PrintHeader("Figure 8(a): matching F1 vs eta (eps fixed)");
+  PrintRow({"eta", "Raw", "DISC", "DORC", "HoloClean"});
+  for (std::size_t eta : {2u, 3u, 4u, 6u}) {
+    DistanceConstraint c = ds.suggested;
+    c.eta = eta;
+    SweepPoint p = RunAt(ds, evaluator, c, truth);
+    PrintRow({std::to_string(eta), Fmt(raw_f1), Fmt(p.disc_f1),
+              Fmt(p.dorc_f1), Fmt(p.holo_f1)});
+  }
+
+  PrintHeader("Figure 8(b): matching F1 vs eps (eta fixed)");
+  PrintRow({"eps", "Raw", "DISC", "DORC", "HoloClean"});
+  for (double factor : {0.6, 0.8, 1.0, 1.2, 1.5}) {
+    DistanceConstraint c = ds.suggested;
+    c.epsilon *= factor;
+    SweepPoint p = RunAt(ds, evaluator, c, truth);
+    PrintRow({Fmt(c.epsilon, 2), Fmt(raw_f1), Fmt(p.disc_f1),
+              Fmt(p.dorc_f1), Fmt(p.holo_f1)});
+  }
+
+  std::printf(
+      "\nShape check vs paper Fig. 8: DISC > Raw across sweeps (typos "
+      "repaired\nrestore matches); DORC helps less; ERACER not applicable "
+      "to strings.\n");
+  return 0;
+}

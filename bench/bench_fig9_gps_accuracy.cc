@@ -1,0 +1,73 @@
+// Figure 9 reproduction: on the GPS-shaped dataset (where dirty and natural
+// outliers are both present and labeled), report (a) the dirty / natural
+// outlier rates and (b) the Jaccard accuracy of the attributes adjusted by
+// DISC vs the attributes explained by SSE, per the paper's §4.3 protocol.
+//
+// Expected shape (paper): dirty and natural rates both around 0.1; DISC's
+// attribute Jaccard slightly above SSE's (value adjustment is stronger
+// evidence than separability alone); ~1 attribute adjusted on average.
+
+#include "cleaning/sse.h"
+#include "eval/set_metrics.h"
+#include "support.h"
+
+int main() {
+  using namespace disc;
+  using namespace disc::bench;
+
+  PaperDataset ds = MakePaperDataset("gps", 42, 0.12);
+  DistanceEvaluator evaluator(ds.dirty.schema());
+
+  double n = static_cast<double>(ds.dirty.size());
+  PrintHeader("Figure 9(a): outlier rates on GPS-shaped data");
+  std::printf("tuples=%zu dirty-rate=%.3f natural-rate=%.3f\n",
+              ds.dirty.size(),
+              static_cast<double>(ds.dirty_rows.size()) / n,
+              static_cast<double>(ds.natural_outlier_rows.size()) / n);
+
+  // Save with DISC; collect per-outlier adjusted attributes.
+  OutlierSavingOptions options;
+  options.constraint = ds.suggested;
+  options.save.kappa = 2;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+
+  Relation inliers = ds.dirty.Select(saved.inlier_rows);
+
+  double disc_jaccard = 0;
+  double sse_jaccard = 0;
+  double disc_attrs = 0;
+  std::size_t measured = 0;
+  for (const OutlierRecord& rec : saved.records) {
+    AttributeSet truth;
+    for (const CellError& e : ds.errors) {
+      if (e.row == rec.row) truth.insert(e.attribute);
+    }
+    if (truth.empty()) continue;  // natural outlier: no error ground truth
+    if (rec.disposition != OutlierDisposition::kSaved) continue;
+
+    AttributeSet sse =
+        ExplainOutlierSse(inliers, evaluator, ds.dirty[rec.row]);
+    disc_jaccard += JaccardIndex(truth, rec.adjusted_attributes);
+    sse_jaccard += JaccardIndex(truth, sse);
+    disc_attrs += static_cast<double>(rec.adjusted_attributes.size());
+    ++measured;
+  }
+
+  PrintHeader("Figure 9(b): attribute adjustment/explanation accuracy");
+  if (measured > 0) {
+    double denom = static_cast<double>(measured);
+    PrintRow({"method", "Jaccard", "#attrs"});
+    PrintRow({"DISC", Fmt(disc_jaccard / denom),
+              Fmt(disc_attrs / denom, 2)});
+    PrintRow({"SSE", Fmt(sse_jaccard / denom), "-"});
+    std::printf("(measured over %zu saved dirty outliers)\n", measured);
+  } else {
+    std::printf("no dirty outliers were saved — check calibration\n");
+  }
+
+  std::printf(
+      "\nShape check vs paper Fig. 9: dirty and natural rates both ~0.1; "
+      "DISC's\nJaccard a bit above SSE's; about 1 attribute adjusted per "
+      "dirty outlier.\n");
+  return 0;
+}

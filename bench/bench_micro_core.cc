@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) of the core primitives plus the
+// ablation knobs DESIGN.md calls out:
+//  - neighbor-index range query: KD-tree vs brute force
+//  - delta_eta precompute (KthNeighborCache)
+//  - a single DISC save: pruning on vs off, kappa-restricted vs full
+//  - bound computations in isolation
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "core/disc_saver.h"
+#include "index/brute_force_index.h"
+#include "index/kd_tree.h"
+#include "index/kth_neighbor_cache.h"
+
+namespace disc {
+namespace {
+
+Relation MakeInliers(std::size_t n, std::size_t m, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  Relation r(Schema::Numeric(m));
+  for (std::size_t i = 0; i < n; ++i) {
+    Tuple t(m);
+    for (std::size_t a = 0; a < m; ++a) t[a] = Value(rng.Gaussian(0, 1.0));
+    r.AppendUnchecked(std::move(t));
+  }
+  return r;
+}
+
+void BM_KdTreeRangeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Relation r = MakeInliers(n, 4);
+  KdTree tree(r);
+  Tuple query = Tuple::Numeric({0.1, 0.1, -0.1, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.RangeQuery(query, 1.0));
+  }
+}
+BENCHMARK(BM_KdTreeRangeQuery)->Arg(1000)->Arg(10000);
+
+void BM_BruteForceRangeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Relation r = MakeInliers(n, 4);
+  DistanceEvaluator ev(r.schema());
+  BruteForceIndex index(r, ev);
+  Tuple query = Tuple::Numeric({0.1, 0.1, -0.1, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.RangeQuery(query, 1.0));
+  }
+}
+BENCHMARK(BM_BruteForceRangeQuery)->Arg(1000)->Arg(10000);
+
+void BM_KthNeighborCacheBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Relation r = MakeInliers(n, 4);
+  KdTree tree(r);
+  for (auto _ : state) {
+    KthNeighborCache cache(r, tree, 8);
+    benchmark::DoNotOptimize(cache.deltas().size());
+  }
+}
+BENCHMARK(BM_KthNeighborCacheBuild)->Arg(500)->Arg(2000);
+
+void BM_DiscSave(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const bool prune = state.range(1) != 0;
+  Relation r = MakeInliers(400, m);
+  DistanceEvaluator ev(r.schema());
+  DiscSaver saver(r, ev, {1.5, 5});
+  Tuple outlier(m);
+  for (std::size_t a = 0; a < m; ++a) outlier[a] = Value(0.1);
+  outlier[m - 1] = Value(20.0);  // one broken attribute
+  SaveOptions opts;
+  opts.use_lower_bound_pruning = prune;
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    SaveResult res = saver.Save(outlier, opts);
+    visited = res.visited_sets;
+    benchmark::DoNotOptimize(res.cost);
+  }
+  state.counters["visited_sets"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_DiscSave)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0});
+
+void BM_DiscSaveKappa(benchmark::State& state) {
+  const auto kappa = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 12;
+  Relation r = MakeInliers(400, m);
+  DistanceEvaluator ev(r.schema());
+  DiscSaver saver(r, ev, {2.0, 5});
+  Tuple outlier(m);
+  for (std::size_t a = 0; a < m; ++a) outlier[a] = Value(0.1);
+  outlier[0] = Value(20.0);
+  SaveOptions opts;
+  opts.kappa = kappa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saver.Save(outlier, opts).cost);
+  }
+}
+BENCHMARK(BM_DiscSaveKappa)->Arg(1)->Arg(2)->Arg(3)->Arg(0);
+
+void BM_BoundsLowerBound(benchmark::State& state) {
+  Relation r = MakeInliers(2000, 6);
+  DistanceEvaluator ev(r.schema());
+  DiscSaver saver(r, ev, {1.5, 6});
+  Tuple outlier = Tuple::Numeric({0.1, 0.1, 0.1, 0.1, 0.1, 15.0});
+  AttributeSet x{0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saver.bounds().LowerBoundForX(outlier, x));
+  }
+}
+BENCHMARK(BM_BoundsLowerBound);
+
+void BM_BoundsUpperBound(benchmark::State& state) {
+  Relation r = MakeInliers(2000, 6);
+  DistanceEvaluator ev(r.schema());
+  DiscSaver saver(r, ev, {1.5, 6});
+  Tuple outlier = Tuple::Numeric({0.1, 0.1, 0.1, 0.1, 0.1, 15.0});
+  AttributeSet x{0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(saver.bounds().UpperBoundForX(outlier, x));
+  }
+}
+BENCHMARK(BM_BoundsUpperBound);
+
+}  // namespace
+}  // namespace disc
+
+BENCHMARK_MAIN();

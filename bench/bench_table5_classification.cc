@@ -1,0 +1,43 @@
+// Table 5 reproduction: decision-tree classification F1 (5-fold CV) over
+// raw data vs data treated by DISC / DORC / ERACER / HoloClean / Holistic,
+// across the 7 classification datasets of Table 1 (no GPS).
+//
+// Expected shape (paper): DISC yields the best classification F1 on every
+// dataset; general-purpose cleaners sometimes fall below Raw.
+
+#include "ml/cross_validation.h"
+#include "support.h"
+
+int main() {
+  using namespace disc;
+  using namespace disc::bench;
+
+  const std::vector<std::string> datasets = {"iris",  "seeds", "wifi",
+                                             "yeast", "letter", "flight",
+                                             "spam"};
+
+  PrintHeader("Table 5: decision-tree F1 (5-fold CV)");
+  PrintRow({"Data", "Raw", "DISC", "DORC", "ERACER", "HoloClean",
+            "Holistic"});
+
+  for (const std::string& name : datasets) {
+    PaperDataset ds = MakePaperDataset(name, 42, BenchScaleFor(name));
+    DistanceEvaluator evaluator(ds.dirty.schema());
+    std::vector<Treatment> treatments = RunAllTreatments(ds, evaluator);
+
+    std::vector<std::string> row{name};
+    for (const Treatment& t : treatments) {
+      std::vector<std::vector<double>> features;
+      RelationToDataset(t.data, ds.labels, &features);
+      ClassificationScores scores = CrossValidateTree(features, ds.labels, 5);
+      row.push_back(Fmt(scores.macro_f1));
+    }
+    PrintRow(row);
+  }
+
+  std::printf(
+      "\nShape check vs paper Table 5: DISC column highest per row; some "
+      "cleaners\n(ERACER/Holistic) may score below Raw — inaccurate "
+      "cleaning hurts training.\n");
+  return 0;
+}

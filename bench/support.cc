@@ -1,0 +1,118 @@
+#include "support.h"
+
+#include "common/stringutil.h"
+
+namespace disc::bench {
+
+double BenchScaleFor(const std::string& dataset) {
+  if (dataset == "iris") return 1.0;        // 150
+  if (dataset == "seeds") return 1.0;       // 210
+  if (dataset == "wifi") return 0.25;       // 500
+  if (dataset == "yeast") return 0.4;       // 520
+  if (dataset == "letter") return 0.05;     // 1000
+  if (dataset == "flight") return 0.005;    // 1000
+  if (dataset == "spam") return 0.1;        // 460
+  if (dataset == "gps") return 0.12;        // 975
+  if (dataset == "restaurant") return 0.5;  // 432
+  return 0.1;
+}
+
+std::size_t BenchKappaFor(const std::string& dataset) {
+  if (dataset == "spam") return 1;    // m = 57
+  if (dataset == "letter") return 2;  // m = 16
+  return 2;
+}
+
+Treatment RunDisc(const PaperDataset& ds, const DistanceEvaluator& evaluator) {
+  Treatment t;
+  t.name = "DISC";
+  OutlierSavingOptions options;
+  options.constraint = ds.suggested;
+  options.save.kappa = BenchKappaFor(ds.name);
+  Timer timer;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+  t.seconds = timer.Seconds();
+  t.data = std::move(saved.repaired);
+  return t;
+}
+
+std::vector<Treatment> RunAllTreatments(const PaperDataset& ds,
+                                        const DistanceEvaluator& evaluator,
+                                        bool fast_dorc) {
+  std::vector<Treatment> out;
+
+  out.push_back({"Raw", ds.dirty, 0.0});
+  out.push_back(RunDisc(ds, evaluator));
+
+  {
+    Treatment t;
+    t.name = "DORC";
+    DorcOptions options;
+    options.constraint = ds.suggested;
+    options.use_index = fast_dorc;
+    Timer timer;
+    t.data = Dorc(ds.dirty, evaluator, options);
+    t.seconds = timer.Seconds();
+    out.push_back(std::move(t));
+  }
+  {
+    Treatment t;
+    t.name = "ERACER";
+    Timer timer;
+    t.data = Eracer(ds.dirty, evaluator);
+    t.seconds = timer.Seconds();
+    out.push_back(std::move(t));
+  }
+  {
+    Treatment t;
+    t.name = "HoloClean";
+    HolocleanOptions options;
+    options.constraint = ds.suggested;
+    Timer timer;
+    t.data = Holoclean(ds.dirty, evaluator, options);
+    t.seconds = timer.Seconds();
+    out.push_back(std::move(t));
+  }
+  {
+    Treatment t;
+    t.name = "Holistic";
+    Timer timer;
+    t.data = Holistic(ds.dirty, evaluator);
+    t.seconds = timer.Seconds();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+ClusterScores ScoreDbscan(const Relation& data,
+                          const DistanceEvaluator& evaluator,
+                          const DistanceConstraint& constraint,
+                          const std::vector<int>& truth_labels) {
+  Labels labels =
+      Dbscan(data, evaluator, {constraint.epsilon, constraint.eta});
+  ClusterScores scores;
+  PairCountingScores pc = PairCounting(labels, truth_labels);
+  scores.f1 = pc.f1;
+  scores.precision = pc.precision;
+  scores.recall = pc.recall;
+  scores.nmi = Nmi(labels, truth_labels);
+  scores.ari = Ari(labels, truth_labels);
+  return scores;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double v, int decimals) {
+  return StrFormat("%.*f", decimals, v);
+}
+
+}  // namespace disc::bench

@@ -1,0 +1,83 @@
+#ifndef DISC_BENCH_SUPPORT_H_
+#define DISC_BENCH_SUPPORT_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "clustering/dbscan.h"
+#include "cleaning/dorc.h"
+#include "cleaning/eracer.h"
+#include "cleaning/holistic.h"
+#include "cleaning/holoclean.h"
+#include "core/outlier_saving.h"
+#include "data/datasets.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc::bench {
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds since construction or the last Reset().
+  double Seconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The dataset scale factors used throughout the bench harness. The paper
+/// ran full-size datasets on a server; we shrink row counts (structure
+/// preserved) to keep the whole suite runnable on one core in minutes.
+double BenchScaleFor(const std::string& dataset);
+
+/// The κ (max adjustable attributes) used per dataset: errors touch 1-2
+/// attributes by construction, and κ keeps DISC's search polynomial on
+/// wide schemas (§3.3.3).
+std::size_t BenchKappaFor(const std::string& dataset);
+
+/// One treatment of a dirty dataset: its name, the resulting relation, and
+/// how long the repair took (0 for Raw).
+struct Treatment {
+  std::string name;
+  Relation data;
+  double seconds = 0;
+};
+
+/// Runs Raw / DISC / DORC / ERACER / HoloClean / Holistic on the dataset's
+/// dirty relation, timing each. DORC uses the pairwise O(n²) formulation
+/// faithful to its paper (set `fast_dorc` to use the indexed variant).
+std::vector<Treatment> RunAllTreatments(const PaperDataset& ds,
+                                        const DistanceEvaluator& evaluator,
+                                        bool fast_dorc = false);
+
+/// Runs just DISC (convenience for sweeps).
+Treatment RunDisc(const PaperDataset& ds, const DistanceEvaluator& evaluator);
+
+/// Clustering scores of DBSCAN over `data` against the dataset labels.
+struct ClusterScores {
+  double f1 = 0;
+  double precision = 0;
+  double recall = 0;
+  double nmi = 0;
+  double ari = 0;
+};
+ClusterScores ScoreDbscan(const Relation& data,
+                          const DistanceEvaluator& evaluator,
+                          const DistanceConstraint& constraint,
+                          const std::vector<int>& truth_labels);
+
+/// Fixed-width table printing helpers.
+void PrintHeader(const std::string& title);
+void PrintRow(const std::vector<std::string>& cells, int width = 10);
+std::string Fmt(double v, int decimals = 4);
+
+}  // namespace disc::bench
+
+#endif  // DISC_BENCH_SUPPORT_H_

@@ -1,0 +1,65 @@
+// Quickstart: detect outliers under distance constraints, save them with
+// DISC, and watch DBSCAN clustering accuracy improve.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "clustering/dbscan.h"
+#include "core/outlier_saving.h"
+#include "data/generators.h"
+#include "data/error_injection.h"
+#include "eval/clustering_metrics.h"
+
+int main() {
+  using namespace disc;
+
+  // 1. Make a dataset: two Gaussian clusters, 2 attributes.
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0.0, 0.0}, 0.6, 120});
+  clusters.push_back({{10.0, 0.0}, 0.6, 120});
+  LabeledRelation truth = GenerateGaussianMixture(clusters, /*seed=*/1);
+
+  // 2. Corrupt it: 5% of tuples get an error on one attribute — the
+  //    "width recorded in inch instead of cm" story of the paper's intro.
+  ErrorInjectionSpec errors;
+  errors.tuple_rate = 0.05;
+  errors.min_attributes = 1;
+  errors.max_attributes = 1;
+  errors.magnitude = 10.0;
+  InjectionResult injected = InjectNumericErrors(truth.data, errors);
+  std::printf("dataset: %zu tuples, %zu with injected errors\n",
+              injected.dirty.size(), injected.dirty_rows.size());
+
+  // 3. Cluster the dirty data directly: errors distort the result.
+  DistanceEvaluator evaluator(injected.dirty.schema());
+  DistanceConstraint constraint{1.5, 5};
+  Labels raw_labels =
+      Dbscan(injected.dirty, evaluator, {constraint.epsilon, constraint.eta});
+  PairCountingScores raw = PairCounting(raw_labels, truth.labels);
+  std::printf("DBSCAN on raw dirty data : F1 = %.4f (%zu clusters, %zu noise)\n",
+              raw.f1, NumClusters(raw_labels), NumNoise(raw_labels));
+
+  // 4. Save the outliers: minimally adjust their values so they regain
+  //    enough ε-neighbors (Algorithm 1 of the paper).
+  OutlierSavingOptions options;
+  options.constraint = constraint;
+  SavedDataset saved = SaveOutliers(injected.dirty, evaluator, options);
+  std::printf("outlier saving           : %zu flagged, %zu saved, "
+              "mean cost %.3f, mean #attrs adjusted %.2f\n",
+              saved.outlier_rows.size(),
+              saved.CountDisposition(OutlierDisposition::kSaved),
+              saved.MeanAdjustmentCost(), saved.MeanAdjustedAttributes());
+
+  // 5. Cluster again on the repaired data.
+  Labels disc_labels =
+      Dbscan(saved.repaired, evaluator, {constraint.epsilon, constraint.eta});
+  PairCountingScores disc = PairCounting(disc_labels, truth.labels);
+  std::printf("DBSCAN after DISC saving : F1 = %.4f (%zu clusters, %zu noise)\n",
+              disc.f1, NumClusters(disc_labels), NumNoise(disc_labels));
+
+  std::printf("improvement              : %+.4f F1\n", disc.f1 - raw.f1);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Record matching over string data: the paper's Restaurant / zip-code
+// story (§1.1, Figure 8).
+//
+// Typos like RH10-OAG (letter O instead of digit 0) make records outlying
+// under edit-distance constraints and break rule-based duplicate matching.
+// Saving those outliers restores the matches.
+
+#include <cstdio>
+
+#include "core/outlier_saving.h"
+#include "data/datasets.h"
+#include "matching/record_matching.h"
+
+int main() {
+  using namespace disc;
+
+  PaperDataset ds = MakePaperDataset("restaurant", /*seed=*/42);
+  DistanceEvaluator evaluator(ds.dirty.schema());
+  std::printf("restaurant: %zu records over %zu attributes, "
+              "%zu records with typos, constraint (eps=%.2f, eta=%zu)\n",
+              ds.dirty.size(), ds.dirty.arity(), ds.dirty_rows.size(),
+              ds.suggested.epsilon, ds.suggested.eta);
+
+  std::vector<MatchPair> truth_pairs = PairsFromEntityIds(ds.labels);
+  std::printf("ground truth duplicate pairs: %zu\n", truth_pairs.size());
+
+  MatchingScores clean = ScoreMatching(MatchRecords(ds.clean), truth_pairs);
+  MatchingScores dirty = ScoreMatching(MatchRecords(ds.dirty), truth_pairs);
+  std::printf("matching on clean data : F1 = %.4f\n", clean.f1);
+  std::printf("matching on dirty data : F1 = %.4f\n", dirty.f1);
+
+  // Save the typo-ridden outliers under edit-distance constraints. κ = 2
+  // protects the singleton records: they are outlying on *every* attribute
+  // (no duplicate anywhere), so no ≤2-attribute repair exists and they are
+  // correctly left unchanged, while the typo'd duplicates are repaired.
+  OutlierSavingOptions options;
+  options.constraint = ds.suggested;
+  options.save.kappa = 2;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+  std::printf("outlier saving         : %zu flagged, %zu saved, "
+              "%zu left unchanged\n",
+              saved.outlier_rows.size(),
+              saved.CountDisposition(OutlierDisposition::kSaved),
+              saved.CountDisposition(OutlierDisposition::kInfeasible));
+
+  // Show a concrete zip-code-style repair.
+  int shown = 0;
+  for (const OutlierRecord& rec : saved.records) {
+    if (rec.disposition != OutlierDisposition::kSaved || shown >= 3) continue;
+    for (std::size_t a : rec.adjusted_attributes.ToIndices()) {
+      std::printf("  row %zu %s: \"%s\" -> \"%s\"\n", rec.row,
+                  ds.dirty.schema().name(a).c_str(),
+                  ds.dirty[rec.row][a].str().c_str(),
+                  rec.adjusted[a].str().c_str());
+    }
+    ++shown;
+  }
+
+  MatchingScores repaired =
+      ScoreMatching(MatchRecords(saved.repaired), truth_pairs);
+  std::printf("matching after saving  : F1 = %.4f (%+.4f vs dirty)\n",
+              repaired.f1, repaired.f1 - dirty.f1);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Sensor-array cleaning: the paper's wind-turbine motivation.
+//
+// A turbine packs many sensors (attributes); usually only one or two break
+// at a time. This example builds a 16-sensor dataset, breaks 1-2 sensors on
+// a few readings, and compares DISC's κ-restricted saving (trust repairs on
+// at most κ attributes, O(m^{κ+1} n)) against the unrestricted search and
+// against downstream classification quality.
+
+#include <cstdio>
+
+#include "core/outlier_saving.h"
+#include "data/datasets.h"
+#include "eval/set_metrics.h"
+#include "ml/cross_validation.h"
+
+int main() {
+  using namespace disc;
+
+  // Letter-shaped data: 16 attributes, 26 classes (scaled down).
+  PaperDataset ds = MakePaperDataset("letter", /*seed=*/7, /*scale=*/0.04);
+  DistanceEvaluator evaluator(ds.dirty.schema());
+  std::printf("sensor array: %zu readings x %zu sensors, %zu dirty readings\n",
+              ds.dirty.size(), ds.dirty.arity(), ds.dirty_rows.size());
+
+  for (std::size_t kappa : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    OutlierSavingOptions options;
+    options.constraint = ds.suggested;
+    options.save.kappa = kappa;
+    SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+
+    // How well do the adjusted attributes match the truly broken sensors?
+    double jaccard = 0;
+    std::size_t measured = 0;
+    for (const OutlierRecord& rec : saved.records) {
+      AttributeSet truth;
+      for (const CellError& e : ds.errors) {
+        if (e.row == rec.row) truth.insert(e.attribute);
+      }
+      if (truth.empty() || rec.disposition != OutlierDisposition::kSaved) {
+        continue;
+      }
+      jaccard += JaccardIndex(truth, rec.adjusted_attributes);
+      ++measured;
+    }
+    std::printf("kappa=%zu : saved %3zu / %3zu, mean cost %.3f, "
+                "attr-Jaccard %.3f\n",
+                kappa, saved.CountDisposition(OutlierDisposition::kSaved),
+                saved.outlier_rows.size(), saved.MeanAdjustmentCost(),
+                measured ? jaccard / static_cast<double>(measured) : 0.0);
+  }
+
+  // Downstream: decision-tree classification before vs after saving.
+  OutlierSavingOptions options;
+  options.constraint = ds.suggested;
+  options.save.kappa = 2;
+  SavedDataset saved = SaveOutliers(ds.dirty, evaluator, options);
+
+  std::vector<std::vector<double>> dirty_x;
+  std::vector<std::vector<double>> saved_x;
+  RelationToDataset(ds.dirty, ds.labels, &dirty_x);
+  RelationToDataset(saved.repaired, ds.labels, &saved_x);
+  ClassificationScores dirty_score = CrossValidateTree(dirty_x, ds.labels, 5);
+  ClassificationScores saved_score = CrossValidateTree(saved_x, ds.labels, 5);
+  std::printf("decision tree 5-fold F1 : raw %.4f -> saved %.4f\n",
+              dirty_score.macro_f1, saved_score.macro_f1);
+  return 0;
+}

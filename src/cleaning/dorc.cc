@@ -1,0 +1,76 @@
+#include "cleaning/dorc.h"
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+namespace {
+
+/// Pairwise-scan variant: computes neighbor counts and nearest-core search
+/// without an index, faithful to the density-matrix formulation (O(n²·m)).
+Relation DorcPairwise(const Relation& data, const DistanceEvaluator& evaluator,
+                      const DistanceConstraint& constraint) {
+  const std::size_t n = data.size();
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double d = evaluator.DistanceWithin(data[i], data[j], constraint.epsilon);
+      if (d <= constraint.epsilon) ++counts[i];
+    }
+  }
+
+  Relation repaired = data;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] >= constraint.eta) continue;
+    // Substitute by the nearest tuple that satisfies the constraint.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_row = i;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || counts[j] < constraint.eta) continue;
+      double d = evaluator.Distance(data[i], data[j]);
+      if (d < best) {
+        best = d;
+        best_row = j;
+      }
+    }
+    if (best_row != i) repaired[i] = data[best_row];
+  }
+  return repaired;
+}
+
+Relation DorcIndexed(const Relation& data, const DistanceEvaluator& evaluator,
+                     const DistanceConstraint& constraint) {
+  std::unique_ptr<NeighborIndex> index =
+      MakeNeighborIndex(data, evaluator, constraint.epsilon);
+  InlierOutlierSplit split = SplitInliersOutliers(data, *index, constraint);
+
+  Relation inliers = data.Select(split.inlier_rows);
+  DistanceEvaluator inlier_eval(data.schema(), evaluator.norm());
+  std::unique_ptr<NeighborIndex> inlier_index =
+      MakeNeighborIndex(inliers, inlier_eval, constraint.epsilon);
+
+  Relation repaired = data;
+  for (std::size_t row : split.outlier_rows) {
+    std::vector<Neighbor> nn = inlier_index->KNearest(data[row], 1);
+    if (!nn.empty()) {
+      repaired[row] = inliers[nn[0].row];
+    }
+  }
+  return repaired;
+}
+
+}  // namespace
+
+Relation Dorc(const Relation& data, const DistanceEvaluator& evaluator,
+              const DorcOptions& options) {
+  if (options.use_index) {
+    return DorcIndexed(data, evaluator, options.constraint);
+  }
+  return DorcPairwise(data, evaluator, options.constraint);
+}
+
+}  // namespace disc

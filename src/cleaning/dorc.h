@@ -1,0 +1,29 @@
+#ifndef DISC_CLEANING_DORC_H_
+#define DISC_CLEANING_DORC_H_
+
+#include "common/relation.h"
+#include "constraints/distance_constraint.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// DORC options. Shares the (ε, η) parameters with DISC (paper §4.1.4).
+struct DorcOptions {
+  DistanceConstraint constraint;
+  /// DORC's published formulation works on a pairwise density matrix; the
+  /// O(n²) behaviour is part of what Table 2 / Figure 6 measure. Set this
+  /// to allow the index-accelerated variant instead (not the paper setup).
+  bool use_index = false;
+};
+
+/// DORC ("turn waste into wealth", KDD'15): simultaneous clustering and
+/// cleaning by **tuple substitution** — each tuple that lacks η ε-neighbors
+/// is substituted wholesale by its nearest constraint-satisfying tuple, so
+/// *all* attributes change (the over-change DISC's value adjustment avoids;
+/// see Figures 1(c) and 2(b)).
+Relation Dorc(const Relation& data, const DistanceEvaluator& evaluator,
+              const DorcOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_CLEANING_DORC_H_

@@ -1,0 +1,152 @@
+#include "cleaning/eracer.h"
+
+#include <cmath>
+#include <vector>
+
+namespace disc {
+
+namespace {
+
+/// Solves the normal equations A·x = b in place with partial pivoting.
+/// Returns false when A is (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double>* x) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      double f = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  x->assign(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[i][k] * (*x)[k];
+    (*x)[i] = sum / a[i][i];
+  }
+  return true;
+}
+
+/// One fitted per-attribute model: prediction and residual z-score per row.
+struct TargetModel {
+  bool valid = false;
+  std::vector<double> predictions;
+  std::vector<double> zscores;
+};
+
+TargetModel FitTarget(const Relation& data,
+                      const std::vector<std::size_t>& numeric,
+                      std::size_t target) {
+  TargetModel model;
+  const std::size_t n = data.size();
+  const std::size_t p = numeric.size();  // intercept + (p-1) features
+
+  auto features_of = [&](std::size_t row, std::vector<double>* f) {
+    (*f)[0] = 1.0;
+    std::size_t fi = 1;
+    for (std::size_t a : numeric) {
+      if (a == target) continue;
+      (*f)[fi++] = data[row][a].num();
+    }
+  };
+
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0));
+  std::vector<double> xty(p, 0);
+  std::vector<double> f(p);
+  for (std::size_t row = 0; row < n; ++row) {
+    features_of(row, &f);
+    double y = data[row][target].num();
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += f[i] * y;
+      for (std::size_t j = 0; j < p; ++j) xtx[i][j] += f[i] * f[j];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) xtx[i][i] += 1e-6;  // ridge
+
+  std::vector<double> beta;
+  if (!SolveLinearSystem(xtx, xty, &beta)) return model;
+
+  model.predictions.resize(n);
+  std::vector<double> residuals(n);
+  double mean = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    features_of(row, &f);
+    double pred = 0;
+    for (std::size_t i = 0; i < p; ++i) pred += beta[i] * f[i];
+    model.predictions[row] = pred;
+    residuals[row] = data[row][target].num() - pred;
+    mean += residuals[row];
+  }
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double r : residuals) var += (r - mean) * (r - mean);
+  double stddev = std::sqrt(var / static_cast<double>(n));
+  if (stddev < 1e-12) return model;
+
+  model.zscores.resize(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    model.zscores[row] = std::fabs(residuals[row] - mean) / stddev;
+  }
+  model.valid = true;
+  return model;
+}
+
+}  // namespace
+
+Relation Eracer(const Relation& data, const DistanceEvaluator& evaluator,
+                const EracerOptions& options) {
+  (void)evaluator;  // ERACER's model is learned from the data directly.
+  Relation repaired = data;
+  const std::size_t n = data.size();
+  const std::size_t m = data.arity();
+  if (n < 4 || m < 2) return repaired;
+
+  std::vector<std::size_t> numeric;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (data.schema().kind(a) == ValueKind::kNumeric) numeric.push_back(a);
+  }
+  if (numeric.size() < 2) return repaired;
+
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Fit one regression per numeric attribute on the current data.
+    std::vector<TargetModel> models;
+    models.reserve(numeric.size());
+    for (std::size_t target : numeric) {
+      models.push_back(FitTarget(repaired, numeric, target));
+    }
+
+    // Per row, repair only the single most anomalous cell. Repairing every
+    // extreme cell at once lets the x-on-y regression "fix" a clean x from
+    // a broken y before the y regression runs — the classic error-
+    // propagation problem the relational-dependency iteration avoids.
+    bool any_repair = false;
+    for (std::size_t row = 0; row < n; ++row) {
+      double worst_z = options.residual_zscore;
+      std::size_t worst_idx = numeric.size();
+      for (std::size_t t = 0; t < numeric.size(); ++t) {
+        if (!models[t].valid) continue;
+        if (models[t].zscores[row] > worst_z) {
+          worst_z = models[t].zscores[row];
+          worst_idx = t;
+        }
+      }
+      if (worst_idx < numeric.size()) {
+        repaired[row][numeric[worst_idx]].set_num(
+            models[worst_idx].predictions[row]);
+        any_repair = true;
+      }
+    }
+    if (!any_repair) break;
+  }
+  return repaired;
+}
+
+}  // namespace disc

@@ -1,0 +1,33 @@
+#ifndef DISC_CLEANING_ERACER_H_
+#define DISC_CLEANING_ERACER_H_
+
+#include <cstddef>
+
+#include "common/relation.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// ERACER options. Per the paper (§4.1.4), ERACER's parameters (regression
+/// coefficients / histograms) are learned directly from the data; the only
+/// external knobs are the iteration count and the residual cut.
+struct EracerOptions {
+  /// Relational-dependency iterations (learn → predict → update).
+  std::size_t iterations = 3;
+  /// A cell is replaced by its prediction when its absolute residual exceeds
+  /// `residual_zscore` standard deviations of the attribute's residuals.
+  double residual_zscore = 3.0;
+};
+
+/// ERACER (Mayfield et al., SIGMOD'10): statistical inference cleaning.
+/// Each numeric attribute is modeled by linear regression on the remaining
+/// numeric attributes; cells whose residuals are extreme are replaced by
+/// the model prediction, and the learn/predict cycle iterates so repairs
+/// feed later models. String attributes are left untouched (the method is
+/// numeric-only, which is why Figure 8 omits it).
+Relation Eracer(const Relation& data, const DistanceEvaluator& evaluator,
+                const EracerOptions& options = {});
+
+}  // namespace disc
+
+#endif  // DISC_CLEANING_ERACER_H_

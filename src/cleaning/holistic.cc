@@ -1,0 +1,70 @@
+#include "cleaning/holistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disc {
+
+namespace {
+
+double Quantile(std::vector<double> sorted_values, double q) {
+  if (sorted_values.empty()) return 0;
+  double pos = q * static_cast<double>(sorted_values.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(pos));
+  auto hi = static_cast<std::size_t>(std::ceil(pos));
+  double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac;
+}
+
+}  // namespace
+
+std::vector<RangeDenialConstraint> DiscoverRangeConstraints(
+    const Relation& data, double iqr_multiplier) {
+  std::vector<RangeDenialConstraint> constraints;
+  for (std::size_t a = 0; a < data.arity(); ++a) {
+    if (data.schema().kind(a) != ValueKind::kNumeric) continue;
+    std::vector<double> values;
+    values.reserve(data.size());
+    for (const Tuple& t : data) values.push_back(t[a].num());
+    std::sort(values.begin(), values.end());
+    double q1 = Quantile(values, 0.25);
+    double q3 = Quantile(values, 0.75);
+    double iqr = q3 - q1;
+    RangeDenialConstraint dc;
+    dc.attribute = a;
+    dc.lo = q1 - iqr_multiplier * iqr;
+    dc.hi = q3 + iqr_multiplier * iqr;
+    constraints.push_back(dc);
+  }
+  return constraints;
+}
+
+Relation Holistic(const Relation& data, const DistanceEvaluator& evaluator,
+                  const HolisticOptions& options) {
+  (void)evaluator;  // DC repair positions values on constraint boundaries.
+  Relation repaired = data;
+  std::vector<RangeDenialConstraint> constraints =
+      DiscoverRangeConstraints(data, options.iqr_multiplier);
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool any_violation = false;
+    // Violation detection: collect cells breaking any constraint.
+    for (std::size_t row = 0; row < repaired.size(); ++row) {
+      for (const RangeDenialConstraint& dc : constraints) {
+        double v = repaired[row][dc.attribute].num();
+        if (v < dc.lo) {
+          // Holistic minimal repair: move to the nearest satisfying value.
+          repaired[row][dc.attribute].set_num(dc.lo);
+          any_violation = true;
+        } else if (v > dc.hi) {
+          repaired[row][dc.attribute].set_num(dc.hi);
+          any_violation = true;
+        }
+      }
+    }
+    if (!any_violation) break;
+  }
+  return repaired;
+}
+
+}  // namespace disc

@@ -1,0 +1,50 @@
+#ifndef DISC_CLEANING_HOLISTIC_H_
+#define DISC_CLEANING_HOLISTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/relation.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// A denial constraint of the single-tuple range form
+///   ¬(t[A] < lo ∨ t[A] > hi)
+/// i.e. attribute A must lie in [lo, hi]. Range DCs are the workhorse of
+/// constraint-based repair over numeric data; they are discovered from the
+/// data itself (Chu et al.'s DC discovery, approximated here by robust
+/// quantile fences), which is exactly why they miss small in-range errors —
+/// the weakness the paper discusses in §5.
+struct RangeDenialConstraint {
+  std::size_t attribute = 0;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// Holistic-cleaning options.
+struct HolisticOptions {
+  /// Fence width in IQR multiples for discovered range DCs (Tukey fences;
+  /// 3.0 declares a conservative/"weak" constraint that certainly holds).
+  double iqr_multiplier = 3.0;
+  /// Repair passes over the violation hypergraph.
+  std::size_t max_passes = 2;
+};
+
+/// Discovers range denial constraints from the data (one per numeric
+/// attribute, fences at quartiles ± multiplier·IQR).
+std::vector<RangeDenialConstraint> DiscoverRangeConstraints(
+    const Relation& data, double iqr_multiplier);
+
+/// Holistic data cleaning (Chu et al., ICDE'13): builds the set of cells
+/// violating the discovered denial constraints, then repairs violation
+/// groups together ("holistically") — each violating cell is moved to the
+/// nearest constraint-satisfying value. Cells inside all fences are never
+/// touched, so small errors pass through uncleaned.
+Relation Holistic(const Relation& data, const DistanceEvaluator& evaluator,
+                  const HolisticOptions& options = {});
+
+}  // namespace disc
+
+#endif  // DISC_CLEANING_HOLISTIC_H_

@@ -1,0 +1,174 @@
+#include "cleaning/holoclean.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "index/index_factory.h"
+
+namespace disc {
+
+namespace {
+
+/// Learned per-feature weights. In the full system these come from ERM over
+/// the clean cells; here we fit the two weights by how well each feature
+/// alone ranks the observed clean value first among candidates.
+struct FeatureWeights {
+  double frequency = 1.0;
+  double support = 1.0;
+};
+
+/// Frequency table of binned values per attribute (numeric values are
+/// snapped onto the attribute's observed deciles; strings used verbatim).
+class ValueStats {
+ public:
+  ValueStats(const Relation& data, std::size_t attr) : attr_(attr) {
+    for (const Tuple& t : data) {
+      ++counts_[t[attr].ToString()];
+      total_ += 1;
+    }
+  }
+
+  double Frequency(const Value& v) const {
+    auto it = counts_.find(v.ToString());
+    if (it == counts_.end()) return 0;
+    return static_cast<double>(it->second) / std::max(1.0, total_);
+  }
+
+ private:
+  std::size_t attr_;
+  std::map<std::string, int> counts_;
+  double total_ = 0;
+};
+
+}  // namespace
+
+Relation Holoclean(const Relation& data, const DistanceEvaluator& evaluator,
+                   const HolocleanOptions& options) {
+  Relation repaired = data;
+  const std::size_t n = data.size();
+  const std::size_t m = data.arity();
+  if (n == 0 || m == 0) return repaired;
+
+  // Split into clean (labeled) and noisy tuples using the constraint.
+  std::unique_ptr<NeighborIndex> index =
+      MakeNeighborIndex(data, evaluator, options.constraint.epsilon);
+  InlierOutlierSplit split =
+      SplitInliersOutliers(data, *index, options.constraint);
+  if (split.outlier_rows.empty()) return repaired;
+
+  Relation clean = data.Select(split.inlier_rows);
+  DistanceEvaluator clean_eval(data.schema(), evaluator.norm());
+  std::unique_ptr<NeighborIndex> clean_index =
+      MakeNeighborIndex(clean, clean_eval, options.constraint.epsilon);
+
+  // Per-attribute statistics over the clean portion.
+  std::vector<ValueStats> stats;
+  stats.reserve(m);
+  for (std::size_t a = 0; a < m; ++a) stats.emplace_back(clean, a);
+
+  // Candidate pool per attribute: the most frequent clean values.
+  Rng rng(options.seed);
+  std::vector<std::vector<Value>> candidates(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    std::vector<Value> domain = clean.Domain(a);
+    std::sort(domain.begin(), domain.end(), [&](const Value& x, const Value& y) {
+      return stats[a].Frequency(x) > stats[a].Frequency(y);
+    });
+    if (domain.size() > options.candidates_per_cell) {
+      domain.resize(options.candidates_per_cell);
+    }
+    candidates[a] = std::move(domain);
+  }
+
+  // Weight learning (ERM stand-in): on a sample of clean tuples, check how
+  // often each feature ranks the tuple's own value first among candidates.
+  FeatureWeights weights;
+  {
+    std::size_t sample = std::min<std::size_t>(clean.size(), 64);
+    std::size_t freq_hits = 0;
+    std::size_t support_hits = 0;
+    std::size_t trials = 0;
+    for (std::size_t s = 0; s < sample; ++s) {
+      std::size_t row = static_cast<std::size_t>(rng.NextIndex(clean.size()));
+      std::size_t a = static_cast<std::size_t>(rng.NextIndex(m));
+      const Value& truth = clean[row][a];
+      if (candidates[a].empty()) continue;
+      ++trials;
+      // Frequency feature.
+      double truth_freq = stats[a].Frequency(truth);
+      bool freq_best = true;
+      for (const Value& c : candidates[a]) {
+        if (stats[a].Frequency(c) > truth_freq) {
+          freq_best = false;
+          break;
+        }
+      }
+      if (freq_best) ++freq_hits;
+      // Support feature: neighbor count of the tuple with candidate value.
+      Tuple probe = clean[row];
+      double truth_support = static_cast<double>(clean_index->CountWithin(
+          probe, options.constraint.epsilon, options.constraint.eta * 2));
+      bool support_best = true;
+      for (const Value& c : candidates[a]) {
+        probe[a] = c;
+        double sup = static_cast<double>(clean_index->CountWithin(
+            probe, options.constraint.epsilon, options.constraint.eta * 2));
+        if (sup > truth_support) {
+          support_best = false;
+          break;
+        }
+      }
+      if (support_best) ++support_hits;
+    }
+    if (trials > 0) {
+      weights.frequency = 0.5 + static_cast<double>(freq_hits) / static_cast<double>(trials);
+      weights.support = 0.5 + static_cast<double>(support_hits) / static_cast<double>(trials);
+    }
+  }
+
+  // Inference: coordinate descent over each noisy tuple's cells; every cell
+  // takes its maximum-score candidate (keeping the current value is also a
+  // candidate).
+  for (std::size_t row : split.outlier_rows) {
+    Tuple& t = repaired[row];
+    for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+      bool changed = false;
+      for (std::size_t a = 0; a < m; ++a) {
+        double best_score = -1;
+        Value best_value = t[a];
+        auto score_of = [&](const Value& v) {
+          Tuple probe = t;
+          probe[a] = v;
+          double support = static_cast<double>(clean_index->CountWithin(
+              probe, options.constraint.epsilon, options.constraint.eta * 2));
+          double support_norm =
+              support / static_cast<double>(options.constraint.eta * 2);
+          return weights.frequency * stats[a].Frequency(v) +
+                 weights.support * support_norm;
+        };
+        double keep_score = score_of(t[a]);
+        best_score = keep_score;
+        for (const Value& c : candidates[a]) {
+          if (c == t[a]) continue;
+          double s = score_of(c);
+          if (s > best_score) {
+            best_score = s;
+            best_value = c;
+          }
+        }
+        if (!(best_value == t[a])) {
+          t[a] = best_value;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+  return repaired;
+}
+
+}  // namespace disc

@@ -1,0 +1,39 @@
+#ifndef DISC_CLEANING_HOLOCLEAN_H_
+#define DISC_CLEANING_HOLOCLEAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/relation.h"
+#include "constraints/distance_constraint.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// HoloClean options.
+struct HolocleanOptions {
+  /// Cells of tuples violating this constraint are treated as noisy; tuples
+  /// satisfying it are the labeled/clean examples the model weights are
+  /// learned from (empirical risk minimization, as in the original system).
+  DistanceConstraint constraint;
+  /// Number of candidate values considered per noisy cell.
+  std::size_t candidates_per_cell = 8;
+  /// Coordinate-descent passes over the noisy cells of each tuple.
+  std::size_t max_passes = 2;
+  std::uint64_t seed = 42;
+};
+
+/// HoloClean (Rekatsinas et al., VLDB'17): probabilistic repair. Noisy cells
+/// get a candidate domain; a log-linear model scores each candidate with
+/// feature weights learned from the clean portion of the data
+/// (value-frequency, co-occurrence with the tuple's other cells, and
+/// density/neighbor support). Each noisy cell takes its maximum-probability
+/// candidate. Because every cell of a flagged tuple is re-decided, the
+/// method tends to modify many attributes — the over-change Figure 10(c)
+/// measures.
+Relation Holoclean(const Relation& data, const DistanceEvaluator& evaluator,
+                   const HolocleanOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_CLEANING_HOLOCLEAN_H_

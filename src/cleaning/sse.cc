@@ -1,0 +1,141 @@
+#include "cleaning/sse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace disc {
+
+namespace {
+
+/// Median nearest-neighbor distance among a bounded sample of inliers —
+/// the automatic neighborhood radius.
+double AutoEpsilon(const Relation& inliers, const DistanceEvaluator& evaluator) {
+  const std::size_t n = inliers.size();
+  if (n < 2) return 1.0;
+  std::vector<double> nn;
+  const std::size_t samples = std::min<std::size_t>(n, 48);
+  std::size_t stride = std::max<std::size_t>(1, n / samples);
+  for (std::size_t i = 0; i < n; i += stride) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      best = std::min(best, evaluator.Distance(inliers[i], inliers[j]));
+    }
+    if (std::isfinite(best)) nn.push_back(best);
+  }
+  if (nn.empty()) return 1.0;
+  std::nth_element(nn.begin(),
+                   nn.begin() + static_cast<std::ptrdiff_t>(nn.size() / 2),
+                   nn.end());
+  double median = nn[nn.size() / 2];
+  return median > 0 ? 1.5 * median : 1.0;
+}
+
+/// Rows within `epsilon` of the outlier on the complement of `subspace`,
+/// capped to the `k` nearest by complement distance.
+std::vector<std::size_t> ComplementNeighbors(
+    const Relation& inliers, const DistanceEvaluator& evaluator,
+    const Tuple& outlier, const AttributeSet& subspace, double epsilon,
+    std::size_t k) {
+  AttributeSet complement = subspace.ComplementIn(inliers.arity());
+  std::vector<std::pair<double, std::size_t>> hits;
+  for (std::size_t row = 0; row < inliers.size(); ++row) {
+    double d = evaluator.DistanceOn(complement, outlier, inliers[row]);
+    if (d <= epsilon) hits.emplace_back(d, row);
+  }
+  std::sort(hits.begin(), hits.end());
+  if (hits.size() > k) hits.resize(k);
+  std::vector<std::size_t> rows;
+  rows.reserve(hits.size());
+  for (const auto& [d, row] : hits) rows.push_back(row);
+  return rows;
+}
+
+/// True when the outlier deviates from `neighbors` on attribute `a` by more
+/// than z times their local spread (floored by epsilon).
+bool DeviatesOn(const Relation& inliers, const DistanceEvaluator& evaluator,
+                const Tuple& outlier, std::size_t a,
+                const std::vector<std::size_t>& neighbors, double epsilon,
+                double zscore) {
+  double dev = std::numeric_limits<double>::infinity();
+  for (std::size_t row : neighbors) {
+    dev = std::min(dev,
+                   evaluator.AttributeDistance(a, outlier[a], inliers[row][a]));
+  }
+  if (!std::isfinite(dev)) return false;
+  // Local spread of the neighbors' values on attribute a.
+  double spread = 0;
+  for (std::size_t i = 1; i < neighbors.size(); ++i) {
+    spread = std::max(spread,
+                      evaluator.AttributeDistance(a, inliers[neighbors[0]][a],
+                                                  inliers[neighbors[i]][a]));
+  }
+  double reference = std::max(zscore * spread, epsilon);
+  return dev > reference;
+}
+
+}  // namespace
+
+AttributeSet ExplainOutlierSse(const Relation& inliers,
+                               const DistanceEvaluator& evaluator,
+                               const Tuple& outlier,
+                               const SseOptions& options) {
+  AttributeSet separable;
+  const std::size_t n = inliers.size();
+  const std::size_t m = inliers.arity();
+  if (n == 0 || m == 0) return separable;
+
+  double epsilon =
+      options.epsilon > 0 ? options.epsilon : AutoEpsilon(inliers, evaluator);
+
+  bool any_neighborhood = false;
+
+  // Level 1: single-attribute subspaces.
+  for (std::size_t a = 0; a < m && a < 64; ++a) {
+    AttributeSet subspace{a};
+    std::vector<std::size_t> neighbors =
+        ComplementNeighbors(inliers, evaluator, outlier, subspace, epsilon,
+                            options.reference_neighbors);
+    if (neighbors.empty()) continue;
+    any_neighborhood = true;
+    if (DeviatesOn(inliers, evaluator, outlier, a, neighbors, epsilon,
+                   options.separability_zscore)) {
+      separable.insert(a);
+    }
+  }
+  if (!separable.empty()) return separable;
+
+  // Level 2: attribute pairs (errors on two attributes hide from level 1:
+  // each single-attribute complement still contains the other broken one).
+  for (std::size_t a = 0; a < m && a < 64; ++a) {
+    for (std::size_t b = a + 1; b < m && b < 64; ++b) {
+      AttributeSet subspace{a, b};
+      std::vector<std::size_t> neighbors =
+          ComplementNeighbors(inliers, evaluator, outlier, subspace, epsilon,
+                              options.reference_neighbors);
+      if (neighbors.empty()) continue;
+      any_neighborhood = true;
+      bool dev_a = DeviatesOn(inliers, evaluator, outlier, a, neighbors,
+                              epsilon, options.separability_zscore);
+      bool dev_b = DeviatesOn(inliers, evaluator, outlier, b, neighbors,
+                              epsilon, options.separability_zscore);
+      if (dev_a) separable.insert(a);
+      if (dev_b) separable.insert(b);
+    }
+    if (!separable.empty()) break;  // smallest explaining subspace wins
+  }
+  if (!separable.empty()) return separable;
+
+  // Level 3: no small subspace explains the point. If it has neighbors in
+  // some complement yet never deviates, it is simply not separable (an
+  // inlier-like point). If it has no neighborhood anywhere, it is distant
+  // in every subspace — a natural outlier, separable in all attributes.
+  if (!any_neighborhood) {
+    return AttributeSet::Full(std::min<std::size_t>(m, 64));
+  }
+  return separable;
+}
+
+}  // namespace disc

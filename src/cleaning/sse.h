@@ -1,0 +1,45 @@
+#ifndef DISC_CLEANING_SSE_H_
+#define DISC_CLEANING_SSE_H_
+
+#include <cstddef>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// SSE options.
+struct SseOptions {
+  /// Neighborhood radius used to find the outlier's reference inliers in a
+  /// candidate subspace's complement. 0 = estimated automatically as 1.5x
+  /// the median nearest-neighbor distance among inliers.
+  double epsilon = 0;
+  /// Maximum neighbors forming the reference neighborhood.
+  std::size_t reference_neighbors = 10;
+  /// An attribute is separable when the outlier's deviation from its
+  /// complement-subspace neighbors exceeds this many times their local
+  /// spread (floored by the neighborhood radius).
+  double separability_zscore = 2.5;
+};
+
+/// Subspace Separability Explanation (Micenková et al., ICDM'13): given a
+/// detected outlier, returns the attributes in which the outlier is
+/// separable from the inliers. Attribute a explains the outlier when the
+/// point has close inliers on the remaining attributes R \ {a} yet its
+/// a-value deviates strongly from those neighbors' a-values. Single
+/// attributes are tried first, then attribute pairs; an outlier separable
+/// in no small subspace (distant everywhere — a natural outlier) is
+/// explained by all attributes.
+///
+/// Unlike DISC, SSE only names attributes; it does not say what the values
+/// should become (the limitation §5 discusses). Used in Figures 9 and 10
+/// as the attribute-explanation comparator.
+AttributeSet ExplainOutlierSse(const Relation& inliers,
+                               const DistanceEvaluator& evaluator,
+                               const Tuple& outlier,
+                               const SseOptions& options = {});
+
+}  // namespace disc
+
+#endif  // DISC_CLEANING_SSE_H_

@@ -1,0 +1,106 @@
+#include "clustering/cckm.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace disc {
+
+KMeansResult Cckm(const Relation& relation, const CckmParams& params) {
+  std::vector<std::vector<double>> points = ExtractPoints(relation);
+  KMeansResult result;
+  const std::size_t n = points.size();
+  result.labels.assign(n, kNoise);
+  if (n == 0 || params.k == 0) return result;
+  const std::size_t k = std::min(params.k, n);
+  const std::size_t budget = std::min(params.outlier_budget, n);
+  const std::size_t dims = points[0].size();
+  const double target_size = static_cast<double>(n - budget) / static_cast<double>(k);
+
+  result.centers = KMeansPlusPlusInit(points, k, params.seed ^ 0xCCC);
+  std::vector<std::size_t> sizes(k, 0);
+  std::vector<double> assign_cost(n, 0);
+  std::vector<int> assign_c(n, 0);
+
+  // Mean squared pairwise scale used to normalize the balance penalty.
+  double scale = 0;
+  {
+    std::size_t samples = std::min<std::size_t>(n, 256);
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i + 1 < samples; ++i) {
+      scale += SquaredEuclidean(points[i], points[i + 1]);
+      ++pairs;
+    }
+    scale = pairs ? scale / static_cast<double>(pairs) : 1.0;
+    if (scale <= 0) scale = 1.0;
+  }
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::fill(sizes.begin(), sizes.end(), std::size_t{0});
+    // Greedy balanced assignment: distance + penalty for over-full clusters.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double over = std::max(0.0, static_cast<double>(sizes[c]) - target_size);
+        double penalty = params.balance_weight * scale * over / target_size;
+        double d = SquaredEuclidean(points[i], result.centers[c]) + penalty;
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      assign_cost[i] = SquaredEuclidean(points[i], result.centers[static_cast<std::size_t>(best_c)]);
+      assign_c[i] = best_c;
+      ++sizes[static_cast<std::size_t>(best_c)];
+    }
+
+    // Auxiliary outlier cluster: the `budget` worst-fitting points.
+    std::vector<bool> is_outlier(n, false);
+    if (budget > 0) {
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::nth_element(order.begin(),
+                       order.begin() + static_cast<std::ptrdiff_t>(n - budget),
+                       order.end(), [&](std::size_t a, std::size_t b) {
+                         return assign_cost[a] < assign_cost[b];
+                       });
+      for (std::size_t i = n - budget; i < n; ++i) is_outlier[order[i]] = true;
+    }
+
+    // Center update from non-outlier points.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_outlier[i]) continue;
+      auto c = static_cast<std::size_t>(assign_c[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      std::vector<double> next(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += SquaredEuclidean(result.centers[c], next);
+      result.centers[c] = std::move(next);
+    }
+
+    // Final labels reflect this iteration's assignment.
+    result.inertia = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_outlier[i]) {
+        result.labels[i] = kNoise;
+      } else {
+        result.labels[i] = assign_c[i];
+        result.inertia += assign_cost[i];
+      }
+    }
+    if (movement <= 1e-8) break;
+  }
+  return result;
+}
+
+}  // namespace disc

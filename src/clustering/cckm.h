@@ -1,0 +1,35 @@
+#ifndef DISC_CLUSTERING_CCKM_H_
+#define DISC_CLUSTERING_CCKM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "clustering/kmeans.h"
+#include "clustering/labels.h"
+#include "common/relation.h"
+
+namespace disc {
+
+/// CCKM parameters (after Rujeerapaiboon et al.: cardinality-constrained
+/// clustering and outlier detection). An auxiliary outlier cluster with a
+/// fixed cardinality budget absorbs the points that fit worst, and cluster
+/// sizes are softly balanced toward n/k.
+struct CckmParams {
+  std::size_t k = 2;
+  /// Cardinality of the auxiliary outlier cluster.
+  std::size_t outlier_budget = 0;
+  /// Strength of the cluster-size balancing penalty (0 disables balancing).
+  double balance_weight = 0.1;
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Cardinality-constrained K-Means with an auxiliary outlier cluster.
+/// Assignment greedily minimizes distance plus a size-penalty term, and the
+/// `outlier_budget` worst-fitting points go to the auxiliary cluster
+/// (labeled kNoise).
+KMeansResult Cckm(const Relation& relation, const CckmParams& params);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_CCKM_H_

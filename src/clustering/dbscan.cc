@@ -1,0 +1,60 @@
+#include "clustering/dbscan.h"
+
+#include <deque>
+#include <memory>
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+Labels Dbscan(const Relation& relation, const DistanceEvaluator& evaluator,
+              const DbscanParams& params) {
+  const std::size_t n = relation.size();
+  Labels labels(n, kNoise);
+  if (n == 0) return labels;
+
+  std::unique_ptr<NeighborIndex> index =
+      MakeNeighborIndex(relation, evaluator, params.epsilon);
+
+  std::vector<bool> visited(n, false);
+  int next_cluster = 0;
+
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+
+    std::vector<Neighbor> seed_neighbors =
+        index->RangeQuery(relation[seed], params.epsilon);
+    if (seed_neighbors.size() < params.min_pts) {
+      continue;  // not a core point; may later become a border point
+    }
+
+    const int cluster = next_cluster++;
+    labels[seed] = cluster;
+
+    // Expand the cluster breadth-first through density-reachable points.
+    std::deque<std::size_t> frontier;
+    for (const Neighbor& nb : seed_neighbors) frontier.push_back(nb.row);
+
+    while (!frontier.empty()) {
+      std::size_t p = frontier.front();
+      frontier.pop_front();
+      if (labels[p] == kNoise) {
+        labels[p] = cluster;  // border or core — joins this cluster
+      }
+      if (visited[p]) continue;
+      visited[p] = true;
+      std::vector<Neighbor> nn = index->RangeQuery(relation[p], params.epsilon);
+      if (nn.size() >= params.min_pts) {
+        for (const Neighbor& nb : nn) {
+          if (!visited[nb.row] || labels[nb.row] == kNoise) {
+            frontier.push_back(nb.row);
+          }
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace disc

@@ -1,0 +1,30 @@
+#ifndef DISC_CLUSTERING_KMC_H_
+#define DISC_CLUSTERING_KMC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "clustering/kmeans.h"
+#include "clustering/labels.h"
+#include "common/relation.h"
+
+namespace disc {
+
+/// KMC parameters (after Chen: coresets for k-means). A small weighted
+/// kernel (coreset) is extracted by sensitivity-proportional sampling; the
+/// weighted Lloyd iterations run on the kernel only, and the resulting
+/// centers label the full dataset.
+struct KmcParams {
+  std::size_t k = 2;
+  /// Coreset size; 0 picks max(20·k, ceil(sqrt(n))) automatically.
+  std::size_t coreset_size = 0;
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 42;
+};
+
+/// Coreset-approximated K-Means.
+KMeansResult Kmc(const Relation& relation, const KmcParams& params);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_KMC_H_

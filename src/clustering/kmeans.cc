@@ -1,0 +1,126 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/random.h"
+
+namespace disc {
+
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, std::size_t k,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers;
+  const std::size_t n = points.size();
+  if (n == 0 || k == 0) return centers;
+  k = std::min(k, n);
+
+  centers.push_back(points[rng.NextIndex(n)]);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_sq[i] = std::min(min_sq[i], SquaredEuclidean(points[i], centers.back()));
+      total += min_sq[i];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with chosen centers; pick arbitrary.
+      centers.push_back(points[rng.NextIndex(n)]);
+      continue;
+    }
+    double target = rng.Uniform() * total;
+    std::size_t chosen = n - 1;
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += min_sq[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+namespace {
+
+/// One Lloyd run from a single k-means++ seeding.
+KMeansResult LloydOnce(const std::vector<std::vector<double>>& points,
+                       const KMeansParams& params, std::uint64_t seed) {
+  KMeansResult result;
+  const std::size_t n = points.size();
+  result.labels.assign(n, kNoise);
+  if (n == 0 || params.k == 0) return result;
+  const std::size_t k = std::min(params.k, n);
+  const std::size_t dims = points[0].size();
+
+  result.centers = KMeansPlusPlusInit(points, k, seed);
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = SquaredEuclidean(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.labels[i] = best_c;
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto c = static_cast<std::size_t>(result.labels[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      std::vector<double> next(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += SquaredEuclidean(result.centers[c], next);
+      result.centers[c] = std::move(next);
+    }
+    if (movement <= params.tolerance) break;
+  }
+
+  result.inertia = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredEuclidean(
+        points[i], result.centers[static_cast<std::size_t>(result.labels[i])]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeansOnPoints(const std::vector<std::vector<double>>& points,
+                            const KMeansParams& params) {
+  const std::size_t restarts = params.n_init == 0 ? 1 : params.n_init;
+  KMeansResult best;
+  bool first = true;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult run = LloydOnce(points, params, params.seed + 7919 * r);
+    if (first || run.inertia < best.inertia) {
+      best = std::move(run);
+      first = false;
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans(const Relation& relation, const KMeansParams& params) {
+  return KMeansOnPoints(ExtractPoints(relation), params);
+}
+
+}  // namespace disc

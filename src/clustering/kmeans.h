@@ -1,0 +1,50 @@
+#ifndef DISC_CLUSTERING_KMEANS_H_
+#define DISC_CLUSTERING_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "clustering/labels.h"
+#include "common/relation.h"
+
+namespace disc {
+
+/// Lloyd K-Means parameters.
+struct KMeansParams {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  /// Convergence threshold on total squared center movement.
+  double tolerance = 1e-8;
+  std::uint64_t seed = 42;
+  /// Independent k-means++ restarts; the run with the lowest inertia wins
+  /// (scikit-learn's n_init behaviour — guards against a bad seeding).
+  std::size_t n_init = 5;
+};
+
+/// Result of a K-Means style run: assignment plus the fitted centers and
+/// the final within-cluster sum of squares (the Lloyd objective).
+struct KMeansResult {
+  Labels labels;
+  std::vector<std::vector<double>> centers;
+  double inertia = 0;
+};
+
+/// Lloyd K-Means with k-means++ seeding. Numeric relations only — every
+/// point is assigned (no noise), as in the classical algorithm the paper
+/// contrasts against DBSCAN.
+KMeansResult KMeans(const Relation& relation, const KMeansParams& params);
+
+/// K-Means over pre-extracted dense points (building block shared by
+/// K-Means--, CCKM and KMC).
+KMeansResult KMeansOnPoints(const std::vector<std::vector<double>>& points,
+                            const KMeansParams& params);
+
+/// k-means++ center initialization over `points` (exposed for reuse).
+std::vector<std::vector<double>> KMeansPlusPlusInit(
+    const std::vector<std::vector<double>>& points, std::size_t k,
+    std::uint64_t seed);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_KMEANS_H_

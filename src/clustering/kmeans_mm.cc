@@ -1,0 +1,87 @@
+#include "clustering/kmeans_mm.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace disc {
+
+KMeansResult KMeansMM(const Relation& relation, const KMeansMMParams& params) {
+  std::vector<std::vector<double>> points = ExtractPoints(relation);
+  KMeansResult result;
+  const std::size_t n = points.size();
+  result.labels.assign(n, kNoise);
+  if (n == 0 || params.k == 0) return result;
+  const std::size_t k = std::min(params.k, n);
+  const std::size_t l = std::min(params.l, n > k ? n - k : 0);
+  const std::size_t dims = points[0].size();
+
+  result.centers = KMeansPlusPlusInit(points, k, params.seed);
+
+  std::vector<double> nearest_sq(n, 0);
+  std::vector<int> nearest_c(n, 0);
+  std::vector<bool> is_outlier(n, false);
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    // Distance of every point to its nearest center.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = SquaredEuclidean(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      nearest_sq[i] = best;
+      nearest_c[i] = best_c;
+    }
+
+    // The l farthest points become this iteration's outliers.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    if (l > 0) {
+      std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n - l),
+                       order.end(), [&](std::size_t a, std::size_t b) {
+                         return nearest_sq[a] < nearest_sq[b];
+                       });
+    }
+    std::fill(is_outlier.begin(), is_outlier.end(), false);
+    for (std::size_t i = n - l; i < n; ++i) is_outlier[order[i]] = true;
+
+    // Update centers from inliers only.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_outlier[i]) continue;
+      auto c = static_cast<std::size_t>(nearest_c[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      std::vector<double> next(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += SquaredEuclidean(result.centers[c], next);
+      result.centers[c] = std::move(next);
+    }
+    if (movement <= 1e-8) break;
+  }
+
+  result.inertia = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_outlier[i]) {
+      result.labels[i] = kNoise;
+    } else {
+      result.labels[i] = nearest_c[i];
+      result.inertia += nearest_sq[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace disc

@@ -1,0 +1,29 @@
+#ifndef DISC_CLUSTERING_KMEANS_MM_H_
+#define DISC_CLUSTERING_KMEANS_MM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "clustering/kmeans.h"
+#include "clustering/labels.h"
+#include "common/relation.h"
+
+namespace disc {
+
+/// K-Means-- parameters (Chawla & Gionis, SDM'13): cluster into k groups
+/// while simultaneously excluding the l points farthest from their nearest
+/// centers as outliers in every iteration.
+struct KMeansMMParams {
+  std::size_t k = 2;
+  std::size_t l = 0;  ///< number of outliers to exclude
+  std::size_t max_iterations = 100;
+  std::uint64_t seed = 42;
+};
+
+/// K-Means--: "a unified approach to clustering and outlier detection".
+/// Outlier points are labeled kNoise in the result.
+KMeansResult KMeansMM(const Relation& relation, const KMeansMMParams& params);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_KMEANS_MM_H_

@@ -1,0 +1,58 @@
+#include "clustering/labels.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace disc {
+
+std::size_t NumClusters(const Labels& labels) {
+  std::vector<int> ids;
+  for (int label : labels) {
+    if (label != kNoise) ids.push_back(label);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids.size();
+}
+
+std::size_t NumNoise(const Labels& labels) {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), kNoise));
+}
+
+Labels Canonicalize(const Labels& labels) {
+  Labels out(labels.size(), kNoise);
+  std::unordered_map<int, int> remap;
+  int next = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == kNoise) continue;
+    auto [it, inserted] = remap.emplace(labels[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ExtractPoints(const Relation& relation) {
+  std::vector<std::vector<double>> points;
+  points.reserve(relation.size());
+  const std::size_t m = relation.arity();
+  for (const Tuple& t : relation) {
+    std::vector<double> p(m);
+    for (std::size_t a = 0; a < m; ++a) p[a] = t[a].num();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+double SquaredEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace disc

@@ -1,0 +1,38 @@
+#ifndef DISC_CLUSTERING_LABELS_H_
+#define DISC_CLUSTERING_LABELS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+
+namespace disc {
+
+/// Cluster assignment: labels[i] is the cluster id of tuple i, or kNoise.
+using Labels = std::vector<int>;
+
+/// Label for points assigned to no cluster (DBSCAN noise, K-Means--
+/// outliers, CCKM auxiliary cluster members).
+inline constexpr int kNoise = -1;
+
+/// Number of distinct non-noise clusters in `labels`.
+std::size_t NumClusters(const Labels& labels);
+
+/// Number of noise points in `labels`.
+std::size_t NumNoise(const Labels& labels);
+
+/// Renumbers cluster ids to 0..k-1 in order of first appearance
+/// (noise stays kNoise).
+Labels Canonicalize(const Labels& labels);
+
+/// Extracts all-numeric rows as dense points. Requires an all-numeric
+/// schema; the backbone of the centroid-based algorithms.
+std::vector<std::vector<double>> ExtractPoints(const Relation& relation);
+
+/// Squared Euclidean distance between dense points of equal dimension.
+double SquaredEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_LABELS_H_

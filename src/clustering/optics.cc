@@ -1,0 +1,112 @@
+#include "clustering/optics.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Min-heap keyed by current reachability; lazily invalidated entries are
+/// skipped on pop (standard OPTICS seed-list implementation).
+struct Seed {
+  double reachability;
+  std::size_t row;
+  friend bool operator>(const Seed& a, const Seed& b) {
+    return a.reachability > b.reachability ||
+           (a.reachability == b.reachability && a.row > b.row);
+  }
+};
+
+}  // namespace
+
+std::vector<OpticsEntry> OpticsOrdering(const Relation& relation,
+                                        const DistanceEvaluator& evaluator,
+                                        const OpticsParams& params) {
+  const std::size_t n = relation.size();
+  std::vector<OpticsEntry> ordering;
+  ordering.reserve(n);
+  if (n == 0) return ordering;
+
+  std::unique_ptr<NeighborIndex> index =
+      MakeNeighborIndex(relation, evaluator, params.max_epsilon);
+
+  std::vector<bool> processed(n, false);
+  std::vector<double> reachability(n, kInf);
+
+  auto core_distance_of = [&](const std::vector<Neighbor>& neighbors) {
+    // Neighbors are sorted by distance and include the point itself; the
+    // core distance is the distance to the min_pts-th of them.
+    if (neighbors.size() < params.min_pts) return kInf;
+    return neighbors[params.min_pts - 1].distance;
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+
+    std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+    seeds.push({kInf, start});
+
+    while (!seeds.empty()) {
+      Seed seed = seeds.top();
+      seeds.pop();
+      std::size_t p = seed.row;
+      if (processed[p]) continue;  // stale heap entry
+      processed[p] = true;
+
+      std::vector<Neighbor> neighbors =
+          index->RangeQuery(relation[p], params.max_epsilon);
+      double core = core_distance_of(neighbors);
+
+      OpticsEntry entry;
+      entry.row = p;
+      entry.reachability = reachability[p];
+      entry.core_distance = core;
+      ordering.push_back(entry);
+
+      if (core == kInf) continue;  // not a core point: expands nothing
+      for (const Neighbor& nb : neighbors) {
+        if (processed[nb.row]) continue;
+        double reach = std::max(core, nb.distance);
+        if (reach < reachability[nb.row]) {
+          reachability[nb.row] = reach;
+          seeds.push({reach, nb.row});
+        }
+      }
+    }
+  }
+  return ordering;
+}
+
+Labels ExtractDbscanClustering(const std::vector<OpticsEntry>& ordering,
+                               double epsilon, std::size_t n) {
+  Labels labels(n, kNoise);
+  int cluster = -1;
+  for (const OpticsEntry& entry : ordering) {
+    if (entry.reachability > epsilon) {
+      if (entry.core_distance <= epsilon) {
+        ++cluster;  // starts a new cluster
+        labels[entry.row] = cluster;
+      }  // else noise
+    } else if (cluster >= 0) {
+      labels[entry.row] = cluster;
+    }
+  }
+  return labels;
+}
+
+Labels Optics(const Relation& relation, const DistanceEvaluator& evaluator,
+              const OpticsParams& params, double extraction_epsilon) {
+  std::vector<OpticsEntry> ordering =
+      OpticsOrdering(relation, evaluator, params);
+  return ExtractDbscanClustering(ordering, extraction_epsilon,
+                                 relation.size());
+}
+
+}  // namespace disc

@@ -1,0 +1,49 @@
+#ifndef DISC_CLUSTERING_OPTICS_H_
+#define DISC_CLUSTERING_OPTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/labels.h"
+#include "common/relation.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// OPTICS parameters (Ankerst et al., SIGMOD'99 — cited by the paper in §5
+/// as a density-based DBSCAN variant). `max_epsilon` caps the neighborhood
+/// search; `min_pts` is the core-point threshold.
+struct OpticsParams {
+  double max_epsilon = 1.0;
+  std::size_t min_pts = 4;
+};
+
+/// One entry of the OPTICS ordering: the visit order plus the reachability
+/// and core distances that encode the density structure.
+struct OpticsEntry {
+  std::size_t row = 0;
+  /// Reachability distance (infinity for the first point of a component).
+  double reachability = 0;
+  /// Core distance (infinity when the point is never a core point).
+  double core_distance = 0;
+};
+
+/// Computes the OPTICS cluster ordering of `relation`.
+std::vector<OpticsEntry> OpticsOrdering(const Relation& relation,
+                                        const DistanceEvaluator& evaluator,
+                                        const OpticsParams& params);
+
+/// Extracts a flat DBSCAN-equivalent clustering from an OPTICS ordering at
+/// threshold `epsilon` <= params.max_epsilon: consecutive ordering entries
+/// with reachability <= epsilon share a cluster; entries above it either
+/// start a new cluster (if core at `epsilon`) or become noise.
+Labels ExtractDbscanClustering(const std::vector<OpticsEntry>& ordering,
+                               double epsilon, std::size_t n);
+
+/// Convenience: ordering + extraction in one call.
+Labels Optics(const Relation& relation, const DistanceEvaluator& evaluator,
+              const OpticsParams& params, double extraction_epsilon);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_OPTICS_H_

@@ -1,0 +1,147 @@
+#include "clustering/srem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/random.h"
+
+namespace disc {
+
+namespace {
+
+struct GmmModel {
+  std::vector<std::vector<double>> means;
+  std::vector<double> variances;  // spherical: one variance per component
+  std::vector<double> weights;
+  double log_likelihood = -std::numeric_limits<double>::infinity();
+};
+
+double LogGaussianSpherical(const std::vector<double>& x,
+                            const std::vector<double>& mean, double variance) {
+  const auto d = static_cast<double>(x.size());
+  double sq = SquaredEuclidean(x, mean);
+  return -0.5 * (d * std::log(2.0 * std::numbers::pi * variance) + sq / variance);
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double max_x = -std::numeric_limits<double>::infinity();
+  for (double x : xs) max_x = std::max(max_x, x);
+  if (!std::isfinite(max_x)) return max_x;
+  double sum = 0;
+  for (double x : xs) sum += std::exp(x - max_x);
+  return max_x + std::log(sum);
+}
+
+GmmModel FitOnce(const std::vector<std::vector<double>>& points,
+                 const SremParams& params, std::uint64_t seed) {
+  const std::size_t n = points.size();
+  const std::size_t k = std::min(params.k, n);
+  const std::size_t dims = points[0].size();
+
+  GmmModel model;
+  model.means = KMeansPlusPlusInit(points, k, seed);
+  // Initial variance: mean squared distance to the nearest initial mean.
+  double init_var = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      best = std::min(best, SquaredEuclidean(points[i], model.means[c]));
+    }
+    init_var += best;
+  }
+  init_var = std::max(init_var / (static_cast<double>(n) * static_cast<double>(dims)), 1e-6);
+  model.variances.assign(k, init_var);
+  model.weights.assign(k, 1.0 / static_cast<double>(k));
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    // E step.
+    double ll = 0;
+    std::vector<double> log_terms(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        log_terms[c] = std::log(std::max(model.weights[c], 1e-300)) +
+                       LogGaussianSpherical(points[i], model.means[c],
+                                            model.variances[c]);
+      }
+      double norm = LogSumExp(log_terms);
+      ll += norm;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp[i][c] = std::exp(log_terms[c] - norm);
+      }
+    }
+    model.log_likelihood = ll;
+    if (std::fabs(ll - prev_ll) < params.tolerance * (1.0 + std::fabs(ll))) {
+      break;
+    }
+    prev_ll = ll;
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double nk = 0;
+      for (std::size_t i = 0; i < n; ++i) nk += resp[i][c];
+      nk = std::max(nk, 1e-12);
+      model.weights[c] = nk / static_cast<double>(n);
+      std::vector<double> mean(dims, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t d = 0; d < dims; ++d) mean[d] += resp[i][c] * points[i][d];
+      }
+      for (std::size_t d = 0; d < dims; ++d) mean[d] /= nk;
+      double var = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        var += resp[i][c] * SquaredEuclidean(points[i], mean);
+      }
+      var = var / (nk * static_cast<double>(dims));
+      model.means[c] = std::move(mean);
+      model.variances[c] = std::max(var, 1e-9);
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+SremResult Srem(const Relation& relation, const SremParams& params) {
+  std::vector<std::vector<double>> points = ExtractPoints(relation);
+  SremResult result;
+  const std::size_t n = points.size();
+  result.labels.assign(n, kNoise);
+  if (n == 0 || params.k == 0) return result;
+  const std::size_t k = std::min(params.k, n);
+
+  // Stability-by-restart: fit from several perturbed initializations and
+  // keep the converged model with the best likelihood.
+  GmmModel best;
+  Rng rng(params.seed);
+  for (std::size_t r = 0; r < std::max<std::size_t>(params.restarts, 1); ++r) {
+    GmmModel model = FitOnce(points, params, rng.NextU64());
+    if (model.log_likelihood > best.log_likelihood) best = std::move(model);
+  }
+
+  result.log_likelihood = best.log_likelihood;
+  result.means = best.means;
+  result.variances = best.variances;
+  result.weights = best.weights;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double score = std::log(std::max(best.weights[c], 1e-300)) +
+                     LogGaussianSpherical(points[i], best.means[c],
+                                          best.variances[c]);
+      if (score > best_score) {
+        best_score = score;
+        best_c = static_cast<int>(c);
+      }
+    }
+    result.labels[i] = best_c;
+  }
+  return result;
+}
+
+}  // namespace disc

@@ -1,0 +1,41 @@
+#ifndef DISC_CLUSTERING_SREM_H_
+#define DISC_CLUSTERING_SREM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "clustering/kmeans.h"
+#include "clustering/labels.h"
+#include "common/relation.h"
+
+namespace disc {
+
+/// SREM parameters (after Reddy et al.: stability-region-based EM for
+/// model-based clustering). A spherical Gaussian mixture is fitted with EM
+/// from several perturbed restarts; the restart whose converged model has
+/// the best log-likelihood (the most stable basin reached) is kept, which
+/// reduces sensitivity to initial points.
+struct SremParams {
+  std::size_t k = 2;
+  std::size_t restarts = 5;
+  std::size_t max_iterations = 60;
+  double tolerance = 1e-6;
+  std::uint64_t seed = 42;
+};
+
+/// Result of an SREM fit: hard assignment by maximum responsibility plus
+/// model log-likelihood.
+struct SremResult {
+  Labels labels;
+  double log_likelihood = 0;
+  std::vector<std::vector<double>> means;
+  std::vector<double> variances;
+  std::vector<double> weights;
+};
+
+/// Multi-restart spherical-GMM EM clustering.
+SremResult Srem(const Relation& relation, const SremParams& params);
+
+}  // namespace disc
+
+#endif  // DISC_CLUSTERING_SREM_H_

@@ -1,0 +1,127 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/stringutil.h"
+
+namespace disc {
+
+namespace {
+
+std::vector<std::vector<std::string>> SplitRows(const std::string& text,
+                                                char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    rows.push_back(Split(line, sep));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> rows = SplitRows(text, options.separator);
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV input has no rows");
+  }
+
+  std::vector<std::string> names;
+  std::size_t first_data = 0;
+  if (options.has_header) {
+    for (const std::string& cell : rows[0]) names.push_back(Trim(cell));
+    first_data = 1;
+  } else {
+    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+      names.push_back("a" + std::to_string(i));
+    }
+  }
+  const std::size_t arity = names.size();
+
+  for (std::size_t row = first_data; row < rows.size(); ++row) {
+    if (rows[row].size() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("CSV row %zu has %zu fields, expected %zu", row,
+                    rows[row].size(), arity));
+    }
+  }
+
+  // Infer kinds: a column is numeric iff every cell parses as a double.
+  std::vector<ValueKind> kinds(arity, ValueKind::kString);
+  if (options.infer_kinds) {
+    for (std::size_t col = 0; col < arity; ++col) {
+      bool numeric = rows.size() > first_data;
+      for (std::size_t row = first_data; row < rows.size() && numeric; ++row) {
+        double unused;
+        numeric = ParseDouble(rows[row][col], &unused);
+      }
+      kinds[col] = numeric ? ValueKind::kNumeric : ValueKind::kString;
+    }
+  }
+
+  std::vector<AttributeDef> defs;
+  defs.reserve(arity);
+  for (std::size_t col = 0; col < arity; ++col) {
+    defs.push_back({names[col], kinds[col]});
+  }
+  Relation relation{Schema(std::move(defs))};
+
+  for (std::size_t row = first_data; row < rows.size(); ++row) {
+    Tuple t;
+    for (std::size_t col = 0; col < arity; ++col) {
+      if (kinds[col] == ValueKind::kNumeric) {
+        double v = 0;
+        ParseDouble(rows[row][col], &v);
+        t.push_back(Value(v));
+      } else {
+        t.push_back(Value(Trim(rows[row][col])));
+      }
+    }
+    relation.AppendUnchecked(std::move(t));
+  }
+  return relation;
+}
+
+Result<Relation> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Relation& relation, char separator) {
+  std::ostringstream out;
+  const Schema& schema = relation.schema();
+  for (std::size_t col = 0; col < schema.arity(); ++col) {
+    if (col > 0) out << separator;
+    out << schema.name(col);
+  }
+  out << '\n';
+  for (const Tuple& t : relation) {
+    for (std::size_t col = 0; col < t.size(); ++col) {
+      if (col > 0) out << separator;
+      out << t[col].ToString();
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsv(const Relation& relation, const std::string& path,
+                char separator) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << ToCsv(relation, separator);
+  return out ? Status::OK() : Status::IoError("write failed for " + path);
+}
+
+}  // namespace disc

@@ -1,0 +1,36 @@
+#ifndef DISC_COMMON_CSV_H_
+#define DISC_COMMON_CSV_H_
+
+#include <string>
+
+#include "common/relation.h"
+#include "common/status.h"
+
+namespace disc {
+
+/// Options controlling CSV reading.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// When true, columns whose every value parses as a double become numeric
+  /// attributes; otherwise they become string attributes.
+  bool infer_kinds = true;
+};
+
+/// Reads a relation from a CSV file. Column kinds are inferred unless
+/// `options.infer_kinds` is false (then every column is a string).
+Result<Relation> ReadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// Parses a relation from CSV text (same semantics as ReadCsv).
+Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options = {});
+
+/// Writes a relation to a CSV file with a header row.
+Status WriteCsv(const Relation& relation, const std::string& path,
+                char separator = ',');
+
+/// Serializes a relation to CSV text with a header row.
+std::string ToCsv(const Relation& relation, char separator = ',');
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_CSV_H_

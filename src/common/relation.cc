@@ -1,0 +1,108 @@
+#include "common/relation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace disc {
+
+Schema Schema::Numeric(std::size_t arity) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(arity);
+  for (std::size_t i = 0; i < arity; ++i) {
+    defs.push_back({"a" + std::to_string(i), ValueKind::kNumeric});
+  }
+  return Schema(std::move(defs));
+}
+
+Schema Schema::NumericNamed(const std::vector<std::string>& names) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(names.size());
+  for (const std::string& name : names) {
+    defs.push_back({name, ValueKind::kNumeric});
+  }
+  return Schema(std::move(defs));
+}
+
+Schema Schema::StringNamed(const std::vector<std::string>& names) {
+  std::vector<AttributeDef> defs;
+  defs.reserve(names.size());
+  for (const std::string& name : names) {
+    defs.push_back({name, ValueKind::kString});
+  }
+  return Schema(std::move(defs));
+}
+
+std::size_t Schema::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return npos;
+}
+
+bool Schema::all_numeric() const {
+  return std::all_of(attributes_.begin(), attributes_.end(),
+                     [](const AttributeDef& def) {
+                       return def.kind == ValueKind::kNumeric;
+                     });
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attributes_.size() != b.attributes_.size()) return false;
+  for (std::size_t i = 0; i < a.attributes_.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].kind != b.attributes_[i].kind) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(schema_.arity()));
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Relation Relation::Select(const std::vector<std::size_t>& rows) const {
+  Relation out(schema_);
+  out.tuples_.reserve(rows.size());
+  for (std::size_t row : rows) out.tuples_.push_back(tuples_[row]);
+  return out;
+}
+
+std::vector<Value> Relation::Domain(std::size_t a) const {
+  std::set<Value> distinct;
+  for (const Tuple& t : tuples_) distinct.insert(t[a]);
+  return std::vector<Value>(distinct.begin(), distinct.end());
+}
+
+std::size_t Relation::MaxDomainSize() const {
+  std::size_t best = 0;
+  for (std::size_t a = 0; a < arity(); ++a) {
+    best = std::max(best, Domain(a).size());
+  }
+  return best;
+}
+
+Relation::NumericRange Relation::Range(std::size_t a) const {
+  NumericRange r;
+  bool first = true;
+  for (const Tuple& t : tuples_) {
+    if (!t[a].is_numeric()) continue;
+    double v = t[a].num();
+    if (first) {
+      r.min = r.max = v;
+      first = false;
+    } else {
+      r.min = std::min(r.min, v);
+      r.max = std::max(r.max, v);
+    }
+  }
+  return r;
+}
+
+}  // namespace disc

@@ -1,0 +1,120 @@
+#ifndef DISC_COMMON_RELATION_H_
+#define DISC_COMMON_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace disc {
+
+/// Declaration of one attribute: a name and a value kind.
+struct AttributeDef {
+  std::string name;
+  ValueKind kind = ValueKind::kNumeric;
+};
+
+/// A relation scheme R: an ordered list of attribute definitions.
+class Schema {
+ public:
+  /// Constructs an empty schema.
+  Schema() = default;
+  /// Constructs from attribute definitions.
+  explicit Schema(std::vector<AttributeDef> attributes)
+      : attributes_(std::move(attributes)) {}
+  /// Convenience: an all-numeric schema with names "a0".."a{m-1}".
+  static Schema Numeric(std::size_t arity);
+  /// Convenience: an all-numeric schema with the given names.
+  static Schema NumericNamed(const std::vector<std::string>& names);
+  /// Convenience: an all-string schema with the given names.
+  static Schema StringNamed(const std::vector<std::string>& names);
+
+  /// Number of attributes m.
+  std::size_t arity() const { return attributes_.size(); }
+  /// Attribute definition at index `i`.
+  const AttributeDef& attribute(std::size_t i) const { return attributes_[i]; }
+  /// The kind of attribute `i`.
+  ValueKind kind(std::size_t i) const { return attributes_[i].kind; }
+  /// The name of attribute `i`.
+  const std::string& name(std::size_t i) const { return attributes_[i].name; }
+  /// Index of the attribute with `name`, or npos if absent.
+  std::size_t IndexOf(const std::string& name) const;
+  /// Sentinel returned by IndexOf.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// True iff every attribute is numeric.
+  bool all_numeric() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+/// A relation instance: a schema plus a list of tuples.
+///
+/// Relation is the dataset container used by every subsystem (indexing,
+/// constraints, saving, clustering, cleaning). It is a value type.
+class Relation {
+ public:
+  /// Constructs an empty relation with an empty schema.
+  Relation() = default;
+  /// Constructs an empty relation with the given schema.
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  /// Constructs from a schema and tuples (tuples must match the arity).
+  Relation(Schema schema, std::vector<Tuple> tuples)
+      : schema_(std::move(schema)), tuples_(std::move(tuples)) {}
+
+  /// The schema.
+  const Schema& schema() const { return schema_; }
+  /// Number of tuples n.
+  std::size_t size() const { return tuples_.size(); }
+  /// Number of attributes m.
+  std::size_t arity() const { return schema_.arity(); }
+  /// True iff the relation has no tuples.
+  bool empty() const { return tuples_.empty(); }
+
+  /// Tuple at row `i` (unchecked).
+  const Tuple& operator[](std::size_t i) const { return tuples_[i]; }
+  Tuple& operator[](std::size_t i) { return tuples_[i]; }
+
+  /// All tuples.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+  /// Appends a tuple. Returns InvalidArgument if the arity mismatches.
+  Status Append(Tuple tuple);
+  /// Appends a tuple without arity checking (hot paths, generators).
+  void AppendUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  /// Returns the sub-relation with the given row indices, preserving order.
+  Relation Select(const std::vector<std::size_t>& rows) const;
+
+  /// Distinct values of attribute `a`, sorted. This is the attribute domain
+  /// used by the exact enumeration algorithm (paper §2.3).
+  std::vector<Value> Domain(std::size_t a) const;
+
+  /// Size of the largest attribute domain (the "domain" column of Table 1).
+  std::size_t MaxDomainSize() const;
+
+  /// Per-attribute min/max over numeric attributes (strings yield {0,0}).
+  struct NumericRange {
+    double min = 0;
+    double max = 0;
+  };
+  NumericRange Range(std::size_t a) const;
+
+  std::vector<Tuple>::const_iterator begin() const { return tuples_.begin(); }
+  std::vector<Tuple>::const_iterator end() const { return tuples_.end(); }
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_RELATION_H_

@@ -1,0 +1,90 @@
+#ifndef DISC_COMMON_STATUS_H_
+#define DISC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace disc {
+
+/// Error codes used across the library. Public APIs report failures through
+/// Status / Result instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight status object: a code plus a human-readable message.
+/// An OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string message);
+  /// Returns a NotFound status with the given message.
+  static Status NotFound(std::string message);
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string message);
+  /// Returns a FailedPrecondition status with the given message.
+  static Status FailedPrecondition(std::string message);
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string message);
+  /// Returns an IoError status with the given message.
+  static Status IoError(std::string message);
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The message (empty for OK).
+  const std::string& message() const { return message_; }
+
+  /// A short "CODE: message" rendering for logs.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Result<T>: either a value or an error status. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The error status (OK when a value is present).
+  const Status& status() const { return status_; }
+  /// The held value; must only be called when ok().
+  const T& value() const& { return value_; }
+  /// Moves the held value out; must only be called when ok().
+  T&& value() && { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef DISC_COMMON_STRINGUTIL_H_
+#define DISC_COMMON_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disc {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// True iff `s` parses fully as a floating-point number.
+bool ParseDouble(std::string_view s, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_STRINGUTIL_H_

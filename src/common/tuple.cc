@@ -1,0 +1,73 @@
+#include "common/tuple.h"
+
+#include <bit>
+#include <sstream>
+
+namespace disc {
+
+Tuple Tuple::Numeric(std::initializer_list<double> values) {
+  Tuple t;
+  t.values_.reserve(values.size());
+  for (double v : values) t.values_.emplace_back(v);
+  return t;
+}
+
+Tuple Tuple::FromDoubles(const std::vector<double>& values) {
+  Tuple t;
+  t.values_.reserve(values.size());
+  for (double v : values) t.values_.emplace_back(v);
+  return t;
+}
+
+std::vector<double> Tuple::ToDoubles() const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (const Value& v : values_) {
+    if (v.is_numeric()) out.push_back(v.num());
+  }
+  return out;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple) {
+  return os << tuple.ToString();
+}
+
+AttributeSet::AttributeSet(std::initializer_list<std::size_t> indices)
+    : bits_(0) {
+  for (std::size_t i : indices) insert(i);
+}
+
+AttributeSet AttributeSet::Full(std::size_t arity) {
+  if (arity >= 64) return AttributeSet(~std::uint64_t{0});
+  return AttributeSet((std::uint64_t{1} << arity) - 1);
+}
+
+std::size_t AttributeSet::size() const {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+AttributeSet AttributeSet::ComplementIn(std::size_t arity) const {
+  return AttributeSet(Full(arity).bits() & ~bits_);
+}
+
+std::vector<std::size_t> AttributeSet::ToIndices() const {
+  std::vector<std::size_t> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (contains(i)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace disc

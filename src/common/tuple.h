@@ -1,0 +1,117 @@
+#ifndef DISC_COMMON_TUPLE_H_
+#define DISC_COMMON_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace disc {
+
+/// A tuple over a relation scheme: an ordered list of attribute Values.
+///
+/// Tuples are value types (copyable/movable); the schema lives in Relation.
+class Tuple {
+ public:
+  /// Constructs an empty tuple.
+  Tuple() = default;
+  /// Constructs a tuple with `arity` default (numeric 0) values.
+  explicit Tuple(std::size_t arity) : values_(arity) {}
+  /// Constructs a tuple from a list of values.
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  /// Constructs a tuple from a vector of values.
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  /// Constructs an all-numeric tuple from doubles.
+  static Tuple Numeric(std::initializer_list<double> values);
+  /// Constructs an all-numeric tuple from a vector of doubles.
+  static Tuple FromDoubles(const std::vector<double>& values);
+
+  /// Number of attributes.
+  std::size_t size() const { return values_.size(); }
+  /// True iff the tuple has no attributes.
+  bool empty() const { return values_.empty(); }
+
+  /// Access attribute `i` (unchecked).
+  const Value& operator[](std::size_t i) const { return values_[i]; }
+  Value& operator[](std::size_t i) { return values_[i]; }
+
+  /// Appends a value.
+  void push_back(Value v) { values_.push_back(std::move(v)); }
+
+  /// The underlying value vector.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Extracts all numeric attributes as doubles; string attributes are
+  /// skipped. Useful for purely numeric relations.
+  std::vector<double> ToDoubles() const;
+
+  /// Renders as "(v1, v2, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+
+  std::vector<Value>::const_iterator begin() const { return values_.begin(); }
+  std::vector<Value>::const_iterator end() const { return values_.end(); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
+
+/// A set of attribute indices, e.g. the unadjusted attributes X in the DISC
+/// algorithm. Represented as a bitmask; supports up to 64 attributes, which
+/// covers every dataset in the paper (max 57 for Spam).
+class AttributeSet {
+ public:
+  /// Constructs the empty set.
+  AttributeSet() : bits_(0) {}
+  /// Constructs from a raw bitmask.
+  explicit AttributeSet(std::uint64_t bits) : bits_(bits) {}
+  /// Constructs from a list of attribute indices.
+  AttributeSet(std::initializer_list<std::size_t> indices);
+
+  /// The full set {0, ..., arity-1}.
+  static AttributeSet Full(std::size_t arity);
+
+  /// True iff attribute `i` is in the set.
+  bool contains(std::size_t i) const { return (bits_ >> i) & 1u; }
+  /// Adds attribute `i`.
+  void insert(std::size_t i) { bits_ |= (std::uint64_t{1} << i); }
+  /// Removes attribute `i`.
+  void erase(std::size_t i) { bits_ &= ~(std::uint64_t{1} << i); }
+  /// Number of attributes in the set.
+  std::size_t size() const;
+  /// True iff the set is empty.
+  bool empty() const { return bits_ == 0; }
+
+  /// Returns this set with `i` added (non-mutating).
+  AttributeSet With(std::size_t i) const {
+    return AttributeSet(bits_ | (std::uint64_t{1} << i));
+  }
+  /// Set complement w.r.t. {0, ..., arity-1}.
+  AttributeSet ComplementIn(std::size_t arity) const;
+
+  /// The raw bitmask (usable as a hash/memo key).
+  std::uint64_t bits() const { return bits_; }
+
+  /// The member indices in increasing order.
+  std::vector<std::size_t> ToIndices() const;
+
+  friend bool operator==(const AttributeSet& a, const AttributeSet& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uint64_t bits_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_TUPLE_H_

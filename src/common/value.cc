@@ -1,0 +1,25 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace disc {
+
+std::string Value::ToString() const {
+  if (is_string()) return str();
+  double v = num();
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace disc

@@ -1,0 +1,78 @@
+#ifndef DISC_COMMON_VALUE_H_
+#define DISC_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace disc {
+
+/// The kind of a Value / attribute.
+enum class ValueKind : std::uint8_t {
+  kNumeric = 0,  ///< Stored as double (absolute-difference metric).
+  kString = 1,   ///< Stored as std::string (edit-distance metric).
+};
+
+/// A single attribute value: either a numeric (double) or a string.
+///
+/// Value is the atom the whole library operates on. Tuples are vectors of
+/// Values; distance functions dispatch on the kind. A Value is cheap to copy
+/// for numerics and copies the payload for strings.
+class Value {
+ public:
+  /// Constructs the numeric value 0.
+  Value() : data_(0.0) {}
+  /// Constructs a numeric value.
+  explicit Value(double v) : data_(v) {}
+  /// Constructs a numeric value from an integer.
+  explicit Value(int v) : data_(static_cast<double>(v)) {}
+  /// Constructs a string value.
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  /// Constructs a string value from a C string.
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  /// The kind of this value.
+  ValueKind kind() const {
+    return std::holds_alternative<double>(data_) ? ValueKind::kNumeric
+                                                 : ValueKind::kString;
+  }
+  /// True iff this is a numeric value.
+  bool is_numeric() const { return kind() == ValueKind::kNumeric; }
+  /// True iff this is a string value.
+  bool is_string() const { return kind() == ValueKind::kString; }
+
+  /// The numeric payload; must only be called when is_numeric().
+  double num() const { return std::get<double>(data_); }
+  /// The string payload; must only be called when is_string().
+  const std::string& str() const { return std::get<std::string>(data_); }
+
+  /// Sets this value to a numeric.
+  void set_num(double v) { data_ = v; }
+  /// Sets this value to a string.
+  void set_str(std::string v) { data_ = std::move(v); }
+
+  /// Renders the value for display (numeric with minimal digits).
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Orders numerics before strings; within a kind uses natural order.
+  /// Provided so Values can key ordered containers (attribute domains).
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+ private:
+  std::variant<double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_VALUE_H_

@@ -1,0 +1,47 @@
+#include "constraints/distance_constraint.h"
+
+namespace disc {
+
+bool SatisfiesConstraint(const NeighborIndex& index, const Tuple& tuple,
+                         const DistanceConstraint& constraint) {
+  // Early exit once eta matches are found.
+  std::size_t count =
+      index.CountWithin(tuple, constraint.epsilon, constraint.eta);
+  return count >= constraint.eta;
+}
+
+InlierOutlierSplit SplitInliersOutliers(const Relation& relation,
+                                        const NeighborIndex& index,
+                                        const DistanceConstraint& constraint) {
+  InlierOutlierSplit split;
+  for (std::size_t row = 0; row < relation.size(); ++row) {
+    // The tuple is indexed, so its self-match (distance 0) is included in
+    // the count, matching Formula 4.
+    if (SatisfiesConstraint(index, relation[row], constraint)) {
+      split.inlier_rows.push_back(row);
+    } else {
+      split.outlier_rows.push_back(row);
+    }
+  }
+  return split;
+}
+
+std::vector<std::size_t> NeighborCounts(
+    const Relation& relation, const NeighborIndex& index, double epsilon,
+    const std::vector<std::size_t>* sample_rows) {
+  std::vector<std::size_t> counts;
+  if (sample_rows != nullptr) {
+    counts.reserve(sample_rows->size());
+    for (std::size_t row : *sample_rows) {
+      counts.push_back(index.CountWithin(relation[row], epsilon));
+    }
+  } else {
+    counts.reserve(relation.size());
+    for (std::size_t row = 0; row < relation.size(); ++row) {
+      counts.push_back(index.CountWithin(relation[row], epsilon));
+    }
+  }
+  return counts;
+}
+
+}  // namespace disc

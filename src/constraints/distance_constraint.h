@@ -1,0 +1,53 @@
+#ifndef DISC_CONSTRAINTS_DISTANCE_CONSTRAINT_H_
+#define DISC_CONSTRAINTS_DISTANCE_CONSTRAINT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// The distance constraint (ε, η) of Definition 1: a tuple with at least η
+/// ε-neighbors in r belongs to a cluster with high probability; a tuple with
+/// fewer is an outlier (a violation).
+struct DistanceConstraint {
+  double epsilon = 1.0;
+  std::size_t eta = 2;
+};
+
+/// Result of partitioning a dataset into inliers r and outliers s (§2.2).
+struct InlierOutlierSplit {
+  /// Row indices (into the original relation) of inliers, in order.
+  std::vector<std::size_t> inlier_rows;
+  /// Row indices of outliers, in order.
+  std::vector<std::size_t> outlier_rows;
+};
+
+/// Checks whether `tuple` satisfies the constraint w.r.t. the indexed set.
+/// `self_counts` adds 1 to the neighbor count for tuples that are part of
+/// the indexed relation (per Formula 4, a tuple is its own ε-neighbor); pass
+/// false when querying a tuple that is itself indexed (its self-match is
+/// then already in the count).
+bool SatisfiesConstraint(const NeighborIndex& index, const Tuple& tuple,
+                         const DistanceConstraint& constraint);
+
+/// Splits `relation` into inliers (>= η ε-neighbors within the full
+/// relation, self included) and outliers. This is the split the paper uses
+/// before saving: r keeps the constraint-satisfying tuples, s the violations.
+InlierOutlierSplit SplitInliersOutliers(const Relation& relation,
+                                        const NeighborIndex& index,
+                                        const DistanceConstraint& constraint);
+
+/// Neighbor-count histogram support: the number of ε-neighbors (self
+/// included) of every tuple in `relation`, optionally over a row sample.
+/// Powers the Figure 5 distribution plots and parameter selection.
+std::vector<std::size_t> NeighborCounts(const Relation& relation,
+                                        const NeighborIndex& index,
+                                        double epsilon,
+                                        const std::vector<std::size_t>* sample_rows = nullptr);
+
+}  // namespace disc
+
+#endif  // DISC_CONSTRAINTS_DISTANCE_CONSTRAINT_H_

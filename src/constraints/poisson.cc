@@ -1,0 +1,61 @@
+#include "constraints/poisson.h"
+
+#include <cmath>
+
+namespace disc {
+
+double PoissonModel::Pmf(std::size_t k) const {
+  if (lambda_epsilon_ <= 0) return k == 0 ? 1.0 : 0.0;
+  // log p = k·log λε − λε − log k!
+  double log_p = static_cast<double>(k) * std::log(lambda_epsilon_) -
+                 lambda_epsilon_ - std::lgamma(static_cast<double>(k) + 1.0);
+  return std::exp(log_p);
+}
+
+double PoissonModel::Cdf(std::size_t k) const {
+  // Sum pmf terms computed in log space (the naive recurrence starting from
+  // pmf(0) = e^{-λ} underflows to a hard zero for λ beyond ~700). Terms
+  // below double's denormal range contribute less than 1e-300 to the CDF
+  // and can be treated as zero safely.
+  if (lambda_epsilon_ <= 0) return 1.0;
+  const double log_lambda = std::log(lambda_epsilon_);
+  double sum = 0;
+  for (std::size_t i = 0; i <= k; ++i) {
+    double log_term = static_cast<double>(i) * log_lambda - lambda_epsilon_ -
+                      std::lgamma(static_cast<double>(i) + 1.0);
+    sum += std::exp(log_term);
+    // Past the mode the terms decay geometrically; once negligible, stop.
+    if (static_cast<double>(i) > lambda_epsilon_ && log_term < -45.0) break;
+  }
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double PoissonModel::ProbAtLeast(std::size_t eta) const {
+  if (eta == 0) return 1.0;
+  return 1.0 - Cdf(eta - 1);
+}
+
+std::size_t PoissonModel::LargestEtaWithConfidence(double confidence) const {
+  // p(N >= η) >= confidence  ⇔  Cdf(η − 1) <= 1 − confidence. Accumulate
+  // the CDF once (log-space terms, as in Cdf) and return the largest η
+  // whose prefix stays under the allowance.
+  if (ProbAtLeast(1) < confidence) return 0;
+  if (lambda_epsilon_ <= 0) return 0;
+  const double allowance = 1.0 - confidence;
+  const double log_lambda = std::log(lambda_epsilon_);
+  // An upper bound far beyond the mean suffices: P(N >= λε + 20√λε) ≈ 0.
+  const std::size_t limit = static_cast<std::size_t>(
+      lambda_epsilon_ + 20 * std::sqrt(lambda_epsilon_ + 1.0)) + 2;
+  double cdf = 0;
+  std::size_t eta = 1;
+  for (std::size_t k = 0; k + 1 <= limit; ++k) {
+    double log_term = static_cast<double>(k) * log_lambda - lambda_epsilon_ -
+                      std::lgamma(static_cast<double>(k) + 1.0);
+    cdf += std::exp(log_term);
+    if (cdf > allowance) break;
+    eta = k + 1;  // Cdf(k) <= allowance ⇒ p(N >= k+1) >= confidence
+  }
+  return eta > 1 ? eta : 1;
+}
+
+}  // namespace disc

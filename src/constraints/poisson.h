@@ -1,0 +1,44 @@
+#ifndef DISC_CONSTRAINTS_POISSON_H_
+#define DISC_CONSTRAINTS_POISSON_H_
+
+#include <cstddef>
+
+namespace disc {
+
+/// Poisson statistics for the number of ε-neighbors (paper §2.1.2).
+///
+/// Under the Poisson-process model of nearest-neighbor appearance, the
+/// number N(ε) of ε-neighbors of a clustered tuple follows
+/// p(N(ε) = k) = (λε)^k / k! · e^{-λε}  (Formula 2), and the probability of
+/// having at least η neighbors is the complementary CDF (Formula 3).
+class PoissonModel {
+ public:
+  /// Constructs the model with rate `lambda_epsilon` = λ·ε, i.e. the mean
+  /// number of ε-neighbors.
+  explicit PoissonModel(double lambda_epsilon)
+      : lambda_epsilon_(lambda_epsilon) {}
+
+  /// The rate λ·ε.
+  double rate() const { return lambda_epsilon_; }
+
+  /// p(N(ε) = k), Formula 2. Computed in log space for large rates.
+  double Pmf(std::size_t k) const;
+
+  /// p(N(ε) <= k), the CDF.
+  double Cdf(std::size_t k) const;
+
+  /// p(N(ε) >= eta), Formula 3.
+  double ProbAtLeast(std::size_t eta) const;
+
+  /// The largest η with p(N(ε) >= η) >= `confidence`; returns 0 if even
+  /// η = 1 fails. This is the paper's η selection rule (e.g. η = 18 at
+  /// λε = 51.36 gives p ≈ 0.99 on the Letter dataset).
+  std::size_t LargestEtaWithConfidence(double confidence) const;
+
+ private:
+  double lambda_epsilon_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CONSTRAINTS_POISSON_H_

@@ -1,0 +1,227 @@
+#include "core/disc_saver.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+AttributeSet ChangedAttributes(const Tuple& original, const Tuple& adjusted) {
+  AttributeSet changed;
+  for (std::size_t a = 0; a < original.size() && a < 64; ++a) {
+    if (!(original[a] == adjusted[a])) changed.insert(a);
+  }
+  return changed;
+}
+
+DiscSaver::DiscSaver(const Relation& inliers,
+                     const DistanceEvaluator& evaluator,
+                     DistanceConstraint constraint)
+    : inliers_(inliers), evaluator_(evaluator), constraint_(constraint) {
+  index_ = MakeNeighborIndex(inliers_, evaluator_, constraint_.epsilon);
+  cache_ = std::make_unique<KthNeighborCache>(inliers_, *index_,
+                                              constraint_.eta);
+  bounds_ = std::make_unique<BoundsEngine>(inliers_, evaluator_, *index_,
+                                           *cache_, constraint_);
+}
+
+struct DiscSaver::SearchState {
+  double best_cost = std::numeric_limits<double>::infinity();
+  Tuple best_adjusted;
+  bool found = false;
+  std::unordered_set<std::uint64_t> visited;
+  std::size_t pruned = 0;
+  bool budget_exhausted = false;
+};
+
+void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
+                        const SaveOptions& options,
+                        SearchState* state) const {
+  if (state->budget_exhausted) return;
+  if (!state->visited.insert(x.bits()).second) {
+    return;  // this X was already processed (§3.3.1)
+  }
+  if (options.max_visited_sets != 0 &&
+      state->visited.size() > options.max_visited_sets) {
+    state->budget_exhausted = true;
+    return;
+  }
+
+  // Lower bound (Algorithm 1 lines 1-3, Proposition 3): any adjustment that
+  // keeps X fixed costs at least LB(X); supersets of X only cost more, so
+  // the whole subtree is cut when LB(X) >= incumbent.
+  if (options.use_lower_bound_pruning) {
+    double lb = bounds_->LowerBoundForX(outlier, x);
+    if (lb >= state->best_cost) {
+      ++state->pruned;
+      return;
+    }
+  }
+
+  // Upper bound (lines 4-9, Proposition 5): the spliced tuple t_o^u is a
+  // feasible adjustment; adopt it when it beats the incumbent.
+  std::optional<BoundsEngine::UpperBound> ub =
+      bounds_->UpperBoundForX(outlier, x);
+  if (ub.has_value() && ub->cost < state->best_cost) {
+    state->best_cost = ub->cost;
+    state->best_adjusted = ub->adjusted;
+    state->found = true;
+  }
+
+  // Recurse (lines 10-11): grow the unadjusted set.
+  const std::size_t arity = evaluator_.arity();
+  for (std::size_t a = 0; a < arity; ++a) {
+    if (x.contains(a)) continue;
+    Explore(outlier, x.With(a), options, state);
+    if (state->budget_exhausted) return;
+  }
+}
+
+void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted) const {
+  // Greedily restore adjusted attributes to the original values, cheapest
+  // contribution first, as long as the result keeps >= eta epsilon-
+  // neighbors. Each successful revert strictly reduces the adjustment cost.
+  const std::size_t arity = evaluator_.arity();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Candidate attributes ordered by their per-attribute contribution.
+    std::vector<std::pair<double, std::size_t>> order;
+    for (std::size_t a = 0; a < arity; ++a) {
+      if ((*adjusted)[a] == outlier[a]) continue;
+      order.emplace_back(
+          evaluator_.AttributeDistance(a, outlier[a], (*adjusted)[a]), a);
+    }
+    std::sort(order.begin(), order.end());
+    for (const auto& [contribution, a] : order) {
+      Tuple trial = *adjusted;
+      trial[a] = outlier[a];
+      if (bounds_->IsFeasible(trial)) {
+        *adjusted = std::move(trial);
+        changed = true;
+        break;  // re-rank contributions after each successful revert
+      }
+    }
+  }
+}
+
+SaveResult DiscSaver::Save(const Tuple& outlier,
+                           const SaveOptions& options) const {
+  const std::size_t arity = evaluator_.arity();
+  const bool restricted = options.kappa != 0 && options.kappa < arity;
+  SearchState state;
+
+  // The X = emptyset upper bound (Lemma 4 flavour): nearest substitution-
+  // style donor. In unrestricted mode it seeds the incumbent directly. In
+  // kappa-restricted mode it is kept OUT of the search incumbent — the
+  // incumbent there tracks the best kappa-qualified splice (every visited X
+  // has |X| >= m − kappa, so its splice changes <= kappa attributes), and
+  // letting the often-cheaper substitution into it would both over-prune
+  // and mask the low-attribute adjustment the caller asked for. The
+  // substitution is reconsidered after revert refinement below.
+  std::optional<BoundsEngine::UpperBound> global_seed =
+      bounds_->UpperBoundForX(outlier, AttributeSet());
+  if (!restricted && global_seed.has_value()) {
+    state.best_cost = global_seed->cost;
+    state.best_adjusted = global_seed->adjusted;
+    state.found = true;
+  }
+
+  if (!restricted) {
+    // Unrestricted: Algorithm 1 from X = ∅.
+    Explore(outlier, AttributeSet(), options, &state);
+  } else {
+    // κ-restricted (§3.3.3): only adjustments touching <= κ attributes are
+    // trusted, i.e. only X with |X| >= m − κ. Seed the recursion with every
+    // X of size exactly m − κ; the shared visited set dedups overlaps.
+    const std::size_t base_size = arity - options.kappa;
+    // Enumerate subsets of size base_size with a combination walker.
+    std::vector<std::size_t> combo(base_size);
+    for (std::size_t i = 0; i < base_size; ++i) combo[i] = i;
+    auto next_combination = [&]() {
+      // Advance combo to the next size-base_size subset of {0..arity-1};
+      // returns false when exhausted.
+      std::size_t i = base_size;
+      while (i > 0) {
+        --i;
+        if (combo[i] != i + arity - base_size) {
+          ++combo[i];
+          for (std::size_t j = i + 1; j < base_size; ++j) {
+            combo[j] = combo[j - 1] + 1;
+          }
+          return true;
+        }
+      }
+      return false;
+    };
+    do {
+      AttributeSet x;
+      for (std::size_t idx : combo) x.insert(idx);
+      Explore(outlier, x, options, &state);
+      if (state.budget_exhausted) break;
+    } while (base_size > 0 && next_combination());
+  }
+
+  SaveResult result;
+  result.lower_bound = bounds_->GlobalLowerBound(outlier);
+  result.visited_sets = state.visited.size();
+  result.pruned_sets = state.pruned;
+
+  // Collect candidates: the search incumbent (kappa-qualified when
+  // restricted) and, in restricted mode, the reverted substitution seed —
+  // kept only if the revert brought it within the kappa budget.
+  bool have = false;
+  Tuple best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool kappa_blocked = false;
+
+  if (state.found) {
+    Tuple adjusted = state.best_adjusted;
+    if (options.use_revert_refinement) RevertRefine(outlier, &adjusted);
+    best = adjusted;
+    best_cost = evaluator_.Distance(outlier, best);
+    have = true;
+  }
+  if (restricted && global_seed.has_value()) {
+    Tuple adjusted = global_seed->adjusted;
+    if (options.use_revert_refinement) RevertRefine(outlier, &adjusted);
+    AttributeSet changed = ChangedAttributes(outlier, adjusted);
+    double cost = evaluator_.Distance(outlier, adjusted);
+    if (changed.size() <= options.kappa) {
+      if (!have || cost < best_cost) {
+        best = adjusted;
+        best_cost = cost;
+        have = true;
+      }
+    } else if (!have) {
+      // A feasible adjustment exists but needs more attributes than the
+      // caller trusts — the natural-outlier reading of §1.2.
+      kappa_blocked = true;
+    }
+  }
+
+  if (have) {
+    AttributeSet changed = ChangedAttributes(outlier, best);
+    if (restricted && changed.size() > options.kappa) {
+      result.feasible = false;
+      result.kappa_exceeded = true;
+      result.adjusted = outlier;
+      return result;
+    }
+    result.feasible = true;
+    result.adjusted = best;
+    result.cost = best_cost;
+    result.adjusted_attributes = changed;
+  } else {
+    result.feasible = false;
+    result.kappa_exceeded = kappa_blocked;
+    result.adjusted = outlier;
+  }
+  return result;
+}
+
+}  // namespace disc

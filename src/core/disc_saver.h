@@ -1,0 +1,103 @@
+#ifndef DISC_CORE_DISC_SAVER_H_
+#define DISC_CORE_DISC_SAVER_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+#include "constraints/distance_constraint.h"
+#include "core/bounds.h"
+#include "distance/evaluator.h"
+#include "index/kth_neighbor_cache.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Knobs for a single Save() call.
+struct SaveOptions {
+  /// Maximum number of attributes the adjustment may change. 0 means
+  /// unrestricted (Algorithm 1 starting from X = ∅, O(2^m · n) worst case).
+  /// A positive κ runs the restricted variant of §3.3.3: only X with
+  /// |X| >= m − κ are explored, O(m^{κ+1} · n).
+  std::size_t kappa = 0;
+  /// Lower-bound pruning (Algorithm 1 line 2). Disable only for ablation.
+  bool use_lower_bound_pruning = true;
+  /// Safety cap on the number of distinct attribute sets X visited
+  /// (0 = unlimited). When hit, the best incumbent found so far is returned.
+  std::size_t max_visited_sets = 0;
+  /// Revert refinement: after the bound-guided search, greedily restore
+  /// adjusted attributes to their original values while the adjustment
+  /// stays feasible (checked exactly, not via the Proposition-5 sufficient
+  /// condition). Strictly reduces the cost, so every guarantee of §3.4
+  /// still holds; it also concentrates the change onto the genuinely
+  /// erroneous attributes (the minimum-change goal of §2.2). Disable only
+  /// for ablation.
+  bool use_revert_refinement = true;
+};
+
+/// Outcome of saving one outlier.
+struct SaveResult {
+  /// True iff a feasible adjustment was found.
+  bool feasible = false;
+  /// The adjusted tuple t_o' (equals the input when infeasible).
+  Tuple adjusted;
+  /// Adjustment cost Δ(t_o, t_o').
+  double cost = 0;
+  /// Attributes whose value actually changed.
+  AttributeSet adjusted_attributes;
+  /// Global lower bound of Lemma 2 (0 when uninformative). Together with
+  /// `cost` this certifies the approximation quality of this answer:
+  /// cost / max(lower_bound, optimal) bounds the ratio of Proposition 6.
+  double lower_bound = 0;
+  /// Number of distinct unadjusted-attribute sets X explored.
+  std::size_t visited_sets = 0;
+  /// Number of subtrees cut by the lower-bound pruning rule.
+  std::size_t pruned_sets = 0;
+  /// True when no adjustment within the κ attribute budget was found but a
+  /// feasible adjustment touching more attributes exists — the signature of
+  /// a natural outlier under §1.2's reading.
+  bool kappa_exceeded = false;
+};
+
+/// The DISC approximation (Algorithm 1): branch-and-bound over sets X of
+/// unadjusted attributes, keeping the best Proposition-5 upper bound as the
+/// incumbent and cutting subtrees whose Proposition-3 lower bound cannot
+/// beat it.
+///
+/// Typical use: build once per (inlier set, constraint), then Save() each
+/// outlier.
+class DiscSaver {
+ public:
+  /// `inliers` is the outlier-free set r; all tuples in it are assumed to
+  /// satisfy the constraint. The relation and evaluator must outlive the
+  /// saver.
+  DiscSaver(const Relation& inliers, const DistanceEvaluator& evaluator,
+            DistanceConstraint constraint);
+
+  /// Finds a near-optimal adjustment of `outlier` under the constraint.
+  SaveResult Save(const Tuple& outlier, const SaveOptions& options = {}) const;
+
+  /// The bounds engine (exposed for tests and diagnostics).
+  const BoundsEngine& bounds() const { return *bounds_; }
+
+ private:
+  struct SearchState;
+  void Explore(const Tuple& outlier, AttributeSet x, const SaveOptions& options,
+               SearchState* state) const;
+  void RevertRefine(const Tuple& outlier, Tuple* adjusted) const;
+
+  const Relation& inliers_;
+  const DistanceEvaluator& evaluator_;
+  DistanceConstraint constraint_;
+  std::unique_ptr<NeighborIndex> index_;
+  std::unique_ptr<KthNeighborCache> cache_;
+  std::unique_ptr<BoundsEngine> bounds_;
+};
+
+/// Computes which attributes differ between `original` and `adjusted`.
+AttributeSet ChangedAttributes(const Tuple& original, const Tuple& adjusted);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_DISC_SAVER_H_

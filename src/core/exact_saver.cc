@@ -1,0 +1,117 @@
+#include "core/exact_saver.h"
+
+#include <limits>
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+ExactSaver::ExactSaver(const Relation& inliers,
+                       const DistanceEvaluator& evaluator,
+                       DistanceConstraint constraint)
+    : inliers_(inliers), evaluator_(evaluator), constraint_(constraint) {
+  index_ = MakeNeighborIndex(inliers_, evaluator_, constraint_.epsilon);
+  domains_.reserve(inliers_.arity());
+  for (std::size_t a = 0; a < inliers_.arity(); ++a) {
+    domains_.push_back(inliers_.Domain(a));
+  }
+}
+
+struct ExactSaver::EnumState {
+  double best_cost = std::numeric_limits<double>::infinity();
+  Tuple best_adjusted;
+  bool found = false;
+  std::size_t checked = 0;
+  bool budget_exhausted = false;
+};
+
+bool ExactSaver::IsFeasible(const Tuple& candidate) const {
+  // The saved tuple counts toward its own η total (Formula 4), so η−1
+  // inlier matches suffice.
+  std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
+  if (needed == 0) return true;
+  return index_->CountWithin(candidate, constraint_.epsilon, needed) >= needed;
+}
+
+void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
+                           Tuple* candidate, double partial_cost_raw,
+                           const ExactOptions& options,
+                           EnumState* state) const {
+  if (state->budget_exhausted) return;
+  const LpNorm norm = evaluator_.norm();
+  auto raw_total = [&](double raw) {
+    // Convert the accumulated raw value into the norm's final aggregate.
+    if (norm == LpNorm::kL2) return raw;        // raw is sum of squares
+    return raw;                                  // L1: sum, LInf: max
+  };
+  auto best_raw = [&]() {
+    if (!state->found) return std::numeric_limits<double>::infinity();
+    if (norm == LpNorm::kL2) return state->best_cost * state->best_cost;
+    return state->best_cost;
+  };
+
+  if (raw_total(partial_cost_raw) >= best_raw()) {
+    return;  // cannot beat the incumbent no matter what follows
+  }
+
+  if (attr == evaluator_.arity()) {
+    ++state->checked;
+    if (options.max_candidates != 0 &&
+        state->checked > options.max_candidates) {
+      state->budget_exhausted = true;
+      return;
+    }
+    if (IsFeasible(*candidate)) {
+      double cost = evaluator_.Distance(outlier, *candidate);
+      if (cost < state->best_cost) {
+        state->best_cost = cost;
+        state->best_adjusted = *candidate;
+        state->found = true;
+      }
+    }
+    return;
+  }
+
+  // Try the unmodified value first (zero marginal cost), then each domain
+  // value sorted implicitly by the relation's domain order.
+  auto step = [&](const Value& v) {
+    double d = evaluator_.AttributeDistance(attr, outlier[attr], v);
+    double add = (norm == LpNorm::kL2) ? d * d : d;
+    double next_raw = (norm == LpNorm::kLInf)
+                          ? std::max(partial_cost_raw, add)
+                          : partial_cost_raw + add;
+    (*candidate)[attr] = v;
+    Enumerate(outlier, attr + 1, candidate, next_raw, options, state);
+    (*candidate)[attr] = outlier[attr];
+  };
+
+  step(outlier[attr]);
+  for (const Value& v : domains_[attr]) {
+    if (state->budget_exhausted) return;
+    if (v == outlier[attr]) continue;
+    step(v);
+  }
+}
+
+ExactResult ExactSaver::Save(const Tuple& outlier,
+                             const ExactOptions& options) const {
+  EnumState state;
+  Tuple candidate = outlier;
+  Enumerate(outlier, 0, &candidate, 0.0, options, &state);
+
+  ExactResult result;
+  result.candidates_checked = state.checked;
+  result.exhausted_budget = state.budget_exhausted;
+  if (state.found) {
+    result.feasible = true;
+    result.adjusted = state.best_adjusted;
+    result.cost = state.best_cost;
+    result.adjusted_attributes = ChangedAttributes(outlier, state.best_adjusted);
+  } else {
+    result.feasible = false;
+    result.adjusted = outlier;
+  }
+  return result;
+}
+
+}  // namespace disc

@@ -1,0 +1,73 @@
+#ifndef DISC_CORE_EXACT_SAVER_H_
+#define DISC_CORE_EXACT_SAVER_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+#include "constraints/distance_constraint.h"
+#include "core/disc_saver.h"
+#include "distance/evaluator.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Knobs for ExactSaver.
+struct ExactOptions {
+  /// Safety cap on feasibility checks (candidate tuples fully evaluated);
+  /// 0 = unlimited. When hit, the best candidate so far is returned and
+  /// `exhausted_budget` is set in the result.
+  std::size_t max_candidates = 0;
+};
+
+/// Outcome of an exact save.
+struct ExactResult {
+  bool feasible = false;
+  Tuple adjusted;
+  double cost = 0;
+  AttributeSet adjusted_attributes;
+  /// Number of candidate tuples whose feasibility was checked.
+  std::size_t candidates_checked = 0;
+  /// True when the candidate cap stopped the search early (result may then
+  /// be suboptimal).
+  bool exhausted_budget = false;
+};
+
+/// The straightforward exact algorithm of §2.3: enumerate, per attribute,
+/// every value occurring in r (plus the outlier's own value), test each
+/// combined tuple for feasibility, and return the feasible combination with
+/// minimum adjustment cost. O(d^m · n) — tractable only for small m / d,
+/// which is exactly the trade-off Figures 6 and 7 chart.
+///
+/// Partial-cost pruning: a prefix whose accumulated cost already exceeds the
+/// incumbent is abandoned, which keeps small instances fast without
+/// affecting exactness.
+class ExactSaver {
+ public:
+  /// `inliers` is the outlier-free set r. References must outlive the saver.
+  ExactSaver(const Relation& inliers, const DistanceEvaluator& evaluator,
+             DistanceConstraint constraint);
+
+  /// Finds the minimum-cost feasible adjustment of `outlier` over the
+  /// cross-product of attribute domains.
+  ExactResult Save(const Tuple& outlier, const ExactOptions& options = {}) const;
+
+ private:
+  struct EnumState;
+  void Enumerate(const Tuple& outlier, std::size_t attr, Tuple* candidate,
+                 double partial_cost_sq, const ExactOptions& options,
+                 EnumState* state) const;
+  bool IsFeasible(const Tuple& candidate) const;
+
+  const Relation& inliers_;
+  const DistanceEvaluator& evaluator_;
+  DistanceConstraint constraint_;
+  std::unique_ptr<NeighborIndex> index_;
+  std::vector<std::vector<Value>> domains_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_EXACT_SAVER_H_

@@ -1,0 +1,127 @@
+#include "core/outlier_saving.h"
+
+#include "index/index_factory.h"
+
+namespace disc {
+
+std::size_t SavedDataset::CountDisposition(OutlierDisposition d) const {
+  std::size_t count = 0;
+  for (const OutlierRecord& rec : records) {
+    if (rec.disposition == d) ++count;
+  }
+  return count;
+}
+
+double SavedDataset::MeanAdjustmentCost() const {
+  double sum = 0;
+  std::size_t saved = 0;
+  for (const OutlierRecord& rec : records) {
+    if (rec.disposition == OutlierDisposition::kSaved) {
+      sum += rec.cost;
+      ++saved;
+    }
+  }
+  return saved == 0 ? 0 : sum / static_cast<double>(saved);
+}
+
+double SavedDataset::MeanAdjustedAttributes() const {
+  double sum = 0;
+  std::size_t saved = 0;
+  for (const OutlierRecord& rec : records) {
+    if (rec.disposition == OutlierDisposition::kSaved) {
+      sum += static_cast<double>(rec.adjusted_attributes.size());
+      ++saved;
+    }
+  }
+  return saved == 0 ? 0 : sum / static_cast<double>(saved);
+}
+
+SavedDataset SaveOutliers(const Relation& data,
+                          const DistanceEvaluator& evaluator,
+                          const OutlierSavingOptions& options) {
+  SavedDataset out;
+  out.repaired = data;
+
+  // Split into inliers r and outliers s against the full dataset.
+  std::unique_ptr<NeighborIndex> full_index =
+      MakeNeighborIndex(data, evaluator, options.constraint.epsilon);
+  InlierOutlierSplit split =
+      SplitInliersOutliers(data, *full_index, options.constraint);
+  out.inlier_rows = split.inlier_rows;
+  out.outlier_rows = split.outlier_rows;
+  if (split.outlier_rows.empty()) return out;
+
+  Relation inliers = data.Select(split.inlier_rows);
+
+  // Unify the two attribute-budget knobs: the natural-outlier threshold is
+  // exactly the κ of §3.3.3 — "only return adjustments on no more than κ
+  // attributes". Folding it into the save options lets the search optimize
+  // *within* the budget (the cheapest unrestricted adjustment — often a
+  // near-substitution — would otherwise mask a valid few-attribute repair).
+  OutlierSavingOptions effective = options;
+  if (effective.natural_attribute_threshold != 0 &&
+      effective.save.kappa == 0) {
+    effective.save.kappa = effective.natural_attribute_threshold;
+  }
+
+  // Build the saver once; save each outlier against the fixed inlier set.
+  DiscSaver disc_saver(inliers, evaluator, effective.constraint);
+  std::unique_ptr<ExactSaver> exact_saver;
+  if (options.use_exact) {
+    exact_saver =
+        std::make_unique<ExactSaver>(inliers, evaluator, options.constraint);
+  }
+
+  out.records.reserve(split.outlier_rows.size());
+  for (std::size_t row : split.outlier_rows) {
+    const Tuple& outlier = data[row];
+    OutlierRecord rec;
+    rec.row = row;
+
+    bool feasible = false;
+    bool kappa_exceeded = false;
+    if (effective.use_exact) {
+      ExactOptions exact_options;
+      exact_options.max_candidates = effective.exact_max_candidates;
+      ExactResult res = exact_saver->Save(outlier, exact_options);
+      feasible = res.feasible;
+      rec.adjusted = res.adjusted;
+      rec.cost = res.cost;
+      rec.adjusted_attributes = res.adjusted_attributes;
+    } else {
+      SaveResult res = disc_saver.Save(outlier, effective.save);
+      feasible = res.feasible;
+      kappa_exceeded = res.kappa_exceeded;
+      rec.adjusted = res.adjusted;
+      rec.cost = res.cost;
+      rec.adjusted_attributes = res.adjusted_attributes;
+      rec.lower_bound = res.lower_bound;
+    }
+
+    if (feasible && effective.natural_attribute_threshold != 0 &&
+        rec.adjusted_attributes.size() >
+            effective.natural_attribute_threshold) {
+      // The exact path can still report a too-wide adjustment.
+      feasible = false;
+      kappa_exceeded = true;
+    }
+
+    if (feasible) {
+      rec.disposition = OutlierDisposition::kSaved;
+      out.repaired[row] = rec.adjusted;
+    } else {
+      // A feasible adjustment needing more attributes than trusted marks a
+      // natural outlier (paper §1.2 — flag rather than over-adjust).
+      rec.disposition = kappa_exceeded
+                            ? OutlierDisposition::kNaturalOutlier
+                            : OutlierDisposition::kInfeasible;
+      rec.adjusted = outlier;
+      rec.cost = 0;
+      rec.adjusted_attributes = AttributeSet();
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,80 @@
+#ifndef DISC_CORE_OUTLIER_SAVING_H_
+#define DISC_CORE_OUTLIER_SAVING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+#include "constraints/distance_constraint.h"
+#include "core/disc_saver.h"
+#include "core/exact_saver.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// Dataset-level outlier-saving options (paper §2.2 / §1.2).
+struct OutlierSavingOptions {
+  /// The distance constraint (ε, η).
+  DistanceConstraint constraint;
+  /// Per-outlier search options (κ restriction, pruning, budget).
+  SaveOptions save;
+  /// Natural-outlier guard: an outlier whose best adjustment changes more
+  /// than this many attributes is deemed a natural outlier and left
+  /// unchanged (0 = disabled). Errors are expected to touch only a few
+  /// attributes (§1.2); natural outliers are separable in many.
+  std::size_t natural_attribute_threshold = 0;
+  /// Use the exact enumeration algorithm instead of the DISC approximation
+  /// (only tractable for small m and small attribute domains).
+  bool use_exact = false;
+  /// Candidate budget for the exact algorithm (0 = unlimited).
+  std::size_t exact_max_candidates = 0;
+};
+
+/// Why an outlier ended up saved or not.
+enum class OutlierDisposition {
+  kSaved,           ///< feasible adjustment applied
+  kNaturalOutlier,  ///< feasible but too many attributes — left unchanged
+  kInfeasible,      ///< no feasible adjustment exists / was found
+};
+
+/// Per-outlier record of what happened.
+struct OutlierRecord {
+  std::size_t row = 0;  ///< row in the original relation
+  OutlierDisposition disposition = OutlierDisposition::kInfeasible;
+  Tuple adjusted;
+  double cost = 0;
+  AttributeSet adjusted_attributes;
+  double lower_bound = 0;
+};
+
+/// Result of saving all outliers of a dataset.
+struct SavedDataset {
+  /// The full dataset with saved outliers' values adjusted in place.
+  Relation repaired;
+  /// Rows that violated the constraint (the outlier set s).
+  std::vector<std::size_t> outlier_rows;
+  /// Rows that satisfied the constraint (the inlier set r).
+  std::vector<std::size_t> inlier_rows;
+  /// One record per outlier row, in the same order as `outlier_rows`.
+  std::vector<OutlierRecord> records;
+
+  /// Number of records with the given disposition.
+  std::size_t CountDisposition(OutlierDisposition d) const;
+  /// Mean adjustment cost over saved outliers (0 when none).
+  double MeanAdjustmentCost() const;
+  /// Mean number of adjusted attributes over saved outliers (0 when none).
+  double MeanAdjustedAttributes() const;
+};
+
+/// The end-to-end DISC pipeline of §2.2: split `data` into inliers r and
+/// outliers s under the constraint, then save each outlier against r
+/// (Algorithm 1, or the exact algorithm when `use_exact`). Outliers are
+/// saved independently — each is adjusted w.r.t. the fixed inlier set, so
+/// the order of processing does not matter.
+SavedDataset SaveOutliers(const Relation& data,
+                          const DistanceEvaluator& evaluator,
+                          const OutlierSavingOptions& options);
+
+}  // namespace disc
+
+#endif  // DISC_CORE_OUTLIER_SAVING_H_

@@ -1,0 +1,214 @@
+#include "data/error_injection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "distance/edit_distance.h"
+
+namespace disc {
+
+AttributeSet InjectionResult::ErrorAttributesOf(std::size_t row) const {
+  AttributeSet attrs;
+  for (const CellError& e : errors) {
+    if (e.row == row && e.attribute < 64) attrs.insert(e.attribute);
+  }
+  return attrs;
+}
+
+namespace {
+
+struct AttrStats {
+  double mean = 0;
+  double stddev = 1;
+  double min = 0;
+  double max = 1;
+};
+
+/// Chooses the dirty rows: a `tuple_rate` fraction of the candidate pool
+/// (all rows, or spec.candidate_rows when given), sorted ascending.
+std::vector<std::size_t> PickDirtyRows(const ErrorInjectionSpec& spec,
+                                       std::size_t n, Rng* rng) {
+  std::vector<std::size_t> pool = spec.candidate_rows;
+  if (pool.empty()) {
+    pool.resize(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  }
+  auto num_dirty = static_cast<std::size_t>(
+      std::llround(spec.tuple_rate * static_cast<double>(pool.size())));
+  num_dirty = std::min(num_dirty, pool.size());
+  std::vector<std::size_t> picks = rng->SampleIndices(pool.size(), num_dirty);
+  std::vector<std::size_t> rows;
+  rows.reserve(picks.size());
+  for (std::size_t p : picks) rows.push_back(pool[p]);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+AttrStats ComputeStats(const Relation& data, std::size_t attr) {
+  AttrStats s;
+  double sum = 0;
+  double sum_sq = 0;
+  std::size_t count = 0;
+  bool first = true;
+  for (const Tuple& t : data) {
+    if (!t[attr].is_numeric()) continue;
+    double v = t[attr].num();
+    sum += v;
+    sum_sq += v * v;
+    ++count;
+    if (first) {
+      s.min = s.max = v;
+      first = false;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+  }
+  if (count > 0) {
+    s.mean = sum / static_cast<double>(count);
+    double var = std::max(0.0, sum_sq / static_cast<double>(count) - s.mean * s.mean);
+    s.stddev = std::sqrt(var);
+    if (s.stddev <= 0) s.stddev = 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+InjectionResult InjectNumericErrors(const Relation& clean,
+                                    const ErrorInjectionSpec& spec) {
+  InjectionResult out;
+  out.dirty = clean;
+  const std::size_t n = clean.size();
+  const std::size_t m = clean.arity();
+  if (n == 0 || m == 0) return out;
+
+  // Numeric attributes only.
+  std::vector<std::size_t> numeric;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (clean.schema().kind(a) == ValueKind::kNumeric) numeric.push_back(a);
+  }
+  if (numeric.empty()) return out;
+
+  std::vector<AttrStats> stats(m);
+  for (std::size_t a : numeric) stats[a] = ComputeStats(clean, a);
+
+  Rng rng(spec.seed);
+  std::vector<std::size_t> rows = PickDirtyRows(spec, n, &rng);
+  out.dirty_rows = rows;
+
+  for (std::size_t row : rows) {
+    std::size_t hi = std::min(spec.max_attributes, numeric.size());
+    std::size_t lo = std::min(spec.min_attributes, hi);
+    auto count = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    std::vector<std::size_t> picks = rng.SampleIndices(numeric.size(), count);
+    for (std::size_t pick : picks) {
+      std::size_t attr = numeric[pick];
+      const AttrStats& st = stats[attr];
+      double v = out.dirty[row][attr].num();
+      double corrupted = v;
+      switch (spec.model) {
+        case NumericErrorModel::kShift: {
+          double side = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+          corrupted = v + side * spec.magnitude * st.stddev *
+                              rng.Uniform(0.8, 1.4);
+          break;
+        }
+        case NumericErrorModel::kScale:
+          corrupted = v * spec.scale_factor;
+          break;
+        case NumericErrorModel::kRandomInRange: {
+          double width = st.max - st.min;
+          if (width <= 0) width = 1;
+          corrupted = rng.Uniform(st.min - 0.5 * width, st.max + 0.5 * width);
+          break;
+        }
+      }
+      CellError err;
+      err.row = row;
+      err.attribute = attr;
+      err.original = out.dirty[row][attr];
+      err.corrupted = Value(corrupted);
+      out.dirty[row][attr] = err.corrupted;
+      out.errors.push_back(std::move(err));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+char ConfusableFor(char c, Rng* rng) {
+  // Map through the shared confusion table; fall back to a nearby letter.
+  static constexpr const char kPairs[][2] = {
+      {'o', '0'}, {'0', 'O'}, {'l', '1'}, {'1', 'l'}, {'s', '5'},
+      {'5', 'S'}, {'b', '8'}, {'8', 'B'}, {'z', '2'}, {'2', 'Z'},
+      {'e', '3'}, {'3', 'E'}, {'g', '9'}, {'9', 'g'}, {'t', '7'},
+      {'7', 'T'}};
+  for (const auto& p : kPairs) {
+    if (p[0] == c) return p[1];
+  }
+  // Generic substitution: shift within the same character class.
+  if (c >= 'a' && c <= 'z') return static_cast<char>('a' + (c - 'a' + 1) % 26);
+  if (c >= 'A' && c <= 'Z') return static_cast<char>('A' + (c - 'A' + 1) % 26);
+  if (c >= '0' && c <= '9') return static_cast<char>('0' + (c - '0' + 1) % 10);
+  (void)rng;
+  return c == ' ' ? '-' : ' ';
+}
+
+}  // namespace
+
+InjectionResult InjectStringTypos(const Relation& clean,
+                                  const ErrorInjectionSpec& spec) {
+  InjectionResult out;
+  out.dirty = clean;
+  const std::size_t n = clean.size();
+  const std::size_t m = clean.arity();
+  if (n == 0 || m == 0) return out;
+
+  std::vector<std::size_t> textual;
+  for (std::size_t a = 0; a < m; ++a) {
+    if (clean.schema().kind(a) == ValueKind::kString) textual.push_back(a);
+  }
+  if (textual.empty()) return out;
+
+  Rng rng(spec.seed ^ 0x7f7f7f);
+  std::vector<std::size_t> rows = PickDirtyRows(spec, n, &rng);
+  out.dirty_rows = rows;
+
+  for (std::size_t row : rows) {
+    std::size_t hi = std::min(spec.max_attributes, textual.size());
+    std::size_t lo = std::min(spec.min_attributes, hi);
+    auto count = static_cast<std::size_t>(
+        rng.UniformInt(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    std::vector<std::size_t> picks = rng.SampleIndices(textual.size(), count);
+    for (std::size_t pick : picks) {
+      std::size_t attr = textual[pick];
+      std::string s = out.dirty[row][attr].str();
+      if (s.empty()) continue;
+      CellError err;
+      err.row = row;
+      err.attribute = attr;
+      err.original = out.dirty[row][attr];
+      // 1-2 confusable substitutions, or a transposition.
+      std::size_t edits = rng.Bernoulli(0.5) ? 1 : 2;
+      for (std::size_t e = 0; e < edits; ++e) {
+        std::size_t pos = rng.NextIndex(s.size());
+        if (rng.Bernoulli(0.85) || s.size() < 2) {
+          s[pos] = ConfusableFor(s[pos], &rng);
+        } else {
+          std::size_t other = (pos + 1) % s.size();
+          std::swap(s[pos], s[other]);
+        }
+      }
+      err.corrupted = Value(s);
+      out.dirty[row][attr] = err.corrupted;
+      out.errors.push_back(std::move(err));
+    }
+  }
+  return out;
+}
+
+}  // namespace disc

@@ -1,0 +1,76 @@
+#ifndef DISC_DATA_ERROR_INJECTION_H_
+#define DISC_DATA_ERROR_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+
+namespace disc {
+
+/// One injected cell error, kept as ground truth for cleaning-accuracy
+/// evaluation (the T sets of §4.3).
+struct CellError {
+  std::size_t row = 0;
+  std::size_t attribute = 0;
+  Value original;
+  Value corrupted;
+};
+
+/// Numeric error models.
+enum class NumericErrorModel {
+  /// Shift the value by ±magnitude·(attribute stddev) — sensor spike.
+  kShift,
+  /// Multiply by a unit-conversion-like factor (2.54, cm vs inch — the
+  /// paper's Figure 1 motivation).
+  kScale,
+  /// Replace with a uniform value over the attribute's observed range.
+  kRandomInRange,
+};
+
+/// Error-injection parameters.
+struct ErrorInjectionSpec {
+  /// Fraction of tuples receiving errors.
+  double tuple_rate = 0.05;
+  /// Errors touch between min and max attributes per dirty tuple (errors
+  /// occur on only a few attributes — paper §1.2).
+  std::size_t min_attributes = 1;
+  std::size_t max_attributes = 2;
+  NumericErrorModel model = NumericErrorModel::kShift;
+  /// Shift magnitude in units of the attribute's standard deviation.
+  double magnitude = 8.0;
+  /// Scale factor for kScale.
+  double scale_factor = 2.54;
+  std::uint64_t seed = 42;
+  /// When non-empty, errors are injected only into these rows; `tuple_rate`
+  /// is then applied to the candidate pool instead of the whole relation.
+  /// Used e.g. to corrupt only duplicate records in the Restaurant setup.
+  std::vector<std::size_t> candidate_rows;
+};
+
+/// Result of an injection pass.
+struct InjectionResult {
+  Relation dirty;
+  std::vector<CellError> errors;
+  /// Rows that received at least one error, sorted ascending.
+  std::vector<std::size_t> dirty_rows;
+
+  /// The set of erroneous attributes of `row` (empty when clean).
+  AttributeSet ErrorAttributesOf(std::size_t row) const;
+};
+
+/// Injects numeric cell errors into a copy of `clean`.
+InjectionResult InjectNumericErrors(const Relation& clean,
+                                    const ErrorInjectionSpec& spec);
+
+/// Injects typographic errors into string cells: each corrupted cell gets
+/// 1-2 visually-confusable character substitutions (O→0 style, per the
+/// paper's zip-code example) or a character transposition.
+InjectionResult InjectStringTypos(const Relation& clean,
+                                  const ErrorInjectionSpec& spec);
+
+}  // namespace disc
+
+#endif  // DISC_DATA_ERROR_INJECTION_H_

@@ -1,0 +1,209 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stringutil.h"
+
+namespace disc {
+
+LabeledRelation GenerateGaussianMixture(
+    const std::vector<ClusterSpec>& clusters, std::uint64_t seed) {
+  LabeledRelation out;
+  if (clusters.empty()) return out;
+  const std::size_t dims = clusters[0].center.size();
+  out.data = Relation(Schema::Numeric(dims));
+
+  Rng rng(seed);
+  int label = 0;
+  for (const ClusterSpec& cluster : clusters) {
+    for (std::size_t i = 0; i < cluster.count; ++i) {
+      Tuple t(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        t[d] = Value(rng.Gaussian(cluster.center[d], cluster.stddev));
+      }
+      out.data.AppendUnchecked(std::move(t));
+      out.labels.push_back(label);
+    }
+    ++label;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> PlaceClusterCenters(std::size_t k,
+                                                     std::size_t dims,
+                                                     double range,
+                                                     double min_separation,
+                                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  const std::size_t max_attempts = 200;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> best(dims, 0);
+    double best_min_dist = -1;
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      std::vector<double> candidate(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        candidate[d] = rng.Uniform(0, range);
+      }
+      double min_dist = std::numeric_limits<double>::infinity();
+      for (const auto& existing : centers) {
+        double sq = 0;
+        for (std::size_t d = 0; d < dims; ++d) {
+          double diff = candidate[d] - existing[d];
+          sq += diff * diff;
+        }
+        min_dist = std::min(min_dist, std::sqrt(sq));
+      }
+      if (centers.empty()) min_dist = range;
+      if (min_dist > best_min_dist) {
+        best_min_dist = min_dist;
+        best = std::move(candidate);
+      }
+      if (best_min_dist >= min_separation) break;
+    }
+    centers.push_back(std::move(best));
+  }
+  return centers;
+}
+
+LabeledRelation GenerateTrajectory(const TrajectorySpec& spec) {
+  LabeledRelation out;
+  out.data = Relation(
+      Schema::NumericNamed({"Time", "Longitude", "Latitude"}));
+
+  Rng rng(spec.seed);
+  double lon = spec.start_longitude;
+  double lat = spec.start_latitude;
+  double time = 0;
+  for (std::size_t seg = 0; seg < spec.segments; ++seg) {
+    // Each leg heads in a fresh direction.
+    double heading = rng.Uniform(0, 2 * 3.14159265358979);
+    double dlon = spec.step * std::cos(heading);
+    double dlat = spec.step * std::sin(heading);
+    for (std::size_t i = 0; i < spec.points_per_segment; ++i) {
+      lon += dlon + rng.Gaussian(0, spec.jitter);
+      lat += dlat + rng.Gaussian(0, spec.jitter);
+      time += 1.0;
+      Tuple t{Value(time), Value(lon), Value(lat)};
+      out.data.AppendUnchecked(std::move(t));
+      out.labels.push_back(static_cast<int>(seg));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* const kNameStems[] = {
+    "golden", "jade", "blue", "red", "royal", "little", "grand", "lucky",
+    "silver", "ocean", "garden", "corner", "star", "sunset", "harbor",
+    "maple", "cedar", "river", "palace", "villa"};
+const char* const kNameTypes[] = {
+    "bistro", "cafe", "grill", "kitchen", "diner", "house",
+    "palace", "garden", "express", "tavern"};
+const char* const kStreets[] = {
+    "main st", "oak ave", "park blvd", "elm st", "lake dr", "hill rd",
+    "2nd ave", "market st", "bay st", "sunset blvd"};
+const char* const kCities[] = {
+    "new york", "los angeles", "chicago", "houston", "atlanta",
+    "san francisco", "boston", "seattle"};
+
+std::string MakePhone(Rng* rng) {
+  return StrFormat("%03d-%03d-%04d",
+                   static_cast<int>(rng->UniformInt(200, 999)),
+                   static_cast<int>(rng->UniformInt(200, 999)),
+                   static_cast<int>(rng->UniformInt(0, 9999)));
+}
+
+std::string MakeZip(Rng* rng) {
+  // Alphanumeric zip in the style of the paper's RH10-0AG example.
+  const char letters[] = "ABCDEFGHJKLMNPRSTUWXYZ";
+  std::string zip;
+  zip += letters[rng->NextIndex(sizeof(letters) - 1)];
+  zip += letters[rng->NextIndex(sizeof(letters) - 1)];
+  zip += StrFormat("%d%d", static_cast<int>(rng->UniformInt(0, 9)),
+                   static_cast<int>(rng->UniformInt(0, 9)));
+  zip += '-';
+  zip += StrFormat("%d", static_cast<int>(rng->UniformInt(0, 9)));
+  zip += letters[rng->NextIndex(sizeof(letters) - 1)];
+  zip += letters[rng->NextIndex(sizeof(letters) - 1)];
+  return zip;
+}
+
+}  // namespace
+
+LabeledRelation GenerateRestaurant(const RestaurantSpec& spec) {
+  LabeledRelation out;
+  out.data = Relation(
+      Schema::StringNamed({"name", "address", "city", "phone", "zip"}));
+
+  Rng rng(spec.seed);
+  const std::size_t duplicates =
+      spec.tuples > spec.entities ? spec.tuples - spec.entities : 0;
+
+  std::vector<Tuple> entity_rows;
+  entity_rows.reserve(spec.entities);
+  for (std::size_t e = 0; e < spec.entities; ++e) {
+    std::string name =
+        std::string(kNameStems[rng.NextIndex(std::size(kNameStems))]) + " " +
+        kNameTypes[rng.NextIndex(std::size(kNameTypes))] + " " +
+        StrFormat("%d", static_cast<int>(rng.UniformInt(1, 99)));
+    std::string address =
+        StrFormat("%d ", static_cast<int>(rng.UniformInt(1, 999))) +
+        kStreets[rng.NextIndex(std::size(kStreets))];
+    std::string city = kCities[rng.NextIndex(std::size(kCities))];
+    Tuple t{Value(name), Value(address), Value(city), Value(MakePhone(&rng)),
+            Value(MakeZip(&rng))};
+    entity_rows.push_back(t);
+    out.data.AppendUnchecked(std::move(t));
+    out.labels.push_back(static_cast<int>(e));
+  }
+
+  // Distribute the extra rows as exact duplicates, two per selected entity
+  // where possible (see RestaurantSpec docs for why triples).
+  std::size_t triple_entities = duplicates / 2;
+  std::size_t leftover = duplicates % 2;
+  std::vector<std::size_t> dup_entities =
+      rng.SampleIndices(spec.entities, triple_entities + leftover);
+  for (std::size_t i = 0; i < dup_entities.size(); ++i) {
+    std::size_t e = dup_entities[i];
+    std::size_t copies = i < triple_entities ? 2 : 1;
+    for (std::size_t c = 0; c < copies; ++c) {
+      out.data.AppendUnchecked(entity_rows[e]);
+      out.labels.push_back(static_cast<int>(e));
+    }
+  }
+  return out;
+}
+
+void AppendNaturalOutliers(LabeledRelation* dataset, std::size_t count,
+                           double displacement, std::uint64_t seed,
+                           int outlier_label) {
+  if (dataset->data.empty()) return;
+  Rng rng(seed ^ 0xABCDEF);
+  const std::size_t dims = dataset->data.arity();
+
+  // Attribute ranges of the existing data.
+  std::vector<Relation::NumericRange> ranges(dims);
+  for (std::size_t a = 0; a < dims; ++a) ranges[a] = dataset->data.Range(a);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Tuple t(dims);
+    for (std::size_t a = 0; a < dims; ++a) {
+      double width = ranges[a].max - ranges[a].min;
+      if (width <= 0) width = 1.0;
+      // Displaced beyond the data's bounding box on EVERY attribute, in a
+      // random direction — separable in all attributes (paper §1.2).
+      double side = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+      double base = side > 0 ? ranges[a].max : ranges[a].min;
+      t[a] = Value(base + side * displacement * width * rng.Uniform(0.5, 1.5));
+    }
+    dataset->data.AppendUnchecked(std::move(t));
+    dataset->labels.push_back(outlier_label);
+  }
+}
+
+}  // namespace disc

@@ -1,0 +1,83 @@
+#ifndef DISC_DATA_GENERATORS_H_
+#define DISC_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/relation.h"
+
+namespace disc {
+
+/// A relation plus ground-truth class labels per tuple.
+struct LabeledRelation {
+  Relation data;
+  std::vector<int> labels;
+};
+
+/// One Gaussian cluster in a mixture.
+struct ClusterSpec {
+  std::vector<double> center;
+  double stddev = 1.0;
+  std::size_t count = 100;
+};
+
+/// Gaussian-mixture generator: the stand-in for the paper's UCI numeric
+/// datasets (Iris, Seeds, WIFI, Yeast, Letter, Flight, Spam). Labels are the
+/// cluster indices 0..k-1.
+LabeledRelation GenerateGaussianMixture(const std::vector<ClusterSpec>& clusters,
+                                        std::uint64_t seed);
+
+/// Places `k` cluster centers pseudo-randomly in [0, range]^dims with a
+/// minimum pairwise separation of `min_separation` (best-effort).
+std::vector<std::vector<double>> PlaceClusterCenters(std::size_t k,
+                                                     std::size_t dims,
+                                                     double range,
+                                                     double min_separation,
+                                                     std::uint64_t seed);
+
+/// Trajectory generator: the stand-in for the paper's GPS dataset (Figure
+/// 2). Tuples are (Time, Longitude, Latitude); the trajectory is
+/// piecewise-linear with `segments` legs, each leg a distinct class label.
+/// Consecutive timestamps are 1 apart; positions drift with Gaussian jitter.
+struct TrajectorySpec {
+  std::size_t segments = 3;
+  std::size_t points_per_segment = 30;
+  /// Start of the trajectory (longitude, latitude).
+  double start_longitude = 800;
+  double start_latitude = 150;
+  /// Per-step movement magnitude.
+  double step = 1.0;
+  /// Gaussian positional jitter.
+  double jitter = 0.2;
+  std::uint64_t seed = 42;
+};
+LabeledRelation GenerateTrajectory(const TrajectorySpec& spec);
+
+/// String-record generator: the stand-in for the Restaurant dataset
+/// (864 tuples, 752 entities, 5 string attributes: name, address, city,
+/// phone, zip). Labels are entity ids. The extra tuples beyond one row per
+/// entity are distributed as *exact duplicate* copies, two per selected
+/// entity where possible (a duplicated entity then has three identical
+/// rows). Triples — rather than pairs — keep an entity's remaining copies
+/// mutually supported under an (ε, η=2) distance constraint when one copy
+/// is later corrupted, which is what lets DISC save the corrupted copy
+/// using its clean twins as donors.
+struct RestaurantSpec {
+  std::size_t entities = 752;
+  std::size_t tuples = 864;
+  std::uint64_t seed = 42;
+};
+LabeledRelation GenerateRestaurant(const RestaurantSpec& spec);
+
+/// Appends `count` natural outliers: tuples whose value on *every* numeric
+/// attribute is displaced far from all cluster structure (distinct in all
+/// attributes, per §1.2). Appended tuples get label `outlier_label`.
+void AppendNaturalOutliers(LabeledRelation* dataset, std::size_t count,
+                           double displacement, std::uint64_t seed,
+                           int outlier_label = -1);
+
+}  // namespace disc
+
+#endif  // DISC_DATA_GENERATORS_H_

@@ -1,0 +1,34 @@
+#include "distance/attribute_metric.h"
+
+#include <cmath>
+
+#include "distance/edit_distance.h"
+
+namespace disc {
+
+double AbsoluteDifferenceMetric::Distance(const Value& a,
+                                          const Value& b) const {
+  return std::fabs(a.num() - b.num()) / scale_;
+}
+
+double EditDistanceMetric::Distance(const Value& a, const Value& b) const {
+  return LevenshteinDistance(a.str(), b.str());
+}
+
+double WeightedEditDistanceMetric::Distance(const Value& a,
+                                            const Value& b) const {
+  return WeightedEditDistance(a.str(), b.str());
+}
+
+double DiscreteMetric::Distance(const Value& a, const Value& b) const {
+  return a == b ? 0.0 : 1.0;
+}
+
+std::unique_ptr<AttributeMetric> DefaultMetricFor(ValueKind kind) {
+  if (kind == ValueKind::kNumeric) {
+    return std::make_unique<AbsoluteDifferenceMetric>();
+  }
+  return std::make_unique<EditDistanceMetric>();
+}
+
+}  // namespace disc

@@ -1,0 +1,74 @@
+#include "distance/edit_distance.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace disc {
+
+namespace {
+
+// Visually / typographically confusable pairs, stored lower-cased.
+constexpr const char kConfusable[][2] = {
+    {'o', '0'}, {'l', '1'}, {'i', '1'}, {'s', '5'}, {'b', '8'},
+    {'z', '2'}, {'g', '9'}, {'q', '9'}, {'e', '3'}, {'t', '7'},
+    {'u', 'v'}, {'m', 'n'}, {'c', 'e'},
+};
+
+char LowerChar(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+template <typename CostFn>
+double GenericEditDistance(std::string_view a, std::string_view b,
+                           CostFn substitute_cost) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0) return static_cast<double>(m);
+  if (m == 0) return static_cast<double>(n);
+
+  std::vector<double> prev(m + 1);
+  std::vector<double> cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<double>(i);
+    for (std::size_t j = 1; j <= m; ++j) {
+      double del = prev[j] + 1.0;
+      double ins = cur[j - 1] + 1.0;
+      double sub = prev[j - 1] + substitute_cost(a[i - 1], b[j - 1]);
+      cur[j] = std::min({del, ins, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+bool IsConfusablePair(char a, char b) {
+  char la = LowerChar(a);
+  char lb = LowerChar(b);
+  for (const auto& pair : kConfusable) {
+    if ((la == pair[0] && lb == pair[1]) || (la == pair[1] && lb == pair[0])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double LevenshteinDistance(std::string_view a, std::string_view b) {
+  return GenericEditDistance(
+      a, b, [](char x, char y) { return x == y ? 0.0 : 1.0; });
+}
+
+double WeightedEditDistance(std::string_view a, std::string_view b) {
+  return GenericEditDistance(a, b, [](char x, char y) {
+    if (x == y) return 0.0;
+    if (LowerChar(x) == LowerChar(y)) return 0.25;
+    if (IsConfusablePair(x, y)) return 0.5;
+    return 1.0;
+  });
+}
+
+}  // namespace disc

@@ -1,0 +1,27 @@
+#ifndef DISC_DISTANCE_EDIT_DISTANCE_H_
+#define DISC_DISTANCE_EDIT_DISTANCE_H_
+
+#include <string>
+#include <string_view>
+
+namespace disc {
+
+/// Levenshtein edit distance (unit insert/delete/substitute costs).
+double LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Needleman–Wunsch-style weighted edit distance where visually or
+/// typographically confusable character pairs (O/0, l/1, S/5, ...) cost less
+/// than a full substitution. This is the metric the paper motivates with the
+/// RH10-OAG → RH10-0AG zip-code example: the confusable fix is cheaper than
+/// an arbitrary rewrite.
+///
+/// Costs: insert/delete 1.0, substitute 1.0, confusable substitute 0.5,
+/// case-only substitute 0.25.
+double WeightedEditDistance(std::string_view a, std::string_view b);
+
+/// True iff (a, b) is in the built-in visual-confusion table (symmetric).
+bool IsConfusablePair(char a, char b);
+
+}  // namespace disc
+
+#endif  // DISC_DISTANCE_EDIT_DISTANCE_H_

@@ -1,0 +1,47 @@
+#ifndef DISC_DISTANCE_LP_NORM_H_
+#define DISC_DISTANCE_LP_NORM_H_
+
+#include <cstddef>
+#include <span>
+
+namespace disc {
+
+/// Aggregation of per-attribute distances into a tuple distance (paper
+/// Formula 1). The paper defaults to L2; L1 and L-infinity are provided as
+/// alternatives. All preserve the metric axioms of the per-attribute
+/// distances, including the triangle inequality and monotonicity
+/// Δ(t1[X], t2[X]) <= Δ(t1[X ∪ {A}], t2[X ∪ {A}]).
+enum class LpNorm {
+  kL1,
+  kL2,
+  kLInf,
+};
+
+/// Aggregates per-attribute distances under the given norm.
+double AggregateDistances(std::span<const double> per_attribute, LpNorm norm);
+
+/// Incremental accumulator for Lp aggregation with early exit: callers add
+/// per-attribute distances one at a time and may stop as soon as the running
+/// aggregate already exceeds a threshold (range queries, pruning).
+class LpAccumulator {
+ public:
+  explicit LpAccumulator(LpNorm norm) : norm_(norm) {}
+
+  /// Adds one per-attribute distance.
+  void Add(double d);
+
+  /// The aggregate of everything added so far.
+  double Total() const;
+
+  /// True iff the aggregate already exceeds `threshold` (monotone in adds,
+  /// so once true it stays true).
+  bool Exceeds(double threshold) const;
+
+ private:
+  LpNorm norm_;
+  double acc_ = 0;  // sum (L1), sum of squares (L2), max (LInf)
+};
+
+}  // namespace disc
+
+#endif  // DISC_DISTANCE_LP_NORM_H_

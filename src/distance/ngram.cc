@@ -1,0 +1,59 @@
+#include "distance/ngram.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace disc {
+
+namespace {
+
+std::map<std::string, int> NgramCounts(std::string_view s, std::size_t n) {
+  std::map<std::string, int> counts;
+  if (n == 0) return counts;
+  std::string padded;
+  padded.reserve(s.size() + 2 * (n - 1));
+  padded.append(n - 1, '#');
+  padded.append(s);
+  padded.append(n - 1, '#');
+  if (padded.size() < n) return counts;
+  for (std::size_t i = 0; i + n <= padded.size(); ++i) {
+    ++counts[padded.substr(i, n)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+double NgramSimilarity(std::string_view a, std::string_view b, std::size_t n) {
+  if (a == b) return 1.0;
+  auto ca = NgramCounts(a, n);
+  auto cb = NgramCounts(b, n);
+  if (ca.empty() && cb.empty()) return 1.0;
+  int intersection = 0;
+  int union_size = 0;
+  auto ia = ca.begin();
+  auto ib = cb.begin();
+  while (ia != ca.end() || ib != cb.end()) {
+    if (ib == cb.end() || (ia != ca.end() && ia->first < ib->first)) {
+      union_size += ia->second;
+      ++ia;
+    } else if (ia == ca.end() || ib->first < ia->first) {
+      union_size += ib->second;
+      ++ib;
+    } else {
+      intersection += std::min(ia->second, ib->second);
+      union_size += std::max(ia->second, ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double NgramDistance(std::string_view a, std::string_view b, std::size_t n) {
+  return 1.0 - NgramSimilarity(a, b, n);
+}
+
+}  // namespace disc

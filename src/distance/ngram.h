@@ -1,0 +1,21 @@
+#ifndef DISC_DISTANCE_NGRAM_H_
+#define DISC_DISTANCE_NGRAM_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace disc {
+
+/// Normalized n-gram similarity of two strings in [0, 1]: the Jaccard
+/// coefficient of their character n-gram multisets (with '#' padding).
+/// Used by the rule-based record matching of the paper's §4.1.3, with
+/// default n = 2 and similarity threshold 0.7.
+double NgramSimilarity(std::string_view a, std::string_view b, std::size_t n = 2);
+
+/// 1 - NgramSimilarity. Not a true metric (triangle inequality may fail) —
+/// used only for matching decisions, never as the clustering metric.
+double NgramDistance(std::string_view a, std::string_view b, std::size_t n = 2);
+
+}  // namespace disc
+
+#endif  // DISC_DISTANCE_NGRAM_H_

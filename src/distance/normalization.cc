@@ -1,0 +1,84 @@
+#include "distance/normalization.h"
+
+#include <cmath>
+
+namespace disc {
+
+Normalizer Normalizer::Fit(const Relation& data, NormalizationMode mode) {
+  Normalizer norm;
+  const std::size_t m = data.arity();
+  norm.offsets_.assign(m, 0.0);
+  norm.scales_.assign(m, 1.0);
+  norm.numeric_.assign(m, false);
+
+  for (std::size_t a = 0; a < m; ++a) {
+    if (data.schema().kind(a) != ValueKind::kNumeric) continue;
+    norm.numeric_[a] = true;
+
+    double sum = 0;
+    double sum_sq = 0;
+    double lo = 0;
+    double hi = 0;
+    bool first = true;
+    std::size_t count = 0;
+    for (const Tuple& t : data) {
+      double v = t[a].num();
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+      if (first) {
+        lo = hi = v;
+        first = false;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (count == 0) continue;
+
+    if (mode == NormalizationMode::kMinMax) {
+      norm.offsets_[a] = lo;
+      norm.scales_[a] = hi - lo;
+    } else {
+      double mean = sum / static_cast<double>(count);
+      double var =
+          std::max(0.0, sum_sq / static_cast<double>(count) - mean * mean);
+      norm.offsets_[a] = mean;
+      norm.scales_[a] = std::sqrt(var);
+    }
+    if (norm.scales_[a] <= 0) norm.scales_[a] = 1.0;  // constant attribute
+  }
+  return norm;
+}
+
+Tuple Normalizer::ApplyToTuple(const Tuple& tuple) const {
+  Tuple out = tuple;
+  for (std::size_t a = 0; a < out.size() && a < offsets_.size(); ++a) {
+    if (!numeric_[a]) continue;
+    out[a].set_num((tuple[a].num() - offsets_[a]) / scales_[a]);
+  }
+  return out;
+}
+
+Tuple Normalizer::InvertTuple(const Tuple& tuple) const {
+  Tuple out = tuple;
+  for (std::size_t a = 0; a < out.size() && a < offsets_.size(); ++a) {
+    if (!numeric_[a]) continue;
+    out[a].set_num(tuple[a].num() * scales_[a] + offsets_[a]);
+  }
+  return out;
+}
+
+Relation Normalizer::Apply(const Relation& data) const {
+  Relation out(data.schema());
+  for (const Tuple& t : data) out.AppendUnchecked(ApplyToTuple(t));
+  return out;
+}
+
+Relation Normalizer::Invert(const Relation& data) const {
+  Relation out(data.schema());
+  for (const Tuple& t : data) out.AppendUnchecked(InvertTuple(t));
+  return out;
+}
+
+}  // namespace disc

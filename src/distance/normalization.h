@@ -1,0 +1,55 @@
+#ifndef DISC_DISTANCE_NORMALIZATION_H_
+#define DISC_DISTANCE_NORMALIZATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+
+namespace disc {
+
+/// Normalization mode for numeric attributes.
+enum class NormalizationMode {
+  kMinMax,  ///< map observed [min, max] to [0, 1]
+  kZScore,  ///< subtract mean, divide by stddev
+};
+
+/// Per-attribute affine normalizer fitted on a relation. The paper's GPS
+/// example works on normalized values (Example 2's Δ(t13, t10) = 0.903 for
+/// a raw longitude gap of ~31) — heterogeneous attributes like Time and
+/// Longitude only aggregate meaningfully under a shared scale. String
+/// attributes pass through unchanged.
+class Normalizer {
+ public:
+  /// Fits normalization statistics on `data`.
+  static Normalizer Fit(const Relation& data,
+                        NormalizationMode mode = NormalizationMode::kMinMax);
+
+  /// Applies the fitted transform: v -> (v - offset) / scale per attribute.
+  Relation Apply(const Relation& data) const;
+
+  /// Inverts the transform (lossless up to floating-point rounding):
+  /// v -> v * scale + offset. Used to map saved/adjusted tuples back to the
+  /// original units for reporting.
+  Relation Invert(const Relation& data) const;
+
+  /// Transforms a single tuple.
+  Tuple ApplyToTuple(const Tuple& tuple) const;
+  Tuple InvertTuple(const Tuple& tuple) const;
+
+  /// Offset subtracted from attribute `a` (min or mean).
+  double offset(std::size_t a) const { return offsets_[a]; }
+  /// Scale dividing attribute `a` (range or stddev; never zero).
+  double scale(std::size_t a) const { return scales_[a]; }
+  /// Number of attributes the normalizer was fitted on.
+  std::size_t arity() const { return offsets_.size(); }
+
+ private:
+  std::vector<double> offsets_;
+  std::vector<double> scales_;
+  std::vector<bool> numeric_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_DISTANCE_NORMALIZATION_H_

@@ -1,0 +1,152 @@
+#include "eval/clustering_metrics.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+namespace disc {
+
+namespace {
+
+/// Renumbers labels to 0..k-1, turning each noise point (-1) into its own
+/// singleton cluster id.
+std::vector<int> SingletonizeNoise(const std::vector<int>& labels) {
+  std::vector<int> out(labels.size());
+  std::unordered_map<int, int> remap;
+  int next = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      out[i] = next++;  // fresh singleton per noise point
+    } else {
+      auto [it, inserted] = remap.emplace(labels[i], next);
+      if (inserted) ++next;
+      out[i] = it->second;
+    }
+  }
+  return out;
+}
+
+/// Contingency table between two labelings (both 0-based dense).
+struct Contingency {
+  std::vector<std::vector<std::int64_t>> table;
+  std::vector<std::int64_t> row_sums;
+  std::vector<std::int64_t> col_sums;
+  std::int64_t total = 0;
+};
+
+Contingency BuildContingency(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  int ka = 0;
+  int kb = 0;
+  for (int x : a) ka = std::max(ka, x + 1);
+  for (int x : b) kb = std::max(kb, x + 1);
+  Contingency c;
+  c.table.assign(static_cast<std::size_t>(ka),
+                 std::vector<std::int64_t>(static_cast<std::size_t>(kb), 0));
+  c.row_sums.assign(static_cast<std::size_t>(ka), 0);
+  c.col_sums.assign(static_cast<std::size_t>(kb), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ++c.table[static_cast<std::size_t>(a[i])][static_cast<std::size_t>(b[i])];
+    ++c.row_sums[static_cast<std::size_t>(a[i])];
+    ++c.col_sums[static_cast<std::size_t>(b[i])];
+    ++c.total;
+  }
+  return c;
+}
+
+double Choose2(std::int64_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+}  // namespace
+
+PairCountingScores PairCounting(const std::vector<int>& predicted,
+                                const std::vector<int>& truth) {
+  PairCountingScores s;
+  if (predicted.size() != truth.size() || predicted.empty()) return s;
+  std::vector<int> p = SingletonizeNoise(predicted);
+  std::vector<int> t = SingletonizeNoise(truth);
+  Contingency c = BuildContingency(p, t);
+
+  double tp = 0;  // pairs together in both
+  for (const auto& row : c.table) {
+    for (std::int64_t cell : row) tp += Choose2(cell);
+  }
+  double pred_pairs = 0;  // pairs together in prediction (tp + fp)
+  for (std::int64_t rs : c.row_sums) pred_pairs += Choose2(rs);
+  double truth_pairs = 0;  // pairs together in truth (tp + fn)
+  for (std::int64_t cs : c.col_sums) truth_pairs += Choose2(cs);
+
+  s.precision = pred_pairs > 0 ? tp / pred_pairs : 0;
+  s.recall = truth_pairs > 0 ? tp / truth_pairs : 0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2 * s.precision * s.recall / (s.precision + s.recall)
+             : 0;
+  return s;
+}
+
+double Nmi(const std::vector<int>& predicted, const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) return 0;
+  std::vector<int> p = SingletonizeNoise(predicted);
+  std::vector<int> t = SingletonizeNoise(truth);
+  Contingency c = BuildContingency(p, t);
+  const double n = static_cast<double>(c.total);
+
+  double mi = 0;
+  for (std::size_t i = 0; i < c.table.size(); ++i) {
+    for (std::size_t j = 0; j < c.table[i].size(); ++j) {
+      std::int64_t nij = c.table[i][j];
+      if (nij == 0) continue;
+      double pij = static_cast<double>(nij) / n;
+      double pi = static_cast<double>(c.row_sums[i]) / n;
+      double pj = static_cast<double>(c.col_sums[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  double hp = 0;
+  for (std::int64_t rs : c.row_sums) {
+    if (rs == 0) continue;
+    double pi = static_cast<double>(rs) / n;
+    hp -= pi * std::log(pi);
+  }
+  double ht = 0;
+  for (std::int64_t cs : c.col_sums) {
+    if (cs == 0) continue;
+    double pj = static_cast<double>(cs) / n;
+    ht -= pj * std::log(pj);
+  }
+  if (hp <= 0 && ht <= 0) return 1.0;  // both partitions trivial & identical
+  double denom = std::sqrt(hp * ht);
+  if (denom <= 0) return 0;
+  double nmi = mi / denom;
+  return nmi < 0 ? 0 : (nmi > 1 ? 1 : nmi);
+}
+
+double Ari(const std::vector<int>& predicted, const std::vector<int>& truth) {
+  if (predicted.size() != truth.size() || predicted.empty()) return 0;
+  std::vector<int> p = SingletonizeNoise(predicted);
+  std::vector<int> t = SingletonizeNoise(truth);
+  Contingency c = BuildContingency(p, t);
+
+  double sum_cells = 0;
+  for (const auto& row : c.table) {
+    for (std::int64_t cell : row) sum_cells += Choose2(cell);
+  }
+  double sum_rows = 0;
+  for (std::int64_t rs : c.row_sums) sum_rows += Choose2(rs);
+  double sum_cols = 0;
+  for (std::int64_t cs : c.col_sums) sum_cols += Choose2(cs);
+  double all_pairs = Choose2(c.total);
+  if (all_pairs <= 0) return 1.0;
+
+  double expected = sum_rows * sum_cols / all_pairs;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  double denom = max_index - expected;
+  if (std::fabs(denom) < 1e-12) {
+    // Both partitions are all-singletons or one cluster: identical => 1.
+    return sum_cells == expected ? 1.0 : 0.0;
+  }
+  return (sum_cells - expected) / denom;
+}
+
+}  // namespace disc

@@ -1,0 +1,33 @@
+#ifndef DISC_EVAL_CLUSTERING_METRICS_H_
+#define DISC_EVAL_CLUSTERING_METRICS_H_
+
+#include <vector>
+
+namespace disc {
+
+/// Pair-counting scores (paper §4.1.1): TP counts pairs clustered together
+/// in both the prediction and the ground truth, FP pairs together only in
+/// the prediction, FN pairs together only in the ground truth.
+struct PairCountingScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Convention for noise labels (-1): every noise point is treated as its
+/// own singleton cluster, so a noise point pairs with nothing. This matches
+/// the usual evaluation of DBSCAN-style outputs.
+PairCountingScores PairCounting(const std::vector<int>& predicted,
+                                const std::vector<int>& truth);
+
+/// Normalized Mutual Information with sqrt(H_pred · H_truth) normalization
+/// (Nguyen, Epps & Bailey). Noise points are singletons as above.
+double Nmi(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+/// Adjusted Rand Index (chance-corrected pair counting; same noise
+/// convention). Ranges in [-1, 1]; 1 = identical partitions.
+double Ari(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_CLUSTERING_METRICS_H_

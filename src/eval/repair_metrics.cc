@@ -1,0 +1,43 @@
+#include "eval/repair_metrics.h"
+
+namespace disc {
+
+AttributeSet ModifiedAttributes(const Relation& before, const Relation& after,
+                                std::size_t row) {
+  AttributeSet modified;
+  for (std::size_t a = 0; a < before.arity() && a < 64; ++a) {
+    if (!(before[row][a] == after[row][a])) modified.insert(a);
+  }
+  return modified;
+}
+
+RepairReport EvaluateRepair(const Relation& dirty, const Relation& repaired,
+                            const Relation& truth,
+                            const DistanceEvaluator& evaluator) {
+  RepairReport report;
+  const std::size_t n = dirty.size();
+  if (n == 0) return report;
+
+  double sum_modified = 0;
+  double sum_cost = 0;
+  double sum_residual = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    AttributeSet modified = ModifiedAttributes(dirty, repaired, row);
+    if (!modified.empty()) {
+      ++report.tuples_changed;
+      sum_modified += static_cast<double>(modified.size());
+      sum_cost += evaluator.Distance(dirty[row], repaired[row]);
+    }
+    sum_residual += evaluator.Distance(repaired[row], truth[row]);
+  }
+  if (report.tuples_changed > 0) {
+    report.mean_modified_attributes =
+        sum_modified / static_cast<double>(report.tuples_changed);
+    report.mean_adjustment_cost =
+        sum_cost / static_cast<double>(report.tuples_changed);
+  }
+  report.mean_residual_error = sum_residual / static_cast<double>(n);
+  return report;
+}
+
+}  // namespace disc

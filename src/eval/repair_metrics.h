@@ -1,0 +1,38 @@
+#ifndef DISC_EVAL_REPAIR_METRICS_H_
+#define DISC_EVAL_REPAIR_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// Aggregate statistics comparing a cleaned relation against the dirty
+/// original and the ground-truth clean relation.
+struct RepairReport {
+  /// Mean number of attributes modified per changed tuple.
+  double mean_modified_attributes = 0;
+  /// Mean adjustment cost Δ(dirty, repaired) over changed tuples — the
+  /// "magnitude of the adjustment" of Figures 10(e)/(f).
+  double mean_adjustment_cost = 0;
+  /// Mean residual error Δ(repaired, truth) over all tuples.
+  double mean_residual_error = 0;
+  /// Number of tuples whose values changed.
+  std::size_t tuples_changed = 0;
+};
+
+/// Attributes whose values differ between the two versions of row `row`.
+AttributeSet ModifiedAttributes(const Relation& before, const Relation& after,
+                                std::size_t row);
+
+/// Builds a repair report. `truth` may equal `dirty` when no ground truth
+/// is available (then `mean_residual_error` measures distance to dirty).
+RepairReport EvaluateRepair(const Relation& dirty, const Relation& repaired,
+                            const Relation& truth,
+                            const DistanceEvaluator& evaluator);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_REPAIR_METRICS_H_

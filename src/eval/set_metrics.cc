@@ -1,0 +1,35 @@
+#include "eval/set_metrics.h"
+
+#include <bit>
+
+namespace disc {
+
+namespace {
+
+std::size_t Popcount(std::uint64_t bits) {
+  return static_cast<std::size_t>(std::popcount(bits));
+}
+
+}  // namespace
+
+double JaccardIndex(const AttributeSet& truth, const AttributeSet& predicted) {
+  std::uint64_t inter = truth.bits() & predicted.bits();
+  std::uint64_t uni = truth.bits() | predicted.bits();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(Popcount(inter)) /
+         static_cast<double>(Popcount(uni));
+}
+
+double SetPrecision(const AttributeSet& truth, const AttributeSet& predicted) {
+  if (predicted.bits() == 0) return 1.0;
+  return static_cast<double>(Popcount(truth.bits() & predicted.bits())) /
+         static_cast<double>(Popcount(predicted.bits()));
+}
+
+double SetRecall(const AttributeSet& truth, const AttributeSet& predicted) {
+  if (truth.bits() == 0) return 1.0;
+  return static_cast<double>(Popcount(truth.bits() & predicted.bits())) /
+         static_cast<double>(Popcount(truth.bits()));
+}
+
+}  // namespace disc

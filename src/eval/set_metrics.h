@@ -1,0 +1,21 @@
+#ifndef DISC_EVAL_SET_METRICS_H_
+#define DISC_EVAL_SET_METRICS_H_
+
+#include "common/tuple.h"
+
+namespace disc {
+
+/// Jaccard index |T ∩ P| / |T ∪ P| over attribute sets, as used in §4.3 to
+/// compare the attributes DISC adjusts (P) against the ground-truth
+/// erroneous attributes (T). Returns 1 when both sets are empty.
+double JaccardIndex(const AttributeSet& truth, const AttributeSet& predicted);
+
+/// Set-level precision |T ∩ P| / |P| (1 when P is empty).
+double SetPrecision(const AttributeSet& truth, const AttributeSet& predicted);
+
+/// Set-level recall |T ∩ P| / |T| (1 when T is empty).
+double SetRecall(const AttributeSet& truth, const AttributeSet& predicted);
+
+}  // namespace disc
+
+#endif  // DISC_EVAL_SET_METRICS_H_

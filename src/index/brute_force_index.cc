@@ -1,0 +1,54 @@
+#include "index/brute_force_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disc {
+
+std::vector<Neighbor> BruteForceIndex::RangeQuery(const Tuple& query,
+                                                  double epsilon) const {
+  std::vector<Neighbor> out;
+  for (std::size_t row = 0; row < relation_.size(); ++row) {
+    double d = evaluator_.DistanceWithin(query, relation_[row], epsilon);
+    if (d <= epsilon) out.push_back({row, d});
+  }
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.row < b.row);
+  });
+  return out;
+}
+
+std::size_t BruteForceIndex::CountWithin(const Tuple& query, double epsilon,
+                                         std::size_t cap) const {
+  std::size_t count = 0;
+  for (std::size_t row = 0; row < relation_.size(); ++row) {
+    double d = evaluator_.DistanceWithin(query, relation_[row], epsilon);
+    if (d <= epsilon) {
+      ++count;
+      if (cap != 0 && count >= cap) return count;
+    }
+  }
+  return count;
+}
+
+std::vector<Neighbor> BruteForceIndex::KNearest(const Tuple& query,
+                                                std::size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(relation_.size());
+  for (std::size_t row = 0; row < relation_.size(); ++row) {
+    all.push_back({row, evaluator_.Distance(query, relation_[row])});
+  }
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance || (a.distance == b.distance && a.row < b.row);
+  };
+  if (k < all.size()) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(), cmp);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), cmp);
+  }
+  return all;
+}
+
+}  // namespace disc

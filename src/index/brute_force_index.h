@@ -1,0 +1,36 @@
+#ifndef DISC_INDEX_BRUTE_FORCE_INDEX_H_
+#define DISC_INDEX_BRUTE_FORCE_INDEX_H_
+
+#include <vector>
+
+#include "common/relation.h"
+#include "distance/evaluator.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Linear-scan neighbor index. Works for any schema (numeric or string
+/// attributes) and any metric; O(n·m) per query. The reference
+/// implementation the tree/grid indexes are validated against.
+class BruteForceIndex : public NeighborIndex {
+ public:
+  /// Indexes `relation`; both references must outlive the index.
+  BruteForceIndex(const Relation& relation, const DistanceEvaluator& evaluator)
+      : relation_(relation), evaluator_(evaluator) {}
+
+  std::size_t size() const override { return relation_.size(); }
+  std::vector<Neighbor> RangeQuery(const Tuple& query,
+                                   double epsilon) const override;
+  std::size_t CountWithin(const Tuple& query, double epsilon,
+                          std::size_t cap = 0) const override;
+  std::vector<Neighbor> KNearest(const Tuple& query,
+                                 std::size_t k) const override;
+
+ private:
+  const Relation& relation_;
+  const DistanceEvaluator& evaluator_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_BRUTE_FORCE_INDEX_H_

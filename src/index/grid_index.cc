@@ -1,0 +1,156 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace disc {
+
+GridIndex::GridIndex(const Relation& relation, double cell_size, LpNorm norm)
+    : dims_(relation.arity()), cell_size_(cell_size), norm_(norm) {
+  points_.reserve(relation.size());
+  for (const Tuple& t : relation) {
+    points_.push_back(Coords(t));
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cells_[KeyFor(points_[i])].push_back(i);
+  }
+}
+
+std::vector<double> GridIndex::Coords(const Tuple& t) const {
+  std::vector<double> coords(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) coords[a] = t[a].num();
+  return coords;
+}
+
+GridIndex::CellKey GridIndex::KeyFor(const std::vector<double>& coords) const {
+  // Hash-combine the per-axis cell indices into a 64-bit key.
+  CellKey key = 1469598103934665603ull;  // FNV offset basis
+  for (std::size_t a = 0; a < dims_; ++a) {
+    auto cell = static_cast<std::int64_t>(std::floor(coords[a] / cell_size_));
+    key ^= static_cast<CellKey>(cell) + 0x9E3779B97F4A7C15ull + (key << 6) +
+           (key >> 2);
+  }
+  return key;
+}
+
+double GridIndex::PointDistance(const std::vector<double>& query,
+                                std::size_t point) const {
+  LpAccumulator acc(norm_);
+  const std::vector<double>& p = points_[point];
+  for (std::size_t a = 0; a < dims_; ++a) {
+    acc.Add(std::fabs(query[a] - p[a]));
+  }
+  return acc.Total();
+}
+
+template <typename Visitor>
+void GridIndex::VisitNearbyCells(const std::vector<double>& query,
+                                 int radius_cells, Visitor&& visit) const {
+  // The (2r+1)^m odometer walk only pays off while it probes fewer cells
+  // than exist; past that, a linear pass over all points is strictly
+  // cheaper (far-away queries would otherwise explode the ring search).
+  double probes = 1;
+  for (std::size_t a = 0; a < dims_; ++a) {
+    probes *= 2.0 * radius_cells + 1.0;
+    if (probes > static_cast<double>(points_.size()) + 64.0) {
+      for (std::size_t row = 0; row < points_.size(); ++row) {
+        if (!visit(row)) return;
+      }
+      return;
+    }
+  }
+
+  std::vector<std::int64_t> base(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) {
+    base[a] = static_cast<std::int64_t>(std::floor(query[a] / cell_size_));
+  }
+  // Iterate over the (2r+1)^m neighborhood with an odometer.
+  std::vector<int> offset(dims_, -radius_cells);
+  std::vector<double> probe(dims_);
+  while (true) {
+    for (std::size_t a = 0; a < dims_; ++a) {
+      probe[a] = (static_cast<double>(base[a] + offset[a]) + 0.5) * cell_size_;
+    }
+    auto it = cells_.find(KeyFor(probe));
+    if (it != cells_.end()) {
+      for (std::size_t row : it->second) {
+        if (!visit(row)) return;
+      }
+    }
+    // Advance odometer.
+    std::size_t axis = 0;
+    while (axis < dims_ && offset[axis] == radius_cells) {
+      offset[axis] = -radius_cells;
+      ++axis;
+    }
+    if (axis == dims_) break;
+    ++offset[axis];
+  }
+}
+
+std::vector<Neighbor> GridIndex::RangeQuery(const Tuple& query,
+                                            double epsilon) const {
+  std::vector<Neighbor> out;
+  std::vector<double> q = Coords(query);
+  int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
+  VisitNearbyCells(q, radius, [&](std::size_t row) {
+    double d = PointDistance(q, row);
+    if (d <= epsilon) out.push_back({row, d});
+    return true;
+  });
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.row < b.row);
+  });
+  return out;
+}
+
+std::size_t GridIndex::CountWithin(const Tuple& query, double epsilon,
+                                   std::size_t cap) const {
+  std::vector<double> q = Coords(query);
+  int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
+  std::size_t count = 0;
+  VisitNearbyCells(q, radius, [&](std::size_t row) {
+    if (PointDistance(q, row) <= epsilon) {
+      ++count;
+      if (cap != 0 && count >= cap) return false;
+    }
+    return true;
+  });
+  return count;
+}
+
+std::vector<Neighbor> GridIndex::KNearest(const Tuple& query,
+                                          std::size_t k) const {
+  // Grow the search radius ring by ring until k are found and the next ring
+  // cannot improve. Falls back to a full scan in the worst case.
+  if (k == 0 || points_.empty()) return {};
+  std::vector<double> q = Coords(query);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.row < b.row);
+  };
+  for (int radius = 1;; radius *= 2) {
+    double eps = static_cast<double>(radius) * cell_size_;
+    std::vector<Neighbor> hits = RangeQuery(query, eps);
+    if (hits.size() >= k) {
+      hits.resize(k);
+      return hits;
+    }
+    // All points fit within the scanned area? Then return what we have.
+    if (static_cast<std::size_t>(radius) * 2 >
+        points_.size() + 2 * dims_ + 64) {
+      std::vector<Neighbor> all;
+      all.reserve(points_.size());
+      for (std::size_t row = 0; row < points_.size(); ++row) {
+        all.push_back({row, PointDistance(q, row)});
+      }
+      std::sort(all.begin(), all.end(), cmp);
+      if (k < all.size()) all.resize(k);
+      return all;
+    }
+  }
+}
+
+}  // namespace disc

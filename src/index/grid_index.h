@@ -1,0 +1,58 @@
+#ifndef DISC_INDEX_GRID_INDEX_H_
+#define DISC_INDEX_GRID_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/relation.h"
+#include "distance/lp_norm.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Uniform grid over an all-numeric relation with cell side `cell_size`.
+/// Tailored to fixed-ε range queries: with cell_size = ε, a range query only
+/// inspects the 3^m cells around the query point, which is very fast for
+/// small m (the GPS / Flight datasets with m = 3). Degrades in higher
+/// dimensions — the factory prefers KdTree above kMaxGridDims.
+class GridIndex : public NeighborIndex {
+ public:
+  /// Builds the grid. `cell_size` must be > 0; typically the query ε.
+  GridIndex(const Relation& relation, double cell_size,
+            LpNorm norm = LpNorm::kL2);
+
+  /// Grids stay efficient only in very low dimension.
+  static constexpr std::size_t kMaxGridDims = 4;
+
+  std::size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> RangeQuery(const Tuple& query,
+                                   double epsilon) const override;
+  std::size_t CountWithin(const Tuple& query, double epsilon,
+                          std::size_t cap = 0) const override;
+  std::vector<Neighbor> KNearest(const Tuple& query,
+                                 std::size_t k) const override;
+
+ private:
+  using CellKey = std::uint64_t;
+
+  CellKey KeyFor(const std::vector<double>& coords) const;
+  std::vector<double> Coords(const Tuple& t) const;
+  double PointDistance(const std::vector<double>& query,
+                       std::size_t point) const;
+
+  /// Visits every point in cells within `radius_cells` of the query cell.
+  template <typename Visitor>
+  void VisitNearbyCells(const std::vector<double>& query, int radius_cells,
+                        Visitor&& visit) const;
+
+  std::size_t dims_ = 0;
+  double cell_size_ = 1;
+  LpNorm norm_;
+  std::vector<std::vector<double>> points_;
+  std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_GRID_INDEX_H_

@@ -1,0 +1,23 @@
+#include "index/index_factory.h"
+
+#include "index/brute_force_index.h"
+#include "index/grid_index.h"
+#include "index/kd_tree.h"
+
+namespace disc {
+
+std::unique_ptr<NeighborIndex> MakeNeighborIndex(
+    const Relation& relation, const DistanceEvaluator& evaluator,
+    double epsilon_hint, bool force_brute_force) {
+  if (force_brute_force || !relation.schema().all_numeric() ||
+      relation.arity() == 0 || relation.arity() > 63) {
+    return std::make_unique<BruteForceIndex>(relation, evaluator);
+  }
+  if (epsilon_hint > 0 && relation.arity() <= GridIndex::kMaxGridDims) {
+    return std::make_unique<GridIndex>(relation, epsilon_hint,
+                                       evaluator.norm());
+  }
+  return std::make_unique<KdTree>(relation, evaluator.norm());
+}
+
+}  // namespace disc

@@ -1,0 +1,27 @@
+#ifndef DISC_INDEX_INDEX_FACTORY_H_
+#define DISC_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+
+#include "common/relation.h"
+#include "distance/evaluator.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Picks the best index for a relation:
+///  - GridIndex for all-numeric relations with <= GridIndex::kMaxGridDims
+///    attributes when a positive `epsilon_hint` is supplied,
+///  - KdTree for other all-numeric relations,
+///  - BruteForceIndex otherwise (string attributes or custom metrics).
+///
+/// The KdTree/GridIndex fast paths assume the evaluator uses the default
+/// unit-scale absolute-difference metric per attribute; pass
+/// `force_brute_force` when that does not hold.
+std::unique_ptr<NeighborIndex> MakeNeighborIndex(
+    const Relation& relation, const DistanceEvaluator& evaluator,
+    double epsilon_hint = 0, bool force_brute_force = false);
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_INDEX_FACTORY_H_

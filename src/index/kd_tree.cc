@@ -1,0 +1,201 @@
+#include "index/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace disc {
+
+KdTree::KdTree(const Relation& relation, LpNorm norm) : norm_(norm) {
+  dims_ = relation.arity();
+  points_.reserve(relation.size());
+  for (const Tuple& t : relation) {
+    std::vector<double> coords(dims_);
+    for (std::size_t a = 0; a < dims_; ++a) coords[a] = t[a].num();
+    points_.push_back(std::move(coords));
+  }
+  order_.resize(points_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!points_.empty()) {
+    root_ = Build(0, points_.size(), 0);
+  }
+}
+
+int KdTree::Build(std::size_t begin, std::size_t end, std::size_t depth) {
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  if (end - begin <= kLeafSize) {
+    node.is_leaf = true;
+    nodes_.push_back(node);
+    return static_cast<int>(nodes_.size() - 1);
+  }
+  // Pick the axis with the largest spread at this subtree for better balance
+  // than pure depth cycling.
+  std::size_t best_axis = depth % dims_;
+  double best_spread = -1;
+  for (std::size_t axis = 0; axis < dims_; ++axis) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = begin; i < end; ++i) {
+      double v = points_[order_[i]][axis];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_axis = axis;
+    }
+  }
+  node.axis = best_axis;
+
+  std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                   order_.begin() + static_cast<std::ptrdiff_t>(mid),
+                   order_.begin() + static_cast<std::ptrdiff_t>(end),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_[a][best_axis] < points_[b][best_axis];
+                   });
+  node.split = points_[order_[mid]][best_axis];
+
+  int self = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+  int left = Build(begin, mid, depth + 1);
+  int right = Build(mid, end, depth + 1);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+double KdTree::PointDistance(const std::vector<double>& query,
+                             std::size_t point) const {
+  LpAccumulator acc(norm_);
+  const std::vector<double>& p = points_[point];
+  for (std::size_t a = 0; a < dims_; ++a) {
+    acc.Add(std::fabs(query[a] - p[a]));
+  }
+  return acc.Total();
+}
+
+double KdTree::AxisGap(double diff) const {
+  // The minimum possible tuple distance contributed by being `diff` away on
+  // one axis, under any Lp norm, is exactly |diff|.
+  return std::fabs(diff);
+}
+
+void KdTree::RangeSearch(int node_id, const std::vector<double>& query,
+                         double epsilon, std::vector<Neighbor>* out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      std::size_t row = order_[i];
+      double d = PointDistance(query, row);
+      if (d <= epsilon) out->push_back({row, d});
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int near = diff < 0 ? node.left : node.right;
+  int far = diff < 0 ? node.right : node.left;
+  RangeSearch(near, query, epsilon, out);
+  if (AxisGap(diff) <= epsilon) {
+    RangeSearch(far, query, epsilon, out);
+  }
+}
+
+void KdTree::CountSearch(int node_id, const std::vector<double>& query,
+                         double epsilon, std::size_t cap,
+                         std::size_t* count) const {
+  if (cap != 0 && *count >= cap) return;
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      if (PointDistance(query, order_[i]) <= epsilon) {
+        ++*count;
+        if (cap != 0 && *count >= cap) return;
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int near = diff < 0 ? node.left : node.right;
+  int far = diff < 0 ? node.right : node.left;
+  CountSearch(near, query, epsilon, cap, count);
+  if (AxisGap(diff) <= epsilon) {
+    CountSearch(far, query, epsilon, cap, count);
+  }
+}
+
+void KdTree::KnnSearch(int node_id, const std::vector<double>& query,
+                       std::size_t k, std::vector<Neighbor>* heap) const {
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.row < b.row);
+  };
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  if (node.is_leaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      std::size_t row = order_[i];
+      Neighbor cand{row, PointDistance(query, row)};
+      if (heap->size() < k) {
+        heap->push_back(cand);
+        std::push_heap(heap->begin(), heap->end(), cmp);
+      } else if (cmp(cand, heap->front())) {
+        std::pop_heap(heap->begin(), heap->end(), cmp);
+        heap->back() = cand;
+        std::push_heap(heap->begin(), heap->end(), cmp);
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int near = diff < 0 ? node.left : node.right;
+  int far = diff < 0 ? node.right : node.left;
+  KnnSearch(near, query, k, heap);
+  double worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                  : heap->front().distance;
+  if (AxisGap(diff) <= worst) {
+    KnnSearch(far, query, k, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::RangeQuery(const Tuple& query,
+                                         double epsilon) const {
+  std::vector<Neighbor> out;
+  if (root_ < 0) return out;
+  std::vector<double> q(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) q[a] = query[a].num();
+  RangeSearch(root_, q, epsilon, &out);
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.row < b.row);
+  });
+  return out;
+}
+
+std::size_t KdTree::CountWithin(const Tuple& query, double epsilon,
+                                std::size_t cap) const {
+  if (root_ < 0) return 0;
+  std::vector<double> q(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) q[a] = query[a].num();
+  std::size_t count = 0;
+  CountSearch(root_, q, epsilon, cap, &count);
+  return count;
+}
+
+std::vector<Neighbor> KdTree::KNearest(const Tuple& query,
+                                       std::size_t k) const {
+  std::vector<Neighbor> heap;
+  if (root_ < 0 || k == 0) return heap;
+  std::vector<double> q(dims_);
+  for (std::size_t a = 0; a < dims_; ++a) q[a] = query[a].num();
+  heap.reserve(k);
+  KnnSearch(root_, q, k, &heap);
+  std::sort(heap.begin(), heap.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.row < b.row);
+  });
+  return heap;
+}
+
+}  // namespace disc

@@ -1,0 +1,68 @@
+#ifndef DISC_INDEX_KD_TREE_H_
+#define DISC_INDEX_KD_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/relation.h"
+#include "distance/lp_norm.h"
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// KD-tree over an all-numeric relation with the default absolute-difference
+/// attribute metric. Supports L1/L2/L∞ aggregation. Query cost is
+/// O(log n + answer) in low dimensions and degrades gracefully toward a
+/// linear scan as m grows (the usual KD-tree behaviour).
+///
+/// Used automatically by MakeNeighborIndex for numeric relations; falls back
+/// to BruteForceIndex otherwise.
+class KdTree : public NeighborIndex {
+ public:
+  /// Builds a balanced tree (median splits) over `relation`.
+  explicit KdTree(const Relation& relation, LpNorm norm = LpNorm::kL2);
+
+  std::size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> RangeQuery(const Tuple& query,
+                                   double epsilon) const override;
+  std::size_t CountWithin(const Tuple& query, double epsilon,
+                          std::size_t cap = 0) const override;
+  std::vector<Neighbor> KNearest(const Tuple& query,
+                                 std::size_t k) const override;
+
+ private:
+  struct Node {
+    int left = -1;
+    int right = -1;
+    std::size_t begin = 0;  // range into order_ for leaves
+    std::size_t end = 0;
+    std::size_t axis = 0;
+    double split = 0;
+    bool is_leaf = false;
+  };
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  int Build(std::size_t begin, std::size_t end, std::size_t depth);
+  double PointDistance(const std::vector<double>& query,
+                       std::size_t point) const;
+  double AxisGap(double diff) const;
+
+  void RangeSearch(int node, const std::vector<double>& query, double epsilon,
+                   std::vector<Neighbor>* out) const;
+  void CountSearch(int node, const std::vector<double>& query, double epsilon,
+                   std::size_t cap, std::size_t* count) const;
+  void KnnSearch(int node, const std::vector<double>& query, std::size_t k,
+                 std::vector<Neighbor>* heap) const;
+
+  std::size_t dims_ = 0;
+  LpNorm norm_;
+  std::vector<std::vector<double>> points_;  // row-major coordinates
+  std::vector<std::size_t> order_;           // permutation of rows
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_KD_TREE_H_

@@ -1,0 +1,51 @@
+#ifndef DISC_INDEX_NEIGHBOR_INDEX_H_
+#define DISC_INDEX_NEIGHBOR_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/tuple.h"
+
+namespace disc {
+
+/// A (row index, distance) query result.
+struct Neighbor {
+  std::size_t row = 0;
+  double distance = 0;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.row == b.row && a.distance == b.distance;
+  }
+};
+
+/// ε-neighbor / kNN query interface over a fixed relation (paper Formula 4:
+/// r_ε(t) = { t_i ∈ r | Δ(t, t_i) ≤ ε }).
+///
+/// Implementations index the relation they were built over; the query tuple
+/// need not be part of the relation (outliers are queried against the
+/// inlier set r). Results never exclude the query point itself — callers
+/// querying with an indexed tuple should account for the self-match.
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  /// Number of indexed tuples.
+  virtual std::size_t size() const = 0;
+
+  /// All rows within distance `epsilon` of `query`, sorted by distance.
+  virtual std::vector<Neighbor> RangeQuery(const Tuple& query,
+                                           double epsilon) const = 0;
+
+  /// Number of rows within distance `epsilon` of `query`. Implementations
+  /// may stop early once `cap` matches have been found (cap = 0: count all).
+  virtual std::size_t CountWithin(const Tuple& query, double epsilon,
+                                  std::size_t cap = 0) const = 0;
+
+  /// The k nearest rows to `query`, sorted by distance (fewer if n < k).
+  virtual std::vector<Neighbor> KNearest(const Tuple& query,
+                                         std::size_t k) const = 0;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_NEIGHBOR_INDEX_H_

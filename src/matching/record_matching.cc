@@ -1,0 +1,89 @@
+#include "matching/record_matching.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "distance/ngram.h"
+
+namespace disc {
+
+std::vector<MatchPair> MatchRecords(const Relation& relation,
+                                    const MatchingOptions& options) {
+  std::vector<MatchPair> matches;
+  const std::size_t n = relation.size();
+  std::vector<std::size_t> attrs = options.attributes;
+  if (attrs.empty()) {
+    for (std::size_t a = 0; a < relation.arity(); ++a) attrs.push_back(a);
+  }
+
+  // Pre-render values once.
+  std::vector<std::vector<std::string>> rendered(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rendered[i].reserve(attrs.size());
+    for (std::size_t a : attrs) rendered[i].push_back(relation[i][a].ToString());
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      bool all_similar = true;
+      for (std::size_t f = 0; f < attrs.size() && all_similar; ++f) {
+        const std::string& a = rendered[i][f];
+        const std::string& b = rendered[j][f];
+        // Length filter: similarity above t requires comparable lengths.
+        double len_a = static_cast<double>(a.size());
+        double len_b = static_cast<double>(b.size());
+        double max_len = std::max(len_a, len_b);
+        if (max_len > 0 &&
+            std::min(len_a, len_b) / max_len <
+                options.similarity_threshold * 0.5) {
+          all_similar = false;
+          break;
+        }
+        all_similar =
+            NgramSimilarity(a, b, options.ngram) > options.similarity_threshold;
+      }
+      if (all_similar) matches.emplace_back(i, j);
+    }
+  }
+  return matches;
+}
+
+MatchingScores ScoreMatching(const std::vector<MatchPair>& predicted,
+                             const std::vector<MatchPair>& truth) {
+  MatchingScores s;
+  std::set<MatchPair> truth_set(truth.begin(), truth.end());
+  std::size_t tp = 0;
+  for (const MatchPair& p : predicted) {
+    if (truth_set.count(p)) ++tp;
+  }
+  s.precision = predicted.empty()
+                    ? (truth.empty() ? 1.0 : 0.0)
+                    : static_cast<double>(tp) / static_cast<double>(predicted.size());
+  s.recall = truth.empty()
+                 ? 1.0
+                 : static_cast<double>(tp) / static_cast<double>(truth.size());
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2 * s.precision * s.recall / (s.precision + s.recall)
+             : 0;
+  return s;
+}
+
+std::vector<MatchPair> PairsFromEntityIds(const std::vector<int>& entity_ids) {
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < entity_ids.size(); ++i) {
+    groups[entity_ids[i]].push_back(i);
+  }
+  std::vector<MatchPair> pairs;
+  for (const auto& [id, rows] : groups) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      for (std::size_t j = i + 1; j < rows.size(); ++j) {
+        pairs.emplace_back(rows[i], rows[j]);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace disc

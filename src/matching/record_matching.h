@@ -1,0 +1,48 @@
+#ifndef DISC_MATCHING_RECORD_MATCHING_H_
+#define DISC_MATCHING_RECORD_MATCHING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/relation.h"
+
+namespace disc {
+
+/// Rule-based record-matching options (paper §4.1.3).
+struct MatchingOptions {
+  /// Two tuples match when the normalized n-gram similarity on *every*
+  /// attribute exceeds this threshold (the paper uses 0.7).
+  double similarity_threshold = 0.7;
+  /// n-gram size for the similarity.
+  std::size_t ngram = 2;
+  /// Attributes to compare; empty = all attributes (numerics are compared
+  /// via their string rendering, as rule-based matchers do).
+  std::vector<std::size_t> attributes;
+};
+
+/// An unordered matched pair of row indices (first < second).
+using MatchPair = std::pair<std::size_t, std::size_t>;
+
+/// Finds all matched pairs under the all-attributes-similar rule
+/// (Hernández & Stolfo's merge/purge family). O(n²) comparisons with a
+/// cheap length filter.
+std::vector<MatchPair> MatchRecords(const Relation& relation,
+                                    const MatchingOptions& options = {});
+
+/// Pairwise F1 of predicted matches against ground-truth matches.
+struct MatchingScores {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+MatchingScores ScoreMatching(const std::vector<MatchPair>& predicted,
+                             const std::vector<MatchPair>& truth);
+
+/// Ground-truth matches from entity ids: every pair of rows sharing an
+/// entity id is a true match.
+std::vector<MatchPair> PairsFromEntityIds(const std::vector<int>& entity_ids);
+
+}  // namespace disc
+
+#endif  // DISC_MATCHING_RECORD_MATCHING_H_

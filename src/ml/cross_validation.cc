@@ -1,0 +1,138 @@
+#include "ml/cross_validation.h"
+
+#include <map>
+
+#include "common/random.h"
+
+namespace disc {
+
+ClassificationScores ScoreClassification(const std::vector<int>& predicted,
+                                         const std::vector<int>& truth) {
+  ClassificationScores scores;
+  if (predicted.size() != truth.size() || predicted.empty()) return scores;
+
+  std::map<int, std::size_t> tp;
+  std::map<int, std::size_t> fp;
+  std::map<int, std::size_t> fn;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) {
+      ++tp[truth[i]];
+      ++correct;
+    } else {
+      ++fp[predicted[i]];
+      ++fn[truth[i]];
+    }
+  }
+  // Classes present in either truth or prediction.
+  std::map<int, bool> classes;
+  for (int c : truth) classes[c] = true;
+  for (int c : predicted) classes[c] = true;
+
+  double f1_sum = 0;
+  for (const auto& [c, unused] : classes) {
+    double tpc = static_cast<double>(tp.count(c) ? tp.at(c) : 0);
+    double fpc = static_cast<double>(fp.count(c) ? fp.at(c) : 0);
+    double fnc = static_cast<double>(fn.count(c) ? fn.at(c) : 0);
+    double precision = tpc + fpc > 0 ? tpc / (tpc + fpc) : 0;
+    double recall = tpc + fnc > 0 ? tpc / (tpc + fnc) : 0;
+    double f1 =
+        precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0;
+    f1_sum += f1;
+  }
+  scores.macro_f1 = f1_sum / static_cast<double>(classes.size());
+  scores.accuracy = static_cast<double>(correct) / static_cast<double>(truth.size());
+  return scores;
+}
+
+namespace {
+
+/// Runs k-fold CV over a pre-arranged row order, assigning row order[i] to
+/// fold i % folds, and averages the per-fold scores.
+ClassificationScores FoldedCv(const std::vector<std::vector<double>>& features,
+                              const std::vector<int>& labels,
+                              const std::vector<std::size_t>& order,
+                              std::size_t folds,
+                              const DecisionTreeParams& params) {
+  double f1_sum = 0;
+  double acc_sum = 0;
+  const std::size_t n = order.size();
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::vector<double>> train_x;
+    std::vector<int> train_y;
+    std::vector<std::vector<double>> test_x;
+    std::vector<int> test_y;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % folds == fold) {
+        test_x.push_back(features[order[i]]);
+        test_y.push_back(labels[order[i]]);
+      } else {
+        train_x.push_back(features[order[i]]);
+        train_y.push_back(labels[order[i]]);
+      }
+    }
+    DecisionTree tree;
+    tree.Fit(train_x, train_y, params);
+    ClassificationScores fold_scores =
+        ScoreClassification(tree.PredictBatch(test_x), test_y);
+    f1_sum += fold_scores.macro_f1;
+    acc_sum += fold_scores.accuracy;
+  }
+  ClassificationScores total;
+  total.macro_f1 = f1_sum / static_cast<double>(folds);
+  total.accuracy = acc_sum / static_cast<double>(folds);
+  return total;
+}
+
+}  // namespace
+
+ClassificationScores StratifiedCrossValidateTree(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, std::size_t folds,
+    const DecisionTreeParams& params, std::uint64_t seed) {
+  ClassificationScores total;
+  const std::size_t n = features.size();
+  if (n == 0 || folds < 2 || n < folds) return total;
+
+  // Group rows by class, shuffle within each class, then interleave the
+  // classes so consecutive positions (which map to folds round-robin)
+  // spread every class across every fold.
+  Rng rng(seed);
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < n; ++i) by_class[labels[i]].push_back(i);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (auto& [cls, rows] : by_class) {
+    rng.Shuffle(&rows);
+  }
+  bool any = true;
+  std::size_t position = 0;
+  while (any) {
+    any = false;
+    for (auto& [cls, rows] : by_class) {
+      if (position < rows.size()) {
+        order.push_back(rows[position]);
+        any = true;
+      }
+    }
+    ++position;
+  }
+  return FoldedCv(features, labels, order, folds, params);
+}
+
+ClassificationScores CrossValidateTree(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, std::size_t folds,
+    const DecisionTreeParams& params, std::uint64_t seed) {
+  ClassificationScores total;
+  const std::size_t n = features.size();
+  if (n == 0 || folds < 2 || n < folds) return total;
+
+  Rng rng(seed);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  return FoldedCv(features, labels, order, folds, params);
+}
+
+}  // namespace disc

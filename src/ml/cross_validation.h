@@ -1,0 +1,40 @@
+#ifndef DISC_ML_CROSS_VALIDATION_H_
+#define DISC_ML_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace disc {
+
+/// Classification scores averaged over classes (macro) as in the paper's
+/// F1-score reporting for Table 5.
+struct ClassificationScores {
+  double macro_f1 = 0;
+  double accuracy = 0;
+};
+
+/// Macro-averaged F1 plus accuracy of `predicted` against `truth`.
+ClassificationScores ScoreClassification(const std::vector<int>& predicted,
+                                         const std::vector<int>& truth);
+
+/// k-fold cross-validation of a decision tree (paper §4.1.2: 5 folds,
+/// default tree parameters). Folds are a deterministic shuffled partition.
+ClassificationScores CrossValidateTree(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, std::size_t folds = 5,
+    const DecisionTreeParams& params = {}, std::uint64_t seed = 42);
+
+/// Stratified k-fold cross-validation: each fold preserves per-class
+/// proportions, matching scikit-learn's default for classifiers (the
+/// evaluation substrate the paper uses). Preferable on unbalanced classes.
+ClassificationScores StratifiedCrossValidateTree(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, std::size_t folds = 5,
+    const DecisionTreeParams& params = {}, std::uint64_t seed = 42);
+
+}  // namespace disc
+
+#endif  // DISC_ML_CROSS_VALIDATION_H_

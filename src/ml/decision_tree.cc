@@ -1,0 +1,173 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace disc {
+
+namespace {
+
+/// Gini impurity of a label multiset given class counts and total.
+double Gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0;
+  double impurity = 1.0;
+  for (const auto& [label, count] : counts) {
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+int MajorityLabel(const std::map<int, std::size_t>& counts) {
+  int best_label = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace
+
+int DecisionTree::BuildNode(const std::vector<std::vector<double>>& features,
+                            const std::vector<int>& labels,
+                            std::vector<std::size_t>& rows, std::size_t depth,
+                            const DecisionTreeParams& params) {
+  Node node;
+  node.depth = depth;
+
+  std::map<int, std::size_t> counts;
+  for (std::size_t row : rows) ++counts[labels[row]];
+  node.prediction = MajorityLabel(counts);
+  double impurity = Gini(counts, rows.size());
+
+  bool can_split = rows.size() >= params.min_samples_split &&
+                   counts.size() > 1 &&
+                   (params.max_depth == 0 || depth < params.max_depth);
+
+  if (can_split) {
+    const std::size_t num_features = features.empty() ? 0 : features[0].size();
+    // Accept any split meeting the configured impurity decrease — including
+    // zero-gain splits (XOR-like data needs a gainless first cut before the
+    // second level separates the classes, as in scikit-learn's CART).
+    double best_gain = params.min_impurity_decrease - 1e-12;
+    std::size_t best_feature = 0;
+    double best_threshold = 0;
+    bool found = false;
+
+    for (std::size_t f = 0; f < num_features; ++f) {
+      // Sort rows by this feature; scan split points between distinct
+      // consecutive values, maintaining running class counts.
+      std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+        return features[a][f] < features[b][f];
+      });
+      std::map<int, std::size_t> left_counts;
+      std::map<int, std::size_t> right_counts = counts;
+      const double total = static_cast<double>(rows.size());
+      for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+        int label = labels[rows[i]];
+        ++left_counts[label];
+        if (--right_counts[label] == 0) right_counts.erase(label);
+        double v = features[rows[i]][f];
+        double next_v = features[rows[i + 1]][f];
+        if (v == next_v) continue;  // no split point between equal values
+        std::size_t nl = i + 1;
+        std::size_t nr = rows.size() - nl;
+        double gain = impurity -
+                      (static_cast<double>(nl) / total) * Gini(left_counts, nl) -
+                      (static_cast<double>(nr) / total) * Gini(right_counts, nr);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (v + next_v);
+          found = true;
+        }
+      }
+    }
+
+    if (found) {
+      std::vector<std::size_t> left_rows;
+      std::vector<std::size_t> right_rows;
+      for (std::size_t row : rows) {
+        if (features[row][best_feature] <= best_threshold) {
+          left_rows.push_back(row);
+        } else {
+          right_rows.push_back(row);
+        }
+      }
+      if (!left_rows.empty() && !right_rows.empty()) {
+        node.is_leaf = false;
+        node.feature = best_feature;
+        node.threshold = best_threshold;
+        int self = static_cast<int>(nodes_.size());
+        nodes_.push_back(node);
+        int left = BuildNode(features, labels, left_rows, depth + 1, params);
+        int right = BuildNode(features, labels, right_rows, depth + 1, params);
+        nodes_[static_cast<std::size_t>(self)].left = left;
+        nodes_[static_cast<std::size_t>(self)].right = right;
+        return self;
+      }
+    }
+  }
+
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void DecisionTree::Fit(const std::vector<std::vector<double>>& features,
+                       const std::vector<int>& labels,
+                       const DecisionTreeParams& params) {
+  nodes_.clear();
+  root_ = -1;
+  if (features.empty() || features.size() != labels.size()) return;
+  std::vector<std::size_t> rows(features.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = BuildNode(features, labels, rows, 0, params);
+}
+
+int DecisionTree::Predict(const std::vector<double>& sample) const {
+  if (root_ < 0) return 0;
+  int node_id = root_;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+    if (node.is_leaf) return node.prediction;
+    node_id = sample[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::vector<int> DecisionTree::PredictBatch(
+    const std::vector<std::vector<double>>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(Predict(s));
+  return out;
+}
+
+std::size_t DecisionTree::depth() const {
+  std::size_t max_depth = 0;
+  for (const Node& node : nodes_) max_depth = std::max(max_depth, node.depth);
+  return max_depth;
+}
+
+void RelationToDataset(const Relation& relation,
+                       const std::vector<int>& labels,
+                       std::vector<std::vector<double>>* features) {
+  (void)labels;
+  features->clear();
+  features->reserve(relation.size());
+  for (const Tuple& t : relation) {
+    std::vector<double> row;
+    row.reserve(relation.arity());
+    for (std::size_t a = 0; a < relation.arity(); ++a) {
+      if (t[a].is_numeric()) row.push_back(t[a].num());
+    }
+    features->push_back(std::move(row));
+  }
+}
+
+}  // namespace disc

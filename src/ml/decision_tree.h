@@ -1,0 +1,73 @@
+#ifndef DISC_ML_DECISION_TREE_H_
+#define DISC_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/relation.h"
+
+namespace disc {
+
+/// CART hyperparameters (defaults mirror scikit-learn's
+/// DecisionTreeClassifier defaults used by the paper: unlimited depth,
+/// gini impurity, split until pure or < 2 samples).
+struct DecisionTreeParams {
+  std::size_t max_depth = 0;  ///< 0 = unlimited
+  std::size_t min_samples_split = 2;
+  double min_impurity_decrease = 0.0;
+};
+
+/// A binary CART classifier over numeric features with integer class
+/// labels. Substrate for the §4.2.4 classification experiment (the paper
+/// uses scikit-learn's decision tree; see DESIGN.md substitutions).
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits the tree on `features` (row-major) and `labels` (same length).
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels,
+           const DecisionTreeParams& params = {});
+
+  /// Predicts the class of one sample. Must be fitted first.
+  int Predict(const std::vector<double>& sample) const;
+
+  /// Predicts classes for many samples.
+  std::vector<int> PredictBatch(
+      const std::vector<std::vector<double>>& samples) const;
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Depth of the fitted tree (0 for a single leaf).
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int prediction = 0;
+    std::size_t feature = 0;
+    double threshold = 0;
+    int left = -1;
+    int right = -1;
+    std::size_t depth = 0;
+  };
+
+  int BuildNode(const std::vector<std::vector<double>>& features,
+                const std::vector<int>& labels,
+                std::vector<std::size_t>& rows, std::size_t depth,
+                const DecisionTreeParams& params);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+/// Extracts (features, labels) from a relation: all numeric attributes are
+/// features; `label_column` supplies integer class labels.
+void RelationToDataset(const Relation& relation,
+                       const std::vector<int>& labels,
+                       std::vector<std::vector<double>>* features);
+
+}  // namespace disc
+
+#endif  // DISC_ML_DECISION_TREE_H_

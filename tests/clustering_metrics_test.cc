@@ -1,0 +1,124 @@
+#include "eval/clustering_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(PairCounting, PerfectAgreement) {
+  std::vector<int> labels{0, 0, 1, 1, 2};
+  PairCountingScores s = PairCounting(labels, labels);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(PairCounting, RelabelingInvariant) {
+  std::vector<int> a{0, 0, 1, 1};
+  std::vector<int> b{5, 5, 2, 2};
+  EXPECT_DOUBLE_EQ(PairCounting(a, b).f1, 1.0);
+}
+
+TEST(PairCounting, KnownSplit) {
+  // Truth: {0,1,2,3} together. Prediction splits into {0,1} and {2,3}.
+  std::vector<int> truth{0, 0, 0, 0};
+  std::vector<int> pred{0, 0, 1, 1};
+  PairCountingScores s = PairCounting(pred, truth);
+  // TP = 2 (pairs 01, 23); truth pairs = 6; pred pairs = 2.
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.f1, 2 * 1.0 * (2.0 / 6.0) / (1.0 + 2.0 / 6.0), 1e-12);
+}
+
+TEST(PairCounting, NoiseAsSingletons) {
+  // Two noise points never pair, in prediction or truth.
+  std::vector<int> truth{0, 0, -1, -1};
+  std::vector<int> pred{0, 0, -1, -1};
+  PairCountingScores s = PairCounting(pred, truth);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(PairCounting, NoisePredictionLosesRecall) {
+  std::vector<int> truth{0, 0, 0};
+  std::vector<int> pred{0, 0, -1};
+  PairCountingScores s = PairCounting(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairCounting, EmptyOrMismatched) {
+  std::vector<int> empty;
+  EXPECT_DOUBLE_EQ(PairCounting(empty, empty).f1, 0.0);
+  std::vector<int> a{0};
+  std::vector<int> b{0, 1};
+  EXPECT_DOUBLE_EQ(PairCounting(a, b).f1, 0.0);
+}
+
+TEST(Nmi, PerfectAgreementIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(Nmi(labels, labels), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  // Prediction orthogonal to truth.
+  std::vector<int> truth{0, 0, 1, 1};
+  std::vector<int> pred{0, 1, 0, 1};
+  EXPECT_LT(Nmi(pred, truth), 0.05);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+  std::vector<int> a{0, 0, 1, 1, 2};
+  std::vector<int> b{0, 1, 1, 1, 2};
+  EXPECT_NEAR(Nmi(a, b), Nmi(b, a), 1e-12);
+}
+
+TEST(Nmi, RangeZeroOne) {
+  std::vector<int> a{0, 1, 0, 1, 2, 2, 0};
+  std::vector<int> b{1, 1, 0, 0, 2, 0, 2};
+  double v = Nmi(a, b);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0);
+}
+
+TEST(Ari, PerfectAgreementIsOne) {
+  std::vector<int> labels{0, 0, 1, 1, 2};
+  EXPECT_NEAR(Ari(labels, labels), 1.0, 1e-12);
+}
+
+TEST(Ari, RelabelingInvariant) {
+  std::vector<int> a{0, 0, 1, 1};
+  std::vector<int> b{9, 9, 4, 4};
+  EXPECT_NEAR(Ari(a, b), 1.0, 1e-12);
+}
+
+TEST(Ari, RandomLikeNearZero) {
+  std::vector<int> truth{0, 0, 1, 1, 0, 1, 0, 1};
+  std::vector<int> pred{0, 1, 0, 1, 1, 0, 1, 0};
+  EXPECT_NEAR(Ari(pred, truth), 0.0, 0.35);
+}
+
+TEST(Ari, WorseThanChanceIsNegative) {
+  // Systematically anti-correlated partitions can push ARI below 0.
+  std::vector<int> truth{0, 0, 0, 1, 1, 1};
+  std::vector<int> pred{0, 1, 2, 0, 1, 2};
+  EXPECT_LE(Ari(pred, truth), 0.0 + 1e-9);
+}
+
+TEST(Ari, AtMostOne) {
+  std::vector<int> a{0, 0, 1, 2, 2, 1};
+  std::vector<int> b{0, 1, 1, 2, 0, 1};
+  EXPECT_LE(Ari(a, b), 1.0 + 1e-12);
+}
+
+TEST(Metrics, SplitClusterScoresBelowPerfect) {
+  std::vector<int> truth{0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> split{0, 0, 2, 2, 1, 1, 1, 1};
+  EXPECT_LT(PairCounting(split, truth).f1, 1.0);
+  EXPECT_LT(Nmi(split, truth), 1.0);
+  EXPECT_LT(Ari(split, truth), 1.0);
+  // But far better than nothing.
+  EXPECT_GT(PairCounting(split, truth).f1, 0.5);
+}
+
+}  // namespace
+}  // namespace disc

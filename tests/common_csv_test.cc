@@ -1,0 +1,107 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace disc {
+namespace {
+
+TEST(Csv, ParseNumericWithHeader) {
+  Result<Relation> r = ParseCsv("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Relation& rel = r.value();
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.arity(), 2u);
+  EXPECT_EQ(rel.schema().name(0), "x");
+  EXPECT_EQ(rel.schema().kind(0), ValueKind::kNumeric);
+  EXPECT_DOUBLE_EQ(rel[1][1].num(), 4.0);
+}
+
+TEST(Csv, ParseWithoutHeader) {
+  CsvOptions opts;
+  opts.has_header = false;
+  Result<Relation> r = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value().schema().name(0), "a0");
+}
+
+TEST(Csv, InfersStringColumns) {
+  Result<Relation> r = ParseCsv("id,name\n1,alice\n2,bob\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().kind(0), ValueKind::kNumeric);
+  EXPECT_EQ(r.value().schema().kind(1), ValueKind::kString);
+  EXPECT_EQ(r.value()[0][1].str(), "alice");
+}
+
+TEST(Csv, MixedColumnBecomesString) {
+  Result<Relation> r = ParseCsv("v\n1\nx\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().kind(0), ValueKind::kString);
+}
+
+TEST(Csv, NoInferenceMakesEverythingString) {
+  CsvOptions opts;
+  opts.infer_kinds = false;
+  Result<Relation> r = ParseCsv("x\n1\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().kind(0), ValueKind::kString);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  Result<Relation> r = ParseCsv("x,y\n1,2\n3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  Result<Relation> r = ParseCsv("");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Csv, HandlesCrLf) {
+  Result<Relation> r = ParseCsv("x\r\n1\r\n2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST(Csv, CustomSeparator) {
+  CsvOptions opts;
+  opts.separator = ';';
+  Result<Relation> r = ParseCsv("x;y\n1;2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().arity(), 2u);
+}
+
+TEST(Csv, RoundTripThroughText) {
+  Result<Relation> r = ParseCsv("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = ToCsv(r.value());
+  Result<Relation> again = ParseCsv(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(again.value()[0][0].num(), 1.0);
+}
+
+TEST(Csv, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/disc_csv_test.csv";
+  Result<Relation> r = ParseCsv("x,s\n1,ab\n2,cd\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(WriteCsv(r.value(), path).ok());
+  Result<Relation> read = ReadCsv(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), 2u);
+  EXPECT_EQ(read.value()[1][1].str(), "cd");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileFails) {
+  Result<Relation> r = ReadCsv("/nonexistent/path.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace disc

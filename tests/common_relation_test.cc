@@ -1,0 +1,112 @@
+#include "common/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+Relation SmallRelation() {
+  Relation r(Schema::Numeric(2));
+  r.AppendUnchecked(Tuple::Numeric({1, 10}));
+  r.AppendUnchecked(Tuple::Numeric({2, 20}));
+  r.AppendUnchecked(Tuple::Numeric({3, 30}));
+  return r;
+}
+
+TEST(Schema, NumericFactory) {
+  Schema s = Schema::Numeric(3);
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.name(0), "a0");
+  EXPECT_EQ(s.kind(2), ValueKind::kNumeric);
+  EXPECT_TRUE(s.all_numeric());
+}
+
+TEST(Schema, NamedFactories) {
+  Schema n = Schema::NumericNamed({"x", "y"});
+  EXPECT_EQ(n.name(1), "y");
+  EXPECT_TRUE(n.all_numeric());
+  Schema s = Schema::StringNamed({"name"});
+  EXPECT_EQ(s.kind(0), ValueKind::kString);
+  EXPECT_FALSE(s.all_numeric());
+}
+
+TEST(Schema, IndexOf) {
+  Schema s = Schema::NumericNamed({"x", "y"});
+  EXPECT_EQ(s.IndexOf("y"), 1u);
+  EXPECT_EQ(s.IndexOf("z"), Schema::npos);
+}
+
+TEST(Schema, Equality) {
+  EXPECT_EQ(Schema::Numeric(2), Schema::Numeric(2));
+  EXPECT_FALSE(Schema::Numeric(2) == Schema::Numeric(3));
+}
+
+TEST(Relation, AppendChecksArity) {
+  Relation r(Schema::Numeric(2));
+  EXPECT_TRUE(r.Append(Tuple::Numeric({1, 2})).ok());
+  Status bad = r.Append(Tuple::Numeric({1, 2, 3}));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, SizeAndAccess) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_DOUBLE_EQ(r[1][1].num(), 20.0);
+}
+
+TEST(Relation, SelectPreservesOrder) {
+  Relation r = SmallRelation();
+  Relation sub = r.Select({2, 0});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub[0][0].num(), 3.0);
+  EXPECT_DOUBLE_EQ(sub[1][0].num(), 1.0);
+}
+
+TEST(Relation, DomainDistinctSorted) {
+  Relation r(Schema::Numeric(1));
+  r.AppendUnchecked(Tuple::Numeric({3}));
+  r.AppendUnchecked(Tuple::Numeric({1}));
+  r.AppendUnchecked(Tuple::Numeric({3}));
+  std::vector<Value> d = r.Domain(0);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0].num(), 1.0);
+  EXPECT_DOUBLE_EQ(d[1].num(), 3.0);
+}
+
+TEST(Relation, MaxDomainSize) {
+  Relation r = SmallRelation();
+  EXPECT_EQ(r.MaxDomainSize(), 3u);
+}
+
+TEST(Relation, RangeComputesMinMax) {
+  Relation r = SmallRelation();
+  Relation::NumericRange range = r.Range(1);
+  EXPECT_DOUBLE_EQ(range.min, 10.0);
+  EXPECT_DOUBLE_EQ(range.max, 30.0);
+}
+
+TEST(Relation, EmptyRelation) {
+  Relation r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.arity(), 0u);
+}
+
+TEST(Relation, MutableAccess) {
+  Relation r = SmallRelation();
+  r[0][0] = Value(99.0);
+  EXPECT_DOUBLE_EQ(r[0][0].num(), 99.0);
+}
+
+TEST(Relation, IterationCoversAllTuples) {
+  Relation r = SmallRelation();
+  double sum = 0;
+  for (const Tuple& t : r) sum += t[0].num();
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,133 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(Tuple, NumericFactory) {
+  Tuple t = Tuple::Numeric({1.0, 2.0, 3.0});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t[0].num(), 1.0);
+  EXPECT_DOUBLE_EQ(t[2].num(), 3.0);
+}
+
+TEST(Tuple, FromDoubles) {
+  Tuple t = Tuple::FromDoubles({4.0, 5.0});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t[1].num(), 5.0);
+}
+
+TEST(Tuple, AritySizedConstructor) {
+  Tuple t(4);
+  EXPECT_EQ(t.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(t[i].is_numeric());
+    EXPECT_EQ(t[i].num(), 0.0);
+  }
+}
+
+TEST(Tuple, MixedValues) {
+  Tuple t{Value(1.0), Value("x")};
+  EXPECT_TRUE(t[0].is_numeric());
+  EXPECT_TRUE(t[1].is_string());
+}
+
+TEST(Tuple, Equality) {
+  EXPECT_EQ(Tuple::Numeric({1, 2}), Tuple::Numeric({1, 2}));
+  EXPECT_NE(Tuple::Numeric({1, 2}), Tuple::Numeric({1, 3}));
+  EXPECT_NE(Tuple::Numeric({1, 2}), Tuple::Numeric({1, 2, 3}));
+}
+
+TEST(Tuple, MutationThroughIndex) {
+  Tuple t = Tuple::Numeric({1, 2});
+  t[0] = Value(9.0);
+  EXPECT_DOUBLE_EQ(t[0].num(), 9.0);
+}
+
+TEST(Tuple, ToDoublesSkipsStrings) {
+  Tuple t{Value(1.0), Value("x"), Value(2.0)};
+  std::vector<double> d = t.ToDoubles();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+}
+
+TEST(Tuple, ToStringFormat) {
+  EXPECT_EQ(Tuple::Numeric({1, 2}).ToString(), "(1, 2)");
+}
+
+TEST(AttributeSet, EmptyByDefault) {
+  AttributeSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(AttributeSet, InsertEraseContains) {
+  AttributeSet s;
+  s.insert(3);
+  s.insert(10);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(AttributeSet, InitializerList) {
+  AttributeSet s{0, 2, 5};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(5));
+}
+
+TEST(AttributeSet, FullSet) {
+  AttributeSet s = AttributeSet::Full(5);
+  EXPECT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(AttributeSet, FullSet64) {
+  AttributeSet s = AttributeSet::Full(64);
+  EXPECT_EQ(s.size(), 64u);
+}
+
+TEST(AttributeSet, WithIsNonMutating) {
+  AttributeSet s{1};
+  AttributeSet t = s.With(2);
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(t.contains(1));
+}
+
+TEST(AttributeSet, Complement) {
+  AttributeSet s{0, 2};
+  AttributeSet c = s.ComplementIn(4);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(AttributeSet, ToIndicesSorted) {
+  AttributeSet s{5, 1, 3};
+  std::vector<std::size_t> idx = s.ToIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 5u);
+}
+
+TEST(AttributeSet, BitsRoundTrip) {
+  AttributeSet s{0, 63};
+  AttributeSet t(s.bits());
+  EXPECT_EQ(s, t);
+}
+
+}  // namespace
+}  // namespace disc

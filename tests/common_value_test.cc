@@ -1,0 +1,90 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace disc {
+namespace {
+
+TEST(Value, DefaultIsNumericZero) {
+  Value v;
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.num(), 0.0);
+  EXPECT_EQ(v.kind(), ValueKind::kNumeric);
+}
+
+TEST(Value, NumericRoundTrip) {
+  Value v(3.25);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_DOUBLE_EQ(v.num(), 3.25);
+}
+
+TEST(Value, IntConstructorIsNumeric) {
+  Value v(7);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.num(), 7.0);
+}
+
+TEST(Value, StringRoundTrip) {
+  Value v(std::string("hello"));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.str(), "hello");
+}
+
+TEST(Value, CStringConstructorIsString) {
+  Value v("abc");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.str(), "abc");
+}
+
+TEST(Value, SettersSwitchKind) {
+  Value v(1.0);
+  v.set_str("s");
+  EXPECT_TRUE(v.is_string());
+  v.set_num(2.0);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.num(), 2.0);
+}
+
+TEST(Value, EqualityNumeric) {
+  EXPECT_EQ(Value(1.5), Value(1.5));
+  EXPECT_NE(Value(1.5), Value(1.6));
+}
+
+TEST(Value, EqualityString) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(Value, NumericNeverEqualsString) {
+  EXPECT_NE(Value(0.0), Value("0"));
+}
+
+TEST(Value, OrderingWorksInSets) {
+  std::set<Value> s;
+  s.insert(Value(2.0));
+  s.insert(Value(1.0));
+  s.insert(Value("b"));
+  s.insert(Value("a"));
+  s.insert(Value(1.0));  // duplicate
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(Value, ToStringIntegerHasNoDecimals) {
+  EXPECT_EQ(Value(42.0).ToString(), "42");
+  EXPECT_EQ(Value(-3.0).ToString(), "-3");
+}
+
+TEST(Value, ToStringFractional) {
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(Value, ToStringString) {
+  EXPECT_EQ(Value("xyz").ToString(), "xyz");
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,144 @@
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace disc {
+namespace {
+
+TEST(ScoreClassification, PerfectPrediction) {
+  std::vector<int> y{0, 1, 2, 0, 1, 2};
+  ClassificationScores s = ScoreClassification(y, y);
+  EXPECT_DOUBLE_EQ(s.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(s.accuracy, 1.0);
+}
+
+TEST(ScoreClassification, AllWrong) {
+  std::vector<int> truth{0, 0, 0};
+  std::vector<int> pred{1, 1, 1};
+  ClassificationScores s = ScoreClassification(pred, truth);
+  EXPECT_DOUBLE_EQ(s.macro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(s.accuracy, 0.0);
+}
+
+TEST(ScoreClassification, KnownMacroF1) {
+  // Class 0: tp=1 fp=0 fn=1 → P=1, R=0.5, F1=2/3.
+  // Class 1: tp=1 fp=1 fn=0 → P=0.5, R=1, F1=2/3.
+  std::vector<int> truth{0, 0, 1};
+  std::vector<int> pred{0, 1, 1};
+  ClassificationScores s = ScoreClassification(pred, truth);
+  EXPECT_NEAR(s.macro_f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreClassification, EmptyInput) {
+  ClassificationScores s = ScoreClassification({}, {});
+  EXPECT_DOUBLE_EQ(s.macro_f1, 0.0);
+}
+
+TEST(CrossValidateTree, SeparableDataScoresHigh) {
+  Rng rng(81);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform(0, 10);
+    x.push_back({v});
+    y.push_back(v < 5 ? 0 : 1);
+  }
+  ClassificationScores s = CrossValidateTree(x, y, 5);
+  EXPECT_GT(s.macro_f1, 0.95);
+  EXPECT_GT(s.accuracy, 0.95);
+}
+
+TEST(CrossValidateTree, RandomLabelsScoreNearHalf) {
+  Rng rng(83);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back({rng.Uniform(0, 1)});
+    y.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  ClassificationScores s = CrossValidateTree(x, y, 5);
+  EXPECT_LT(s.accuracy, 0.65);
+  EXPECT_GT(s.accuracy, 0.35);
+}
+
+TEST(CrossValidateTree, DeterministicForFixedSeed) {
+  Rng rng(85);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.Uniform(0, 10);
+    x.push_back({v, rng.Uniform(0, 1)});
+    y.push_back(v < 5 ? 0 : 1);
+  }
+  ClassificationScores a = CrossValidateTree(x, y, 5, {}, 7);
+  ClassificationScores b = CrossValidateTree(x, y, 5, {}, 7);
+  EXPECT_DOUBLE_EQ(a.macro_f1, b.macro_f1);
+}
+
+TEST(StratifiedCv, SeparableDataScoresHigh) {
+  Rng rng(87);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    double v = rng.Uniform(0, 10);
+    x.push_back({v});
+    y.push_back(v < 5 ? 0 : 1);
+  }
+  ClassificationScores s = StratifiedCrossValidateTree(x, y, 5);
+  EXPECT_GT(s.macro_f1, 0.95);
+}
+
+TEST(StratifiedCv, HandlesSevereClassImbalance) {
+  // 190:10 imbalance: plain round-robin folds can leave a fold without any
+  // minority sample; stratification guarantees each fold sees both classes.
+  Rng rng(89);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 190; ++i) {
+    x.push_back({rng.Uniform(0, 1)});
+    y.push_back(0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    x.push_back({rng.Uniform(9, 10)});
+    y.push_back(1);
+  }
+  ClassificationScores s = StratifiedCrossValidateTree(x, y, 5);
+  // The minority class is perfectly separable, so stratified folds should
+  // classify it correctly (macro-F1 near 1 despite the imbalance).
+  EXPECT_GT(s.macro_f1, 0.9);
+}
+
+TEST(StratifiedCv, DeterministicForFixedSeed) {
+  Rng rng(90);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 120; ++i) {
+    double v = rng.Uniform(0, 10);
+    x.push_back({v});
+    y.push_back(v < 5 ? 0 : 1);
+  }
+  ClassificationScores a = StratifiedCrossValidateTree(x, y, 5, {}, 3);
+  ClassificationScores b = StratifiedCrossValidateTree(x, y, 5, {}, 3);
+  EXPECT_DOUBLE_EQ(a.macro_f1, b.macro_f1);
+}
+
+TEST(StratifiedCv, DegenerateInputsReturnZero) {
+  ClassificationScores empty = StratifiedCrossValidateTree({}, {}, 5);
+  EXPECT_DOUBLE_EQ(empty.macro_f1, 0.0);
+}
+
+TEST(CrossValidateTree, DegenerateInputsReturnZero) {
+  ClassificationScores empty = CrossValidateTree({}, {}, 5);
+  EXPECT_DOUBLE_EQ(empty.macro_f1, 0.0);
+  // Fewer samples than folds.
+  std::vector<std::vector<double>> x{{1}, {2}};
+  std::vector<int> y{0, 1};
+  ClassificationScores tiny = CrossValidateTree(x, y, 5);
+  EXPECT_DOUBLE_EQ(tiny.macro_f1, 0.0);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,153 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "distance/evaluator.h"
+#include "index/index_factory.h"
+
+namespace disc {
+namespace {
+
+TEST(Datasets, NamesListedMatchTable1) {
+  std::vector<std::string> names = PaperDatasetNames();
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[0], "iris");
+  EXPECT_EQ(names.back(), "restaurant");
+}
+
+TEST(Datasets, IrisShape) {
+  PaperDataset ds = MakePaperDataset("iris");
+  EXPECT_EQ(ds.dirty.size(), 150u);
+  EXPECT_EQ(ds.dirty.arity(), 4u);
+  EXPECT_EQ(ds.labels.size(), 150u);
+  EXPECT_GT(ds.errors.size(), 0u);
+}
+
+TEST(Datasets, ScaleShrinksTuples) {
+  PaperDataset full = MakePaperDataset("wifi", 42, 0.1);
+  EXPECT_NEAR(static_cast<double>(full.dirty.size()), 200.0, 5.0);
+  EXPECT_EQ(full.dirty.arity(), 7u);
+}
+
+TEST(Datasets, CleanAndDirtyDifferOnlyAtErrors) {
+  PaperDataset ds = MakePaperDataset("seeds");
+  std::size_t diff_cells = 0;
+  for (std::size_t row = 0; row < ds.clean.size(); ++row) {
+    for (std::size_t a = 0; a < ds.clean.arity(); ++a) {
+      if (!(ds.clean[row][a] == ds.dirty[row][a])) ++diff_cells;
+    }
+  }
+  EXPECT_EQ(diff_cells, ds.errors.size());
+}
+
+TEST(Datasets, SuggestedConstraintFlagsRoughlyTargetOutliers) {
+  PaperDataset ds = MakePaperDataset("iris");
+  DistanceEvaluator ev(ds.dirty.schema());
+  auto index = MakeNeighborIndex(ds.dirty, ev, ds.suggested.epsilon);
+  InlierOutlierSplit split =
+      SplitInliersOutliers(ds.dirty, *index, ds.suggested);
+  // Table 1 lists 15 outliers for Iris; calibration targets that count.
+  EXPECT_NEAR(static_cast<double>(split.outlier_rows.size()), 15.0, 8.0);
+}
+
+TEST(Datasets, DirtyRowsAreMostlyFlagged) {
+  PaperDataset ds = MakePaperDataset("wifi", 42, 0.25);
+  DistanceEvaluator ev(ds.dirty.schema());
+  auto index = MakeNeighborIndex(ds.dirty, ev, ds.suggested.epsilon);
+  InlierOutlierSplit split =
+      SplitInliersOutliers(ds.dirty, *index, ds.suggested);
+  std::size_t flagged = 0;
+  for (std::size_t row : ds.dirty_rows) {
+    if (std::find(split.outlier_rows.begin(), split.outlier_rows.end(), row) !=
+        split.outlier_rows.end()) {
+      ++flagged;
+    }
+  }
+  // The injected errors are large; the calibrated constraint should catch
+  // the clear majority of them.
+  EXPECT_GT(flagged * 10, ds.dirty_rows.size() * 6);
+}
+
+TEST(Datasets, GpsShape) {
+  PaperDataset ds = MakePaperDataset("gps", 42, 0.2);
+  EXPECT_EQ(ds.dirty.arity(), 3u);
+  EXPECT_EQ(ds.dirty.schema().name(0), "Time");
+  // GPS errors touch exactly one attribute.
+  for (std::size_t row : ds.dirty_rows) {
+    AttributeSet attrs;
+    for (const CellError& e : ds.errors) {
+      if (e.row == row) attrs.insert(e.attribute);
+    }
+    EXPECT_EQ(attrs.size(), 1u);
+  }
+  EXPECT_FALSE(ds.natural_outlier_rows.empty());
+}
+
+TEST(Datasets, RestaurantIsStringData) {
+  PaperDataset ds = MakePaperDataset("restaurant");
+  EXPECT_EQ(ds.dirty.arity(), 5u);
+  for (std::size_t a = 0; a < ds.dirty.arity(); ++a) {
+    EXPECT_EQ(ds.dirty.schema().kind(a), ValueKind::kString);
+  }
+  EXPECT_EQ(ds.dirty.size(), 864u);
+}
+
+TEST(Datasets, UnknownNameGivesEmpty) {
+  PaperDataset ds = MakePaperDataset("nope");
+  EXPECT_TRUE(ds.dirty.empty());
+  EXPECT_EQ(ds.name, "nope");
+}
+
+TEST(Datasets, DeterministicForSeed) {
+  PaperDataset a = MakePaperDataset("iris", 7);
+  PaperDataset b = MakePaperDataset("iris", 7);
+  ASSERT_EQ(a.dirty.size(), b.dirty.size());
+  for (std::size_t i = 0; i < a.dirty.size(); ++i) {
+    EXPECT_EQ(a.dirty[i], b.dirty[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.suggested.epsilon, b.suggested.epsilon);
+}
+
+TEST(Datasets, LabelsCoverDeclaredClasses) {
+  PaperDataset ds = MakePaperDataset("yeast", 42, 0.3);
+  std::set<int> distinct;
+  for (int l : ds.labels) {
+    if (l >= 0) distinct.insert(l);
+  }
+  EXPECT_EQ(distinct.size(), 4u);  // Table 1: yeast has 4 classes
+}
+
+TEST(Datasets, EtaMatchesPaperHints) {
+  EXPECT_EQ(MakePaperDataset("letter", 42, 0.05).suggested.eta, 18u);
+  EXPECT_EQ(MakePaperDataset("gps", 42, 0.1).suggested.eta, 3u);
+  // Restaurant: η = 2 (self + duplicate twin under the self-counting
+  // convention), ε strictly below the 1-edit typo cost so corrupted copies
+  // violate while exact copies do not.
+  PaperDataset restaurant = MakePaperDataset("restaurant");
+  EXPECT_EQ(restaurant.suggested.eta, 2u);
+  EXPECT_GT(restaurant.suggested.epsilon, 0.0);
+  EXPECT_LT(restaurant.suggested.epsilon, 1.0);
+}
+
+TEST(Datasets, RestaurantErrorsHitOnlyDuplicates) {
+  PaperDataset ds = MakePaperDataset("restaurant");
+  // Every dirty row must belong to a duplicated entity (2-3 rows), and no
+  // entity has more than one corrupted row — the clean copies stay inliers.
+  std::map<int, int> label_counts;
+  for (int l : ds.labels) ++label_counts[l];
+  std::map<int, int> dirty_per_entity;
+  for (std::size_t row : ds.dirty_rows) {
+    EXPECT_GE(label_counts[ds.labels[row]], 2) << "row " << row;
+    EXPECT_EQ(++dirty_per_entity[ds.labels[row]], 1) << "row " << row;
+  }
+  // Singletons are recorded as natural outliers.
+  EXPECT_GT(ds.natural_outlier_rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace disc

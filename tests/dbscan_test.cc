@@ -1,0 +1,106 @@
+#include "clustering/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation TwoBlobs(std::size_t per_blob = 50, std::uint64_t seed = 3) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.5, per_blob});
+  clusters.push_back({{10, 0}, 0.5, per_blob});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(Dbscan, RecoversTwoBlobs) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1.5, 4});
+  EXPECT_EQ(NumClusters(labels), 2u);
+  // Pair F1 vs ground truth should be near-perfect.
+  PairCountingScores s = PairCounting(labels, data.labels);
+  EXPECT_GT(s.f1, 0.95);
+}
+
+TEST(Dbscan, FarPointIsNoise) {
+  LabeledRelation data = TwoBlobs();
+  data.data.AppendUnchecked(Tuple::Numeric({100, 100}));
+  data.labels.push_back(kNoise);
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1.5, 4});
+  EXPECT_EQ(labels.back(), kNoise);
+}
+
+TEST(Dbscan, TinyEpsilonAllNoise) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1e-6, 4});
+  EXPECT_EQ(NumNoise(labels), data.data.size());
+}
+
+TEST(Dbscan, HugeEpsilonOneCluster) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1000.0, 4});
+  EXPECT_EQ(NumClusters(labels), 1u);
+  EXPECT_EQ(NumNoise(labels), 0u);
+}
+
+TEST(Dbscan, MinPtsOneClustersEverything) {
+  LabeledRelation data = TwoBlobs(20);
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1.5, 1});
+  EXPECT_EQ(NumNoise(labels), 0u);
+}
+
+TEST(Dbscan, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  DistanceEvaluator ev(r.schema());
+  Labels labels = Dbscan(r, ev, {1.0, 3});
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST(Dbscan, DeterministicAcrossRuns) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels a = Dbscan(data.data, ev, {1.5, 4});
+  Labels b = Dbscan(data.data, ev, {1.5, 4});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dbscan, BridgeMergesClusters) {
+  // A dense bridge of points connecting two blobs merges them into one
+  // density-connected cluster.
+  LabeledRelation data = TwoBlobs();
+  for (double x = 1.0; x < 9.5; x += 0.3) {
+    data.data.AppendUnchecked(Tuple::Numeric({x, 0}));
+    data.labels.push_back(0);
+  }
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Dbscan(data.data, ev, {1.0, 3});
+  EXPECT_EQ(NumClusters(labels), 1u);
+}
+
+TEST(Dbscan, ErrorSplitsClusterWithoutSaving) {
+  // The paper's Figure 1 story: spiking one attribute of several tuples in
+  // a thin elongated cluster can split it under DBSCAN.
+  Relation r(Schema::Numeric(2));
+  for (double x = 0; x < 20; x += 0.25) {
+    r.AppendUnchecked(Tuple::Numeric({x, 0.0}));
+  }
+  DistanceEvaluator ev(r.schema());
+  Labels before = Dbscan(r, ev, {0.6, 3});
+  EXPECT_EQ(NumClusters(before), 1u);
+  // Break the chain by spiking a contiguous run of points.
+  Relation broken = r;
+  for (std::size_t i = 38; i < 42; ++i) broken[i][1] = Value(50.0);
+  Labels after = Dbscan(broken, ev, {0.6, 3});
+  EXPECT_GE(NumClusters(after), 2u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,112 @@
+#include "constraints/distance_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "index/index_factory.h"
+
+namespace disc {
+namespace {
+
+/// A tight cluster of `cluster_size` points around the origin plus one far
+/// outlier at (100, 100).
+Relation ClusterPlusOutlier(std::size_t cluster_size) {
+  Rng rng(77);
+  Relation r(Schema::Numeric(2));
+  for (std::size_t i = 0; i < cluster_size; ++i) {
+    r.AppendUnchecked(
+        Tuple::Numeric({rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)}));
+  }
+  r.AppendUnchecked(Tuple::Numeric({100, 100}));
+  return r;
+}
+
+TEST(DistanceConstraint, SatisfiesForClusterPoint) {
+  Relation r = ClusterPlusOutlier(30);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 2.0);
+  DistanceConstraint c{2.0, 5};
+  EXPECT_TRUE(SatisfiesConstraint(*index, r[0], c));
+}
+
+TEST(DistanceConstraint, ViolatedForOutlier) {
+  Relation r = ClusterPlusOutlier(30);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 2.0);
+  DistanceConstraint c{2.0, 5};
+  EXPECT_FALSE(SatisfiesConstraint(*index, r[30], c));
+}
+
+TEST(Split, SeparatesOutlier) {
+  Relation r = ClusterPlusOutlier(30);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 2.0);
+  InlierOutlierSplit split = SplitInliersOutliers(r, *index, {2.0, 5});
+  EXPECT_EQ(split.inlier_rows.size(), 30u);
+  ASSERT_EQ(split.outlier_rows.size(), 1u);
+  EXPECT_EQ(split.outlier_rows[0], 30u);
+}
+
+TEST(Split, AllInliersWhenEtaOne) {
+  // η = 1 is always satisfied: a tuple is its own ε-neighbor (Formula 4).
+  Relation r = ClusterPlusOutlier(10);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 0.001);
+  InlierOutlierSplit split = SplitInliersOutliers(r, *index, {0.001, 1});
+  EXPECT_EQ(split.outlier_rows.size(), 0u);
+}
+
+TEST(Split, AllOutliersWithHugeEta) {
+  Relation r = ClusterPlusOutlier(10);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 1.0);
+  InlierOutlierSplit split = SplitInliersOutliers(r, *index, {1.0, 1000});
+  EXPECT_EQ(split.inlier_rows.size(), 0u);
+  EXPECT_EQ(split.outlier_rows.size(), r.size());
+}
+
+TEST(Split, RowsPartitionAndAreSorted) {
+  Relation r = ClusterPlusOutlier(25);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 2.0);
+  InlierOutlierSplit split = SplitInliersOutliers(r, *index, {2.0, 5});
+  EXPECT_EQ(split.inlier_rows.size() + split.outlier_rows.size(), r.size());
+  for (std::size_t i = 1; i < split.inlier_rows.size(); ++i) {
+    EXPECT_LT(split.inlier_rows[i - 1], split.inlier_rows[i]);
+  }
+}
+
+TEST(NeighborCounts, FullAndSampled) {
+  Relation r = ClusterPlusOutlier(30);
+  DistanceEvaluator ev(r.schema());
+  auto index = MakeNeighborIndex(r, ev, 2.0);
+  std::vector<std::size_t> all = NeighborCounts(r, *index, 2.0);
+  ASSERT_EQ(all.size(), r.size());
+  // The outlier has exactly one ε-neighbor: itself.
+  EXPECT_EQ(all.back(), 1u);
+  // Cluster points have many.
+  EXPECT_GT(all[0], 10u);
+
+  std::vector<std::size_t> rows{0, 30};
+  std::vector<std::size_t> sampled = NeighborCounts(r, *index, 2.0, &rows);
+  ASSERT_EQ(sampled.size(), 2u);
+  EXPECT_EQ(sampled[0], all[0]);
+  EXPECT_EQ(sampled[1], all[30]);
+}
+
+TEST(NeighborCounts, GrowWithEpsilon) {
+  Relation r = ClusterPlusOutlier(30);
+  DistanceEvaluator ev(r.schema());
+  auto small_index = MakeNeighborIndex(r, ev, 0.5);
+  auto large_index = MakeNeighborIndex(r, ev, 3.0);
+  std::vector<std::size_t> small = NeighborCounts(r, *small_index, 0.5);
+  std::vector<std::size_t> large = NeighborCounts(r, *large_index, 3.0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_LE(small[i], large[i]);
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,69 @@
+#include "distance/attribute_metric.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(AbsoluteDifference, Basic) {
+  AbsoluteDifferenceMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value(3.0), Value(5.0)), 2.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(5.0), Value(3.0)), 2.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(-1.0), Value(1.0)), 2.0);
+}
+
+TEST(AbsoluteDifference, IdentityOfIndiscernibles) {
+  AbsoluteDifferenceMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value(7.5), Value(7.5)), 0.0);
+}
+
+TEST(AbsoluteDifference, Scaled) {
+  AbsoluteDifferenceMetric m(10.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(0.0), Value(5.0)), 0.5);
+}
+
+TEST(AbsoluteDifference, TriangleInequalityProperty) {
+  AbsoluteDifferenceMetric m;
+  // For several triples, d(a,c) <= d(a,b) + d(b,c).
+  const double vals[] = {-3.5, 0.0, 1.0, 2.7, 100.0};
+  for (double a : vals) {
+    for (double b : vals) {
+      for (double c : vals) {
+        EXPECT_LE(m.Distance(Value(a), Value(c)),
+                  m.Distance(Value(a), Value(b)) +
+                      m.Distance(Value(b), Value(c)) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(EditDistanceMetric, MatchesLevenshtein) {
+  EditDistanceMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value("kitten"), Value("sitting")), 3.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("abc"), Value("abc")), 0.0);
+}
+
+TEST(WeightedEditDistanceMetric, ConfusableIsCheap) {
+  WeightedEditDistanceMetric m;
+  // O vs 0 is a confusable pair: half the cost of a full substitution.
+  double confusable = m.Distance(Value("RH10-OAG"), Value("RH10-0AG"));
+  double arbitrary = m.Distance(Value("RH10-XAG"), Value("RH10-0AG"));
+  EXPECT_LT(confusable, arbitrary);
+}
+
+TEST(DiscreteMetric, ZeroOne) {
+  DiscreteMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("a")), 0.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value("a"), Value("b")), 1.0);
+  EXPECT_DOUBLE_EQ(m.Distance(Value(1.0), Value(2.0)), 1.0);
+}
+
+TEST(DefaultMetricFor, PicksByKind) {
+  auto numeric = DefaultMetricFor(ValueKind::kNumeric);
+  EXPECT_DOUBLE_EQ(numeric->Distance(Value(1.0), Value(4.0)), 3.0);
+  auto text = DefaultMetricFor(ValueKind::kString);
+  EXPECT_DOUBLE_EQ(text->Distance(Value("ab"), Value("ad")), 1.0);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,91 @@
+#include "distance/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace disc {
+namespace {
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", ""), 3.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("", "ab"), 2.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", "abd"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", "acb"), 2.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("flaw", "lawn"), 2.0);
+}
+
+TEST(Levenshtein, Symmetry) {
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("house", "horse"),
+                   LevenshteinDistance("horse", "house"));
+}
+
+using EditTriple = std::tuple<const char*, const char*, const char*>;
+
+class EditTriangleTest : public testing::TestWithParam<EditTriple> {};
+
+TEST_P(EditTriangleTest, LevenshteinTriangle) {
+  auto [a, b, c] = GetParam();
+  EXPECT_LE(LevenshteinDistance(a, c),
+            LevenshteinDistance(a, b) + LevenshteinDistance(b, c) + 1e-12);
+}
+
+TEST_P(EditTriangleTest, WeightedTriangle) {
+  auto [a, b, c] = GetParam();
+  EXPECT_LE(WeightedEditDistance(a, c),
+            WeightedEditDistance(a, b) + WeightedEditDistance(b, c) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Triples, EditTriangleTest,
+    testing::Values(EditTriple{"abc", "abd", "xyz"},
+                    EditTriple{"", "a", "ab"},
+                    EditTriple{"RH10-OAG", "RH10-0AG", "RH10-XAG"},
+                    EditTriple{"hello", "help", "yelp"},
+                    EditTriple{"zip", "zap", "zop"},
+                    EditTriple{"aaaa", "aa", "aaaaaa"}));
+
+TEST(WeightedEdit, CaseCostsLess) {
+  double case_diff = WeightedEditDistance("abc", "Abc");
+  double sub = WeightedEditDistance("abc", "xbc");
+  EXPECT_LT(case_diff, sub);
+  EXPECT_DOUBLE_EQ(case_diff, 0.25);
+}
+
+TEST(WeightedEdit, ConfusableCostsHalf) {
+  EXPECT_DOUBLE_EQ(WeightedEditDistance("O", "0"), 0.5);
+  EXPECT_DOUBLE_EQ(WeightedEditDistance("l", "1"), 0.5);
+}
+
+TEST(WeightedEdit, PlainSubstitutionIsOne) {
+  EXPECT_DOUBLE_EQ(WeightedEditDistance("a", "x"), 1.0);
+}
+
+TEST(WeightedEdit, NeverExceedsLevenshtein) {
+  const char* words[] = {"RH10-OAG", "RH10-0AG", "abc", "a1c", "S5S", "sss"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      EXPECT_LE(WeightedEditDistance(a, b), LevenshteinDistance(a, b) + 1e-12)
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(Confusable, SymmetricPairs) {
+  EXPECT_TRUE(IsConfusablePair('O', '0'));
+  EXPECT_TRUE(IsConfusablePair('0', 'O'));
+  EXPECT_TRUE(IsConfusablePair('o', '0'));
+  EXPECT_TRUE(IsConfusablePair('S', '5'));
+  EXPECT_FALSE(IsConfusablePair('a', 'z'));
+}
+
+TEST(Levenshtein, IdentityOfIndiscernibles) {
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("same", "same"), 0.0);
+  EXPECT_GT(LevenshteinDistance("same", "samE"), 0.0);
+}
+
+}  // namespace
+}  // namespace disc

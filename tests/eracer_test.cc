@@ -1,0 +1,115 @@
+#include "cleaning/eracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace disc {
+namespace {
+
+/// Linearly correlated data: y = 2x + 1 with small noise; one corrupted y.
+Relation LinearData(std::uint64_t seed = 31) {
+  Rng rng(seed);
+  Relation r(Schema::Numeric(2));
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Uniform(0, 10);
+    double y = 2 * x + 1 + rng.Gaussian(0, 0.05);
+    r.AppendUnchecked(Tuple::Numeric({x, y}));
+  }
+  return r;
+}
+
+TEST(Eracer, RepairsExtremeResidual) {
+  Relation data = LinearData();
+  double x0 = data[0][0].num();
+  data[0][1] = Value(500.0);  // corrupt y of row 0
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Eracer(data, ev);
+  double expected = 2 * x0 + 1;
+  EXPECT_NEAR(repaired[0][1].num(), expected, 2.0);
+}
+
+TEST(Eracer, CleanCellsMostlyUntouched) {
+  Relation data = LinearData();
+  data[0][1] = Value(500.0);
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Eracer(data, ev);
+  std::size_t changed = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (!(repaired[i] == data[i])) ++changed;
+  }
+  // The 3σ residual cut should leave nearly all clean rows alone.
+  EXPECT_LE(changed, 5u);
+}
+
+TEST(Eracer, SmallErrorsSlipThrough) {
+  // An in-band error below the residual cut is NOT repaired — the weakness
+  // the paper attributes to statistical cleaning.
+  Relation data = LinearData();
+  double x0 = data[0][0].num();
+  double clean_y = data[0][1].num();
+  data[0][1] = Value(clean_y + 0.1);  // tiny perturbation
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Eracer(data, ev);
+  (void)x0;
+  EXPECT_NEAR(repaired[0][1].num(), clean_y + 0.1, 1e-9);
+}
+
+TEST(Eracer, NoOpOnTinyRelations) {
+  Relation r(Schema::Numeric(2));
+  r.AppendUnchecked(Tuple::Numeric({1, 2}));
+  DistanceEvaluator ev(r.schema());
+  Relation repaired = Eracer(r, ev);
+  EXPECT_EQ(repaired[0], r[0]);
+}
+
+TEST(Eracer, NoOpOnSingleAttribute) {
+  Rng rng(4);
+  Relation r(Schema::Numeric(1));
+  for (int i = 0; i < 50; ++i) {
+    r.AppendUnchecked(Tuple::Numeric({rng.Gaussian(0, 1)}));
+  }
+  DistanceEvaluator ev(r.schema());
+  Relation repaired = Eracer(r, ev);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(repaired[i], r[i]);
+  }
+}
+
+TEST(Eracer, StringAttributesIgnored) {
+  Rng rng(6);
+  Relation r(Schema({{"x", ValueKind::kNumeric},
+                     {"y", ValueKind::kNumeric},
+                     {"s", ValueKind::kString}}));
+  for (int i = 0; i < 60; ++i) {
+    double x = rng.Uniform(0, 10);
+    r.AppendUnchecked(Tuple{Value(x), Value(3 * x), Value("tag")});
+  }
+  r[0][1] = Value(999.0);
+  DistanceEvaluator ev(r.schema());
+  Relation repaired = Eracer(r, ev);
+  EXPECT_EQ(repaired[0][2].str(), "tag");
+  EXPECT_NEAR(repaired[0][1].num(), 3 * r[0][0].num(), 2.0);
+}
+
+TEST(Eracer, IterationsConverge) {
+  Relation data = LinearData();
+  data[0][1] = Value(500.0);
+  data[1][1] = Value(-300.0);
+  DistanceEvaluator ev(data.schema());
+  EracerOptions one;
+  one.iterations = 1;
+  EracerOptions three;
+  three.iterations = 3;
+  Relation r1 = Eracer(data, ev, one);
+  Relation r3 = Eracer(data, ev, three);
+  // With more iterations, repairs should be at least as close to the model.
+  double err1 = std::fabs(r1[0][1].num() - (2 * data[0][0].num() + 1));
+  double err3 = std::fabs(r3[0][1].num() - (2 * data[0][0].num() + 1));
+  EXPECT_LE(err3, err1 + 0.5);
+}
+
+}  // namespace
+}  // namespace disc

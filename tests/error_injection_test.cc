@@ -1,0 +1,163 @@
+#include "data/error_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation BaseData(std::size_t n = 200, std::uint64_t seed = 91) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0, 0}, 1.0, n});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(InjectNumeric, RespectsTupleRate) {
+  LabeledRelation data = BaseData(200);
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.1;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  EXPECT_EQ(res.dirty_rows.size(), 20u);
+}
+
+TEST(InjectNumeric, AttributeCountWithinBounds) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.2;
+  spec.min_attributes = 1;
+  spec.max_attributes = 2;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  for (std::size_t row : res.dirty_rows) {
+    std::size_t count = res.ErrorAttributesOf(row).size();
+    EXPECT_GE(count, 1u);
+    EXPECT_LE(count, 2u);
+  }
+}
+
+TEST(InjectNumeric, ErrorsRecordOriginalValues) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.1;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  for (const CellError& e : res.errors) {
+    EXPECT_EQ(e.original, data.data[e.row][e.attribute]);
+    EXPECT_EQ(e.corrupted, res.dirty[e.row][e.attribute]);
+    EXPECT_NE(e.original, e.corrupted);
+  }
+}
+
+TEST(InjectNumeric, UntouchedCellsIdentical) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.1;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  for (std::size_t row = 0; row < data.data.size(); ++row) {
+    AttributeSet errs = res.ErrorAttributesOf(row);
+    for (std::size_t a = 0; a < data.data.arity(); ++a) {
+      if (!errs.contains(a)) {
+        EXPECT_EQ(res.dirty[row][a], data.data[row][a]);
+      }
+    }
+  }
+}
+
+TEST(InjectNumeric, ShiftMagnitudeScalesWithStddev) {
+  LabeledRelation data = BaseData(400);
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.1;
+  spec.model = NumericErrorModel::kShift;
+  spec.magnitude = 8.0;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  for (const CellError& e : res.errors) {
+    double shift = std::fabs(e.corrupted.num() - e.original.num());
+    // stddev ≈ 1; shift ≈ 8·U(0.8, 1.4) → within [5, 13].
+    EXPECT_GT(shift, 5.0);
+    EXPECT_LT(shift, 13.0);
+  }
+}
+
+TEST(InjectNumeric, ScaleModelMultiplies) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.05;
+  spec.model = NumericErrorModel::kScale;
+  spec.scale_factor = 2.54;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  for (const CellError& e : res.errors) {
+    EXPECT_NEAR(e.corrupted.num(), e.original.num() * 2.54, 1e-9);
+  }
+}
+
+TEST(InjectNumeric, DeterministicForSeed) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.1;
+  InjectionResult a = InjectNumericErrors(data.data, spec);
+  InjectionResult b = InjectNumericErrors(data.data, spec);
+  EXPECT_EQ(a.dirty_rows, b.dirty_rows);
+  ASSERT_EQ(a.errors.size(), b.errors.size());
+  for (std::size_t i = 0; i < a.errors.size(); ++i) {
+    EXPECT_EQ(a.errors[i].corrupted, b.errors[i].corrupted);
+  }
+}
+
+TEST(InjectNumeric, ZeroRateNoErrors) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.0;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  EXPECT_TRUE(res.errors.empty());
+  EXPECT_TRUE(res.dirty_rows.empty());
+}
+
+TEST(InjectStringTypos, CorruptsOnlyStrings) {
+  Relation r(Schema({{"x", ValueKind::kNumeric}, {"s", ValueKind::kString}}));
+  for (int i = 0; i < 50; ++i) {
+    r.AppendUnchecked(Tuple{Value(double(i)), Value("hello world")});
+  }
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.2;
+  InjectionResult res = InjectStringTypos(r, spec);
+  for (const CellError& e : res.errors) {
+    EXPECT_EQ(e.attribute, 1u);
+    EXPECT_TRUE(e.corrupted.is_string());
+    EXPECT_NE(e.corrupted.str(), "hello world");
+  }
+}
+
+TEST(InjectStringTypos, SmallEditDistance) {
+  Relation r(Schema::StringNamed({"s"}));
+  for (int i = 0; i < 40; ++i) {
+    r.AppendUnchecked(Tuple{Value("RH10-0AG")});
+  }
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.5;
+  InjectionResult res = InjectStringTypos(r, spec);
+  ASSERT_FALSE(res.errors.empty());
+  for (const CellError& e : res.errors) {
+    // Typos are 1-2 substitutions/transpositions: length preserved.
+    EXPECT_EQ(e.corrupted.str().size(), e.original.str().size());
+  }
+}
+
+TEST(ErrorAttributesOf, CleanRowEmpty) {
+  LabeledRelation data = BaseData();
+  ErrorInjectionSpec spec;
+  spec.tuple_rate = 0.05;
+  InjectionResult res = InjectNumericErrors(data.data, spec);
+  // Find a row that is not dirty.
+  for (std::size_t row = 0; row < data.data.size(); ++row) {
+    bool dirty = std::find(res.dirty_rows.begin(), res.dirty_rows.end(),
+                           row) != res.dirty_rows.end();
+    if (!dirty) {
+      EXPECT_TRUE(res.ErrorAttributesOf(row).empty());
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,112 @@
+#include "distance/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace disc {
+namespace {
+
+TEST(Evaluator, L2DefaultOnNumeric) {
+  DistanceEvaluator ev(Schema::Numeric(2));
+  Tuple a = Tuple::Numeric({0, 0});
+  Tuple b = Tuple::Numeric({3, 4});
+  EXPECT_DOUBLE_EQ(ev.Distance(a, b), 5.0);
+}
+
+TEST(Evaluator, L1Option) {
+  DistanceEvaluator ev(Schema::Numeric(2), LpNorm::kL1);
+  EXPECT_DOUBLE_EQ(ev.Distance(Tuple::Numeric({0, 0}), Tuple::Numeric({3, 4})),
+                   7.0);
+}
+
+TEST(Evaluator, MixedSchemaUsesEditDistance) {
+  Schema schema({{"x", ValueKind::kNumeric}, {"s", ValueKind::kString}});
+  DistanceEvaluator ev(schema);
+  Tuple a{Value(0.0), Value("abc")};
+  Tuple b{Value(3.0), Value("abd")};  // numeric diff 3, edit distance 1
+  EXPECT_DOUBLE_EQ(ev.Distance(a, b), std::sqrt(9.0 + 1.0));
+}
+
+TEST(Evaluator, DistanceOnSubset) {
+  DistanceEvaluator ev(Schema::Numeric(3));
+  Tuple a = Tuple::Numeric({0, 0, 0});
+  Tuple b = Tuple::Numeric({3, 4, 12});
+  EXPECT_DOUBLE_EQ(ev.DistanceOn(AttributeSet{0, 1}, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ev.DistanceOn(AttributeSet{2}, a, b), 12.0);
+}
+
+TEST(Evaluator, EmptySubsetIsZero) {
+  // The Δ(t1[∅], t2[∅]) = 0 convention of §3.1.
+  DistanceEvaluator ev(Schema::Numeric(3));
+  EXPECT_DOUBLE_EQ(
+      ev.DistanceOn(AttributeSet(), Tuple::Numeric({0, 0, 0}),
+                    Tuple::Numeric({9, 9, 9})),
+      0.0);
+}
+
+TEST(Evaluator, MonotonicityInAttributes) {
+  // Δ(t1[X], t2[X]) <= Δ(t1[X ∪ {A}], t2[X ∪ {A}]) — §2.1.1.
+  DistanceEvaluator ev(Schema::Numeric(3));
+  Tuple a = Tuple::Numeric({1, 2, 3});
+  Tuple b = Tuple::Numeric({4, 6, 3});
+  AttributeSet x{0};
+  AttributeSet xa = x.With(1);
+  EXPECT_LE(ev.DistanceOn(x, a, b), ev.DistanceOn(xa, a, b) + 1e-12);
+  EXPECT_LE(ev.DistanceOn(xa, a, b), ev.Distance(a, b) + 1e-12);
+}
+
+TEST(Evaluator, DistanceWithinEarlyExit) {
+  DistanceEvaluator ev(Schema::Numeric(2));
+  Tuple a = Tuple::Numeric({0, 0});
+  Tuple b = Tuple::Numeric({10, 10});
+  EXPECT_TRUE(std::isinf(ev.DistanceWithin(a, b, 1.0)));
+  double exact = ev.Distance(a, b);
+  EXPECT_DOUBLE_EQ(ev.DistanceWithin(a, b, exact + 1.0), exact);
+}
+
+TEST(Evaluator, DistanceWithinEqualsDistanceUnderThreshold) {
+  DistanceEvaluator ev(Schema::Numeric(3));
+  Tuple a = Tuple::Numeric({1, 2, 3});
+  Tuple b = Tuple::Numeric({2, 2, 4});
+  EXPECT_DOUBLE_EQ(ev.DistanceWithin(a, b, 100.0), ev.Distance(a, b));
+}
+
+TEST(Evaluator, TriangleInequalityOnTuples) {
+  DistanceEvaluator ev(Schema::Numeric(2));
+  Tuple ts[] = {Tuple::Numeric({0, 0}), Tuple::Numeric({1, 2}),
+                Tuple::Numeric({-3, 4}), Tuple::Numeric({10, 10})};
+  for (const Tuple& a : ts) {
+    for (const Tuple& b : ts) {
+      for (const Tuple& c : ts) {
+        EXPECT_LE(ev.Distance(a, c),
+                  ev.Distance(a, b) + ev.Distance(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Evaluator, SymmetryOnMixedData) {
+  Schema schema({{"x", ValueKind::kNumeric}, {"s", ValueKind::kString}});
+  DistanceEvaluator ev(schema);
+  Tuple a{Value(1.0), Value("cat")};
+  Tuple b{Value(5.0), Value("cart")};
+  EXPECT_DOUBLE_EQ(ev.Distance(a, b), ev.Distance(b, a));
+}
+
+TEST(Evaluator, CustomMetricOverride) {
+  DistanceEvaluator ev(Schema::Numeric(2));
+  ev.SetMetric(1, std::make_unique<AbsoluteDifferenceMetric>(2.0));
+  // Attribute 1 distances are halved.
+  EXPECT_DOUBLE_EQ(ev.Distance(Tuple::Numeric({0, 0}), Tuple::Numeric({0, 4})),
+                   2.0);
+}
+
+TEST(Evaluator, AttributeDistanceDirect) {
+  DistanceEvaluator ev(Schema::Numeric(1));
+  EXPECT_DOUBLE_EQ(ev.AttributeDistance(0, Value(2.0), Value(5.5)), 3.5);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,127 @@
+#include "core/exact_saver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace disc {
+namespace {
+
+Relation LatticeInliers(int side) {
+  Relation r(Schema::Numeric(2));
+  for (int x = 0; x < side; ++x) {
+    for (int y = 0; y < side; ++y) {
+      r.AppendUnchecked(Tuple::Numeric({double(x), double(y)}));
+    }
+  }
+  return r;
+}
+
+TEST(ExactSaver, FindsZeroCostForFeasibleInput) {
+  Relation inliers = LatticeInliers(5);
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {1.5, 4});
+  // (2,2) is a lattice point: it already has plenty of neighbors.
+  ExactResult res = saver.Save(Tuple::Numeric({2, 2}));
+  ASSERT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+  EXPECT_TRUE(res.adjusted_attributes.empty());
+}
+
+TEST(ExactSaver, OptimalSingleAttributeFix) {
+  Relation inliers = LatticeInliers(5);
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {1.5, 4});
+  // (2, 50): only the y attribute is broken; the optimum snaps y back into
+  // the lattice while keeping x = 2.
+  ExactResult res = saver.Save(Tuple::Numeric({2, 50}));
+  ASSERT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.adjusted[0].num(), 2.0);
+  EXPECT_LE(res.adjusted[1].num(), 4.0);
+  EXPECT_EQ(res.adjusted_attributes.size(), 1u);
+  EXPECT_TRUE(res.adjusted_attributes.contains(1));
+  // Cost = 50 − adjusted y.
+  EXPECT_NEAR(res.cost, 50.0 - res.adjusted[1].num(), 1e-9);
+}
+
+TEST(ExactSaver, ExhaustiveMatchesBruteForceOnTinyInstance) {
+  // Independently enumerate the full candidate cross-product and verify the
+  // saver returns the true optimum.
+  Relation inliers = LatticeInliers(3);  // 9 points, domains {0,1,2}
+  DistanceEvaluator ev(inliers.schema());
+  DistanceConstraint c{1.2, 3};
+  ExactSaver saver(inliers, ev, c);
+
+  Tuple outlier = Tuple::Numeric({7.3, -2.1});
+  ExactResult res = saver.Save(outlier);
+
+  // Brute force over (domain ∪ original)².
+  std::vector<double> dom = {0, 1, 2};
+  std::vector<double> xs = dom;
+  xs.push_back(7.3);
+  std::vector<double> ys = dom;
+  ys.push_back(-2.1);
+  double best = 1e300;
+  for (double x : xs) {
+    for (double y : ys) {
+      Tuple cand = Tuple::Numeric({x, y});
+      std::size_t neighbors = 0;
+      for (const Tuple& in : inliers) {
+        if (ev.Distance(cand, in) <= c.epsilon) ++neighbors;
+      }
+      if (neighbors >= c.eta - 1) {  // self counts per Formula 4
+        best = std::min(best, ev.Distance(outlier, cand));
+      }
+    }
+  }
+  ASSERT_TRUE(res.feasible);
+  EXPECT_NEAR(res.cost, best, 1e-9);
+}
+
+TEST(ExactSaver, InfeasibleWhenNoInliersReachable) {
+  // η larger than the inlier count + 1 can never be met.
+  Relation inliers = LatticeInliers(2);  // 4 points
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {0.5, 10});
+  ExactResult res = saver.Save(Tuple::Numeric({9, 9}));
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.adjusted, Tuple::Numeric({9, 9}));
+}
+
+TEST(ExactSaver, BudgetCapReported) {
+  Relation inliers = LatticeInliers(6);
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {1.5, 4});
+  ExactOptions opts;
+  opts.max_candidates = 3;
+  ExactResult res = saver.Save(Tuple::Numeric({10, 10}), opts);
+  EXPECT_TRUE(res.exhausted_budget);
+  EXPECT_LE(res.candidates_checked, 4u);
+}
+
+TEST(ExactSaver, CandidatesCheckedGrowsWithDomain) {
+  DistanceEvaluator ev2(Schema::Numeric(2));
+  Relation small = LatticeInliers(3);
+  Relation large = LatticeInliers(6);
+  ExactSaver s_small(small, ev2, {1.5, 3});
+  ExactSaver s_large(large, ev2, {1.5, 3});
+  Tuple outlier = Tuple::Numeric({30, 30});
+  ExactResult a = s_small.Save(outlier);
+  ExactResult b = s_large.Save(outlier);
+  EXPECT_LT(a.candidates_checked, b.candidates_checked);
+}
+
+TEST(ExactSaver, EtaOneReturnsOriginal) {
+  Relation inliers = LatticeInliers(3);
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {1.0, 1});
+  // η = 1: self-count satisfies the constraint; zero-cost result.
+  ExactResult res = saver.Save(Tuple::Numeric({100, 100}));
+  ASSERT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace disc

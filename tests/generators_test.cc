@@ -1,0 +1,163 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace disc {
+namespace {
+
+TEST(GaussianMixture, CountsAndLabels) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 1.0, 30});
+  clusters.push_back({{10, 10}, 1.0, 20});
+  LabeledRelation data = GenerateGaussianMixture(clusters, 1);
+  EXPECT_EQ(data.data.size(), 50u);
+  ASSERT_EQ(data.labels.size(), 50u);
+  EXPECT_EQ(std::count(data.labels.begin(), data.labels.end(), 0), 30);
+  EXPECT_EQ(std::count(data.labels.begin(), data.labels.end(), 1), 20);
+}
+
+TEST(GaussianMixture, PointsNearTheirCenters) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.5, 100});
+  clusters.push_back({{20, 0}, 0.5, 100});
+  LabeledRelation data = GenerateGaussianMixture(clusters, 2);
+  for (std::size_t i = 0; i < data.data.size(); ++i) {
+    double cx = data.labels[i] == 0 ? 0.0 : 20.0;
+    double dx = data.data[i][0].num() - cx;
+    double dy = data.data[i][1].num();
+    EXPECT_LT(std::sqrt(dx * dx + dy * dy), 4.0) << "row " << i;
+  }
+}
+
+TEST(GaussianMixture, DeterministicForSeed) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 1.0, 10});
+  LabeledRelation a = GenerateGaussianMixture(clusters, 9);
+  LabeledRelation b = GenerateGaussianMixture(clusters, 9);
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    EXPECT_EQ(a.data[i], b.data[i]);
+  }
+}
+
+TEST(GaussianMixture, EmptySpec) {
+  LabeledRelation data = GenerateGaussianMixture({}, 1);
+  EXPECT_TRUE(data.data.empty());
+}
+
+TEST(PlaceClusterCenters, CountAndRange) {
+  auto centers = PlaceClusterCenters(5, 3, 100, 30, 4);
+  ASSERT_EQ(centers.size(), 5u);
+  for (const auto& c : centers) {
+    ASSERT_EQ(c.size(), 3u);
+    for (double v : c) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 100.0);
+    }
+  }
+}
+
+TEST(PlaceClusterCenters, SeparationBestEffort) {
+  auto centers = PlaceClusterCenters(4, 2, 100, 30, 5);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      double dx = centers[i][0] - centers[j][0];
+      double dy = centers[i][1] - centers[j][1];
+      EXPECT_GT(std::sqrt(dx * dx + dy * dy), 10.0);
+    }
+  }
+}
+
+TEST(Trajectory, ShapeAndMonotoneTime) {
+  TrajectorySpec spec;
+  spec.segments = 3;
+  spec.points_per_segment = 20;
+  LabeledRelation data = GenerateTrajectory(spec);
+  EXPECT_EQ(data.data.size(), 60u);
+  EXPECT_EQ(data.data.arity(), 3u);
+  for (std::size_t i = 1; i < data.data.size(); ++i) {
+    EXPECT_GT(data.data[i][0].num(), data.data[i - 1][0].num());
+  }
+}
+
+TEST(Trajectory, SegmentLabels) {
+  TrajectorySpec spec;
+  spec.segments = 3;
+  spec.points_per_segment = 10;
+  LabeledRelation data = GenerateTrajectory(spec);
+  EXPECT_EQ(data.labels[0], 0);
+  EXPECT_EQ(data.labels[15], 1);
+  EXPECT_EQ(data.labels[25], 2);
+}
+
+TEST(Trajectory, ConsecutivePointsClose) {
+  TrajectorySpec spec;
+  spec.step = 1.0;
+  spec.jitter = 0.1;
+  LabeledRelation data = GenerateTrajectory(spec);
+  for (std::size_t i = 1; i < data.data.size(); ++i) {
+    double dlon = data.data[i][1].num() - data.data[i - 1][1].num();
+    double dlat = data.data[i][2].num() - data.data[i - 1][2].num();
+    EXPECT_LT(std::sqrt(dlon * dlon + dlat * dlat), 3.0);
+  }
+}
+
+TEST(Restaurant, ShapeMatchesSpec) {
+  RestaurantSpec spec;
+  spec.entities = 50;
+  spec.tuples = 60;
+  spec.seed = 3;
+  LabeledRelation data = GenerateRestaurant(spec);
+  EXPECT_EQ(data.data.size(), 60u);
+  EXPECT_EQ(data.data.arity(), 5u);
+  std::set<int> distinct(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(distinct.size(), 50u);
+}
+
+TEST(Restaurant, AllStringSchema) {
+  RestaurantSpec spec;
+  spec.entities = 10;
+  spec.tuples = 12;
+  LabeledRelation data = GenerateRestaurant(spec);
+  for (std::size_t a = 0; a < data.data.arity(); ++a) {
+    EXPECT_EQ(data.data.schema().kind(a), ValueKind::kString);
+  }
+}
+
+TEST(Restaurant, DuplicatesShareEntityLabel) {
+  RestaurantSpec spec;
+  spec.entities = 20;
+  spec.tuples = 30;
+  LabeledRelation data = GenerateRestaurant(spec);
+  // 10 duplicate rows at the end; each label also appears among the first 20.
+  for (std::size_t i = 20; i < 30; ++i) {
+    int label = data.labels[i];
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 20);
+  }
+}
+
+TEST(NaturalOutliers, AppendedOutsideBoundingBox) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 1.0, 50});
+  LabeledRelation data = GenerateGaussianMixture(clusters, 6);
+  Relation::NumericRange rx = data.data.Range(0);
+  Relation::NumericRange ry = data.data.Range(1);
+  AppendNaturalOutliers(&data, 5, 1.0, 7);
+  ASSERT_EQ(data.data.size(), 55u);
+  for (std::size_t i = 50; i < 55; ++i) {
+    bool outside_x = data.data[i][0].num() < rx.min - 1e-9 ||
+                     data.data[i][0].num() > rx.max + 1e-9;
+    bool outside_y = data.data[i][1].num() < ry.min - 1e-9 ||
+                     data.data[i][1].num() > ry.max + 1e-9;
+    // Natural outliers are displaced on EVERY attribute.
+    EXPECT_TRUE(outside_x) << "row " << i;
+    EXPECT_TRUE(outside_y) << "row " << i;
+    EXPECT_EQ(data.labels[i], -1);
+  }
+}
+
+}  // namespace
+}  // namespace disc

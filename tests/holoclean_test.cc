@@ -1,0 +1,108 @@
+#include "cleaning/holoclean.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "eval/repair_metrics.h"
+
+namespace disc {
+namespace {
+
+Relation ClusterWithOutlier(std::uint64_t seed = 51) {
+  Rng rng(seed);
+  Relation r(Schema::Numeric(2));
+  for (int i = 0; i < 60; ++i) {
+    r.AppendUnchecked(
+        Tuple::Numeric({rng.Gaussian(0, 0.5), rng.Gaussian(0, 0.5)}));
+  }
+  r.AppendUnchecked(Tuple::Numeric({0.2, 40.0}));
+  return r;
+}
+
+HolocleanOptions DefaultOptions() {
+  HolocleanOptions opts;
+  opts.constraint = {1.5, 5};
+  return opts;
+}
+
+TEST(Holoclean, MovesOutlierTowardData) {
+  Relation data = ClusterWithOutlier();
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Holoclean(data, ev, DefaultOptions());
+  std::size_t last = data.size() - 1;
+  // The corrupted y value should have been pulled back toward the cluster.
+  EXPECT_LT(std::abs(repaired[last][1].num()), 40.0);
+}
+
+TEST(Holoclean, CleanTuplesUntouched) {
+  Relation data = ClusterWithOutlier();
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Holoclean(data, ev, DefaultOptions());
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    EXPECT_EQ(repaired[i], data[i]) << "row " << i;
+  }
+}
+
+TEST(Holoclean, RepairedValueComesFromCleanDomain) {
+  Relation data = ClusterWithOutlier();
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Holoclean(data, ev, DefaultOptions());
+  std::size_t last = data.size() - 1;
+  if (!(repaired[last][1] == data[last][1])) {
+    // Changed cells take values that exist in the clean portion.
+    bool in_domain = false;
+    for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+      if (data[i][1] == repaired[last][1]) {
+        in_domain = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(in_domain);
+  }
+}
+
+TEST(Holoclean, TendsToModifyMultipleAttributes) {
+  // Figure 10(c)'s observation: HoloClean re-decides every cell of a noisy
+  // tuple and often over-changes. With continuous data, even the undamaged
+  // attribute is usually swapped for a frequent candidate.
+  Relation data = ClusterWithOutlier();
+  DistanceEvaluator ev(data.schema());
+  Relation repaired = Holoclean(data, ev, DefaultOptions());
+  std::size_t last = data.size() - 1;
+  AttributeSet changed = ModifiedAttributes(data, repaired, last);
+  EXPECT_GE(changed.size(), 1u);
+}
+
+TEST(Holoclean, NoOutliersIsNoOp) {
+  Rng rng(60);
+  Relation r(Schema::Numeric(2));
+  for (int i = 0; i < 50; ++i) {
+    r.AppendUnchecked(
+        Tuple::Numeric({rng.Gaussian(0, 0.4), rng.Gaussian(0, 0.4)}));
+  }
+  DistanceEvaluator ev(r.schema());
+  Relation repaired = Holoclean(r, ev, DefaultOptions());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(repaired[i], r[i]);
+  }
+}
+
+TEST(Holoclean, DeterministicForFixedSeed) {
+  Relation data = ClusterWithOutlier();
+  DistanceEvaluator ev(data.schema());
+  Relation a = Holoclean(data, ev, DefaultOptions());
+  Relation b = Holoclean(data, ev, DefaultOptions());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Holoclean, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  DistanceEvaluator ev(r.schema());
+  Relation repaired = Holoclean(r, ev, DefaultOptions());
+  EXPECT_TRUE(repaired.empty());
+}
+
+}  // namespace
+}  // namespace disc

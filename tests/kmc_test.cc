@@ -1,0 +1,84 @@
+#include "clustering/kmc.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation TwoBlobs(std::size_t per_blob = 200, std::uint64_t seed = 14) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.7, per_blob});
+  clusters.push_back({{12, 0}, 0.7, per_blob});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(Kmc, RecoversBlobsFromCoreset) {
+  LabeledRelation data = TwoBlobs();
+  KmcParams p;
+  p.k = 2;
+  p.coreset_size = 60;
+  KMeansResult res = Kmc(data.data, p);
+  PairCountingScores s = PairCounting(res.labels, data.labels);
+  EXPECT_GT(s.f1, 0.9);
+}
+
+TEST(Kmc, AutoCoresetSize) {
+  LabeledRelation data = TwoBlobs();
+  KmcParams p;
+  p.k = 2;
+  KMeansResult res = Kmc(data.data, p);
+  EXPECT_EQ(res.labels.size(), data.data.size());
+  EXPECT_EQ(NumClusters(res.labels), 2u);
+}
+
+TEST(Kmc, AllPointsLabeled) {
+  LabeledRelation data = TwoBlobs(100);
+  KmcParams p;
+  p.k = 2;
+  p.coreset_size = 30;
+  KMeansResult res = Kmc(data.data, p);
+  EXPECT_EQ(NumNoise(res.labels), 0u);
+}
+
+TEST(Kmc, CoresetLargerThanNFallsBackToExact) {
+  LabeledRelation data = TwoBlobs(30);
+  KmcParams p;
+  p.k = 2;
+  p.coreset_size = 100000;
+  KMeansResult res = Kmc(data.data, p);
+  EXPECT_EQ(NumClusters(res.labels), 2u);
+}
+
+TEST(Kmc, InertiaWithinFactorOfFullKMeans) {
+  LabeledRelation data = TwoBlobs();
+  KmcParams p;
+  p.k = 2;
+  p.coreset_size = 80;
+  KMeansResult coreset_res = Kmc(data.data, p);
+  KMeansResult full = KMeans(data.data, {2});
+  // Chen's coreset guarantees (1+ε) approximation; our sampling variant
+  // should land within a small constant factor.
+  EXPECT_LT(coreset_res.inertia, 2.0 * full.inertia + 1e-9);
+}
+
+TEST(Kmc, DeterministicForFixedSeed) {
+  LabeledRelation data = TwoBlobs();
+  KmcParams p;
+  p.k = 2;
+  p.seed = 5;
+  KMeansResult a = Kmc(data.data, p);
+  KMeansResult b = Kmc(data.data, p);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Kmc, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  KMeansResult res = Kmc(r, {});
+  EXPECT_TRUE(res.labels.empty());
+}
+
+}  // namespace
+}  // namespace disc

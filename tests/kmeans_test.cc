@@ -1,0 +1,103 @@
+#include "clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation ThreeBlobs(std::size_t per_blob = 60, std::uint64_t seed = 8) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.6, per_blob});
+  clusters.push_back({{12, 0}, 0.6, per_blob});
+  clusters.push_back({{0, 12}, 0.6, per_blob});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(KMeans, RecoversThreeBlobs) {
+  LabeledRelation data = ThreeBlobs();
+  KMeansResult res = KMeans(data.data, {3, 100, 1e-8, 42});
+  EXPECT_EQ(NumClusters(res.labels), 3u);
+  PairCountingScores s = PairCounting(res.labels, data.labels);
+  EXPECT_GT(s.f1, 0.95);
+}
+
+TEST(KMeans, NoNoiseLabels) {
+  LabeledRelation data = ThreeBlobs();
+  KMeansResult res = KMeans(data.data, {3});
+  EXPECT_EQ(NumNoise(res.labels), 0u);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  LabeledRelation data = ThreeBlobs();
+  KMeansResult k1 = KMeans(data.data, {1});
+  KMeansResult k3 = KMeans(data.data, {3});
+  EXPECT_LT(k3.inertia, k1.inertia);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  LabeledRelation data = ThreeBlobs();
+  KMeansResult a = KMeans(data.data, {3, 100, 1e-8, 7});
+  KMeansResult b = KMeans(data.data, {3, 100, 1e-8, 7});
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KClampedToN) {
+  Relation r(Schema::Numeric(1));
+  r.AppendUnchecked(Tuple::Numeric({0}));
+  r.AppendUnchecked(Tuple::Numeric({5}));
+  KMeansResult res = KMeans(r, {10});
+  EXPECT_LE(res.centers.size(), 2u);
+  EXPECT_EQ(res.labels.size(), 2u);
+}
+
+TEST(KMeans, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  KMeansResult res = KMeans(r, {3});
+  EXPECT_TRUE(res.labels.empty());
+}
+
+TEST(KMeans, CentersNearTrueCenters) {
+  LabeledRelation data = ThreeBlobs(100);
+  KMeansResult res = KMeans(data.data, {3});
+  // Each true center must be within 1.0 of some fitted center.
+  std::vector<std::vector<double>> truth{{0, 0}, {12, 0}, {0, 12}};
+  for (const auto& t : truth) {
+    double best = 1e300;
+    for (const auto& c : res.centers) {
+      best = std::min(best, SquaredEuclidean(t, c));
+    }
+    EXPECT_LT(best, 1.0) << "center (" << t[0] << "," << t[1] << ")";
+  }
+}
+
+TEST(KMeansPlusPlus, ReturnsKDistinctishCenters) {
+  LabeledRelation data = ThreeBlobs();
+  auto points = ExtractPoints(data.data);
+  auto centers = KMeansPlusPlusInit(points, 3, 5);
+  ASSERT_EQ(centers.size(), 3u);
+  // k-means++ should spread the seeds across blobs: pairwise distances big.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_GT(SquaredEuclidean(centers[i], centers[j]), 4.0);
+    }
+  }
+}
+
+TEST(KMeansPlusPlus, HandlesDuplicatePoints) {
+  std::vector<std::vector<double>> points(10, {1.0, 1.0});
+  auto centers = KMeansPlusPlusInit(points, 3, 1);
+  EXPECT_EQ(centers.size(), 3u);
+}
+
+TEST(KMeans, SingleCluster) {
+  LabeledRelation data = ThreeBlobs();
+  KMeansResult res = KMeans(data.data, {1});
+  EXPECT_EQ(NumClusters(res.labels), 1u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "clustering/cckm.h"
+#include "clustering/kmeans_mm.h"
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation BlobsWithOutliers(std::size_t per_blob = 60,
+                                  std::size_t outliers = 5,
+                                  std::uint64_t seed = 12) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.6, per_blob});
+  clusters.push_back({{15, 0}, 0.6, per_blob});
+  LabeledRelation data = GenerateGaussianMixture(clusters, seed);
+  AppendNaturalOutliers(&data, outliers, 1.0, seed + 1);
+  return data;
+}
+
+TEST(KMeansMM, ExcludesExactlyLOutliers) {
+  LabeledRelation data = BlobsWithOutliers();
+  KMeansMMParams p;
+  p.k = 2;
+  p.l = 5;
+  KMeansResult res = KMeansMM(data.data, p);
+  EXPECT_EQ(NumNoise(res.labels), 5u);
+}
+
+TEST(KMeansMM, OutliersAreTheInjectedOnes) {
+  LabeledRelation data = BlobsWithOutliers(60, 5);
+  KMeansMMParams p;
+  p.k = 2;
+  p.l = 5;
+  KMeansResult res = KMeansMM(data.data, p);
+  // The 5 appended rows (at the end) should be the flagged ones.
+  std::size_t flagged_at_end = 0;
+  for (std::size_t i = data.data.size() - 5; i < data.data.size(); ++i) {
+    if (res.labels[i] == kNoise) ++flagged_at_end;
+  }
+  EXPECT_GE(flagged_at_end, 4u);
+}
+
+TEST(KMeansMM, ClusterQualityOnInliers) {
+  LabeledRelation data = BlobsWithOutliers();
+  KMeansMMParams p;
+  p.k = 2;
+  p.l = 5;
+  KMeansResult res = KMeansMM(data.data, p);
+  PairCountingScores s = PairCounting(res.labels, data.labels);
+  EXPECT_GT(s.f1, 0.9);
+}
+
+TEST(KMeansMM, ZeroLBehavesLikeKMeans) {
+  LabeledRelation data = BlobsWithOutliers(40, 0);
+  KMeansMMParams p;
+  p.k = 2;
+  p.l = 0;
+  KMeansResult res = KMeansMM(data.data, p);
+  EXPECT_EQ(NumNoise(res.labels), 0u);
+  EXPECT_EQ(NumClusters(res.labels), 2u);
+}
+
+TEST(KMeansMM, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  KMeansResult res = KMeansMM(r, {});
+  EXPECT_TRUE(res.labels.empty());
+}
+
+TEST(Cckm, OutlierBudgetRespected) {
+  LabeledRelation data = BlobsWithOutliers();
+  CckmParams p;
+  p.k = 2;
+  p.outlier_budget = 5;
+  KMeansResult res = Cckm(data.data, p);
+  EXPECT_EQ(NumNoise(res.labels), 5u);
+}
+
+TEST(Cckm, RecoverClustersDespiteOutliers) {
+  LabeledRelation data = BlobsWithOutliers();
+  CckmParams p;
+  p.k = 2;
+  p.outlier_budget = 5;
+  KMeansResult res = Cckm(data.data, p);
+  PairCountingScores s = PairCounting(res.labels, data.labels);
+  EXPECT_GT(s.f1, 0.85);
+}
+
+TEST(Cckm, BalancedSizesOnSymmetricData) {
+  LabeledRelation data = BlobsWithOutliers(60, 0);
+  CckmParams p;
+  p.k = 2;
+  p.outlier_budget = 0;
+  KMeansResult res = Cckm(data.data, p);
+  std::size_t c0 = 0;
+  std::size_t c1 = 0;
+  for (int l : res.labels) {
+    if (l == 0) ++c0;
+    if (l == 1) ++c1;
+  }
+  // Equal blobs → roughly equal cardinality.
+  EXPECT_NEAR(static_cast<double>(c0), static_cast<double>(c1), 20.0);
+}
+
+TEST(Cckm, ZeroBudgetNoNoise) {
+  LabeledRelation data = BlobsWithOutliers(40, 0);
+  CckmParams p;
+  p.k = 2;
+  KMeansResult res = Cckm(data.data, p);
+  EXPECT_EQ(NumNoise(res.labels), 0u);
+}
+
+TEST(Cckm, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  KMeansResult res = Cckm(r, {});
+  EXPECT_TRUE(res.labels.empty());
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,46 @@
+#include "clustering/labels.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(Labels, NumClustersIgnoresNoise) {
+  Labels l{0, 0, 1, kNoise, 2, kNoise};
+  EXPECT_EQ(NumClusters(l), 3u);
+  EXPECT_EQ(NumNoise(l), 2u);
+}
+
+TEST(Labels, NumClustersEmpty) {
+  Labels l;
+  EXPECT_EQ(NumClusters(l), 0u);
+  EXPECT_EQ(NumNoise(l), 0u);
+}
+
+TEST(Labels, CanonicalizeRenumbersInOrder) {
+  Labels l{7, 7, 3, kNoise, 3, 9};
+  Labels c = Canonicalize(l);
+  EXPECT_EQ(c, (Labels{0, 0, 1, kNoise, 1, 2}));
+}
+
+TEST(Labels, CanonicalizeIdempotent) {
+  Labels l{0, 1, kNoise, 1};
+  EXPECT_EQ(Canonicalize(Canonicalize(l)), Canonicalize(l));
+}
+
+TEST(ExtractPoints, ConvertsNumericRelation) {
+  Relation r(Schema::Numeric(2));
+  r.AppendUnchecked(Tuple::Numeric({1, 2}));
+  r.AppendUnchecked(Tuple::Numeric({3, 4}));
+  auto points = ExtractPoints(r);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[1][0], 3.0);
+}
+
+TEST(SquaredEuclidean, KnownValue) {
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace disc

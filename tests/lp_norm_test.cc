@@ -1,0 +1,78 @@
+#include "distance/lp_norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace disc {
+namespace {
+
+TEST(LpNorm, L1IsSum) {
+  std::vector<double> d{1, 2, 3};
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kL1), 6.0);
+}
+
+TEST(LpNorm, L2IsEuclidean) {
+  std::vector<double> d{3, 4};
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kL2), 5.0);
+}
+
+TEST(LpNorm, LInfIsMax) {
+  std::vector<double> d{1, 7, 3};
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kLInf), 7.0);
+}
+
+TEST(LpNorm, EmptyIsZero) {
+  std::vector<double> d;
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kL1), 0.0);
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kL2), 0.0);
+  EXPECT_DOUBLE_EQ(AggregateDistances(d, LpNorm::kLInf), 0.0);
+}
+
+class NormOrderTest : public testing::TestWithParam<LpNorm> {};
+
+TEST_P(NormOrderTest, MonotoneInAdds) {
+  // Adding another attribute distance never decreases the aggregate
+  // (the monotonicity property of §2.1.1).
+  LpAccumulator acc(GetParam());
+  double prev = acc.Total();
+  for (double d : {0.5, 2.0, 0.0, 1.5}) {
+    acc.Add(d);
+    EXPECT_GE(acc.Total(), prev - 1e-12);
+    prev = acc.Total();
+  }
+}
+
+TEST_P(NormOrderTest, ExceedsConsistentWithTotal) {
+  LpAccumulator acc(GetParam());
+  acc.Add(1.0);
+  acc.Add(2.0);
+  double total = acc.Total();
+  EXPECT_TRUE(acc.Exceeds(total * 0.99));
+  EXPECT_FALSE(acc.Exceeds(total * 1.01));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNorms, NormOrderTest,
+                         testing::Values(LpNorm::kL1, LpNorm::kL2,
+                                         LpNorm::kLInf));
+
+TEST(LpAccumulator, L2PartialMatchesSqrt) {
+  LpAccumulator acc(LpNorm::kL2);
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(2.0);
+  EXPECT_DOUBLE_EQ(acc.Total(), 3.0);
+}
+
+TEST(LpNorm, L2UpperBoundsLInfLowerBoundsL1) {
+  std::vector<double> d{1.0, 2.0, 0.5};
+  double l1 = AggregateDistances(d, LpNorm::kL1);
+  double l2 = AggregateDistances(d, LpNorm::kL2);
+  double linf = AggregateDistances(d, LpNorm::kLInf);
+  EXPECT_LE(linf, l2 + 1e-12);
+  EXPECT_LE(l2, l1 + 1e-12);
+}
+
+}  // namespace
+}  // namespace disc

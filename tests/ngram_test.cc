@@ -1,0 +1,61 @@
+#include "distance/ngram.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(Ngram, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(NgramSimilarity("hello", "hello"), 1.0);
+  EXPECT_DOUBLE_EQ(NgramSimilarity("", ""), 1.0);
+}
+
+TEST(Ngram, CompletelyDifferentIsLow) {
+  EXPECT_LT(NgramSimilarity("aaaa", "zzzz"), 0.2);
+}
+
+TEST(Ngram, SimilarStringsScoreHigh) {
+  EXPECT_GT(NgramSimilarity("restaurant", "restaurnat"), 0.5);
+}
+
+TEST(Ngram, Symmetry) {
+  EXPECT_DOUBLE_EQ(NgramSimilarity("abcd", "abxd"),
+                   NgramSimilarity("abxd", "abcd"));
+}
+
+TEST(Ngram, RangeZeroOne) {
+  const char* words[] = {"", "a", "ab", "hello world", "xyz"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      double s = NgramSimilarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(Ngram, SingleTypoStaysAboveThreshold) {
+  // The matching rule of §4.1.3 uses threshold 0.7; a one-character typo in
+  // a reasonably long string should survive it.
+  EXPECT_GT(NgramSimilarity("golden bistro 42", "golden bistr0 42"), 0.7);
+}
+
+TEST(Ngram, ShortStringsSensitive) {
+  EXPECT_LT(NgramSimilarity("ab", "cd"), 0.3);
+}
+
+TEST(Ngram, TrigramOption) {
+  double bi = NgramSimilarity("abcdef", "abcxef", 2);
+  double tri = NgramSimilarity("abcdef", "abcxef", 3);
+  EXPECT_GT(bi, 0.0);
+  EXPECT_GT(tri, 0.0);
+  EXPECT_NE(bi, tri);
+}
+
+TEST(NgramDistance, Complement) {
+  double s = NgramSimilarity("abc", "abd");
+  EXPECT_DOUBLE_EQ(NgramDistance("abc", "abd"), 1.0 - s);
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,116 @@
+#include "distance/normalization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+namespace {
+
+Relation GpsLike() {
+  // Heterogeneous scales: time 0..100, longitude 800..840.
+  Relation r(Schema::NumericNamed({"time", "lon"}));
+  for (int i = 0; i <= 100; ++i) {
+    r.AppendUnchecked(Tuple::Numeric({double(i), 800 + 0.4 * i}));
+  }
+  return r;
+}
+
+TEST(Normalizer, MinMaxMapsToUnitInterval) {
+  Relation data = GpsLike();
+  Normalizer norm = Normalizer::Fit(data, NormalizationMode::kMinMax);
+  Relation scaled = norm.Apply(data);
+  for (const Tuple& t : scaled) {
+    for (std::size_t a = 0; a < t.size(); ++a) {
+      EXPECT_GE(t[a].num(), -1e-12);
+      EXPECT_LE(t[a].num(), 1.0 + 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(scaled[0][0].num(), 0.0);
+  EXPECT_DOUBLE_EQ(scaled[100][0].num(), 1.0);
+}
+
+TEST(Normalizer, ZScoreCentersAndScales) {
+  Relation data = GpsLike();
+  Normalizer norm = Normalizer::Fit(data, NormalizationMode::kZScore);
+  Relation scaled = norm.Apply(data);
+  double sum = 0;
+  double sum_sq = 0;
+  for (const Tuple& t : scaled) {
+    sum += t[0].num();
+    sum_sq += t[0].num() * t[0].num();
+  }
+  double n = static_cast<double>(scaled.size());
+  EXPECT_NEAR(sum / n, 0.0, 1e-9);
+  EXPECT_NEAR(sum_sq / n, 1.0, 1e-9);
+}
+
+TEST(Normalizer, RoundTripIsIdentity) {
+  Relation data = GpsLike();
+  for (NormalizationMode mode :
+       {NormalizationMode::kMinMax, NormalizationMode::kZScore}) {
+    Normalizer norm = Normalizer::Fit(data, mode);
+    Relation back = norm.Invert(norm.Apply(data));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      for (std::size_t a = 0; a < data.arity(); ++a) {
+        EXPECT_NEAR(back[i][a].num(), data[i][a].num(), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Normalizer, BalancesHeterogeneousAttributes) {
+  // After min-max normalization, both attributes contribute comparably to
+  // tuple distances — the reason the paper's GPS pipeline normalizes.
+  Relation data = GpsLike();
+  Normalizer norm = Normalizer::Fit(data);
+  Relation scaled = norm.Apply(data);
+  DistanceEvaluator ev(scaled.schema());
+  // First-vs-last distance decomposes evenly across attributes.
+  double d0 = ev.AttributeDistance(0, scaled[0][0], scaled[100][0]);
+  double d1 = ev.AttributeDistance(1, scaled[0][1], scaled[100][1]);
+  EXPECT_NEAR(d0, d1, 1e-9);
+}
+
+TEST(Normalizer, ConstantAttributeSafe) {
+  Relation r(Schema::Numeric(1));
+  for (int i = 0; i < 10; ++i) r.AppendUnchecked(Tuple::Numeric({7.0}));
+  Normalizer norm = Normalizer::Fit(r);
+  Relation scaled = norm.Apply(r);
+  // Constant attributes must not divide by zero; values map to 0.
+  EXPECT_DOUBLE_EQ(scaled[0][0].num(), 0.0);
+  Relation back = norm.Invert(scaled);
+  EXPECT_DOUBLE_EQ(back[0][0].num(), 7.0);
+}
+
+TEST(Normalizer, StringAttributesPassThrough) {
+  Relation r(Schema({{"x", ValueKind::kNumeric}, {"s", ValueKind::kString}}));
+  r.AppendUnchecked(Tuple{Value(0.0), Value("abc")});
+  r.AppendUnchecked(Tuple{Value(10.0), Value("xyz")});
+  Normalizer norm = Normalizer::Fit(r);
+  Relation scaled = norm.Apply(r);
+  EXPECT_EQ(scaled[0][1].str(), "abc");
+  EXPECT_EQ(scaled[1][1].str(), "xyz");
+  EXPECT_DOUBLE_EQ(scaled[1][0].num(), 1.0);
+}
+
+TEST(Normalizer, TupleTransformsMatchRelationTransforms) {
+  Relation data = GpsLike();
+  Normalizer norm = Normalizer::Fit(data);
+  Tuple probe = Tuple::Numeric({50, 820});
+  Tuple scaled = norm.ApplyToTuple(probe);
+  EXPECT_NEAR(scaled[0].num(), 0.5, 1e-12);
+  Tuple back = norm.InvertTuple(scaled);
+  EXPECT_NEAR(back[1].num(), 820.0, 1e-9);
+}
+
+TEST(Normalizer, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  Normalizer norm = Normalizer::Fit(r);
+  EXPECT_EQ(norm.arity(), 2u);
+  EXPECT_TRUE(norm.Apply(r).empty());
+}
+
+}  // namespace
+}  // namespace disc

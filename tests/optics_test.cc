@@ -1,0 +1,108 @@
+#include "clustering/optics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clustering/dbscan.h"
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation TwoBlobs(std::size_t per_blob = 60, std::uint64_t seed = 6) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.5, per_blob});
+  clusters.push_back({{10, 0}, 0.5, per_blob});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(Optics, OrderingCoversAllPoints) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  std::vector<OpticsEntry> ordering =
+      OpticsOrdering(data.data, ev, {2.0, 4});
+  EXPECT_EQ(ordering.size(), data.data.size());
+  std::vector<bool> seen(data.data.size(), false);
+  for (const OpticsEntry& e : ordering) {
+    EXPECT_FALSE(seen[e.row]) << "row visited twice";
+    seen[e.row] = true;
+  }
+}
+
+TEST(Optics, FirstEntryHasInfiniteReachability) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  std::vector<OpticsEntry> ordering =
+      OpticsOrdering(data.data, ev, {2.0, 4});
+  ASSERT_FALSE(ordering.empty());
+  EXPECT_TRUE(std::isinf(ordering[0].reachability));
+}
+
+TEST(Optics, ClusterPointsHaveLowReachability) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  std::vector<OpticsEntry> ordering =
+      OpticsOrdering(data.data, ev, {3.0, 4});
+  // All but the two component-starting points should be reachable well
+  // within the cluster scale.
+  std::size_t high = 0;
+  for (const OpticsEntry& e : ordering) {
+    if (e.reachability > 2.0) ++high;
+  }
+  EXPECT_LE(high, 3u);
+}
+
+TEST(Optics, ExtractionMatchesDbscanClusterCount) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels optics = Optics(data.data, ev, {3.0, 4}, 1.5);
+  Labels dbscan = Dbscan(data.data, ev, {1.5, 4});
+  EXPECT_EQ(NumClusters(optics), NumClusters(dbscan));
+  // The flat clusterings should agree almost perfectly.
+  PairCountingScores s = PairCounting(optics, dbscan);
+  EXPECT_GT(s.f1, 0.98);
+}
+
+TEST(Optics, RecoverBlobsAgainstTruth) {
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Optics(data.data, ev, {3.0, 4}, 1.5);
+  EXPECT_GT(PairCounting(labels, data.labels).f1, 0.95);
+}
+
+TEST(Optics, FarPointIsNoise) {
+  LabeledRelation data = TwoBlobs();
+  data.data.AppendUnchecked(Tuple::Numeric({100, 100}));
+  data.labels.push_back(kNoise);
+  DistanceEvaluator ev(data.data.schema());
+  Labels labels = Optics(data.data, ev, {3.0, 4}, 1.5);
+  EXPECT_EQ(labels.back(), kNoise);
+}
+
+TEST(Optics, OneExtractionPerEpsilonFromSameOrdering) {
+  // The selling point of OPTICS: one ordering serves many ε extractions.
+  LabeledRelation data = TwoBlobs();
+  DistanceEvaluator ev(data.data.schema());
+  std::vector<OpticsEntry> ordering =
+      OpticsOrdering(data.data, ev, {5.0, 4});
+  Labels tight = ExtractDbscanClustering(ordering, 1.0, data.data.size());
+  Labels loose = ExtractDbscanClustering(ordering, 5.0, data.data.size());
+  EXPECT_GE(NumNoise(tight), NumNoise(loose));
+  EXPECT_GE(NumClusters(tight), 2u);
+  // The blobs sit 10 apart: even the loose extraction keeps them separate
+  // (the ordering was capped at max_epsilon = 5), with no noise left.
+  EXPECT_EQ(NumClusters(loose), 2u);
+  EXPECT_EQ(NumNoise(loose), 0u);
+}
+
+TEST(Optics, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  DistanceEvaluator ev(r.schema());
+  EXPECT_TRUE(OpticsOrdering(r, ev, {1.0, 3}).empty());
+  EXPECT_TRUE(Optics(r, ev, {1.0, 3}, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace disc

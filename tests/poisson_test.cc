@@ -1,0 +1,113 @@
+#include "constraints/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace disc {
+namespace {
+
+TEST(Poisson, PmfSumsToOne) {
+  PoissonModel model(4.0);
+  double sum = 0;
+  for (std::size_t k = 0; k < 60; ++k) sum += model.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Poisson, PmfKnownValues) {
+  PoissonModel model(1.0);
+  EXPECT_NEAR(model.Pmf(0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(model.Pmf(1), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(model.Pmf(2), std::exp(-1.0) / 2.0, 1e-12);
+}
+
+TEST(Poisson, ZeroRateDegenerate) {
+  PoissonModel model(0.0);
+  EXPECT_DOUBLE_EQ(model.Pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.Pmf(3), 0.0);
+  EXPECT_DOUBLE_EQ(model.Cdf(0), 1.0);
+}
+
+TEST(Poisson, CdfMonotone) {
+  PoissonModel model(7.5);
+  double prev = 0;
+  for (std::size_t k = 0; k < 40; ++k) {
+    double c = model.Cdf(k);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+}
+
+TEST(Poisson, CdfMatchesPmfSum) {
+  PoissonModel model(3.2);
+  double sum = 0;
+  for (std::size_t k = 0; k <= 10; ++k) sum += model.Pmf(k);
+  EXPECT_NEAR(model.Cdf(10), sum, 1e-9);
+}
+
+TEST(Poisson, ProbAtLeastComplementsCdf) {
+  PoissonModel model(5.0);
+  for (std::size_t eta = 1; eta < 15; ++eta) {
+    EXPECT_NEAR(model.ProbAtLeast(eta), 1.0 - model.Cdf(eta - 1), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(model.ProbAtLeast(0), 1.0);
+}
+
+TEST(Poisson, ProbAtLeastDecreasingInEta) {
+  PoissonModel model(12.0);
+  double prev = 1.0;
+  for (std::size_t eta = 1; eta < 40; ++eta) {
+    double p = model.ProbAtLeast(eta);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(Poisson, PaperLetterExample) {
+  // §2.1.2: λε = 51.36, η = 18 → p(N ≥ 18) ≈ 0.99 (very high).
+  PoissonModel model(51.36);
+  EXPECT_GE(model.ProbAtLeast(18), 0.99);
+  // And the selected η at confidence 0.99 is at least 18.
+  EXPECT_GE(model.LargestEtaWithConfidence(0.99), 18u);
+}
+
+TEST(Poisson, LargestEtaRespectsConfidence) {
+  PoissonModel model(30.0);
+  std::size_t eta = model.LargestEtaWithConfidence(0.99);
+  ASSERT_GT(eta, 0u);
+  EXPECT_GE(model.ProbAtLeast(eta), 0.99);
+  EXPECT_LT(model.ProbAtLeast(eta + 1), 0.99);
+}
+
+TEST(Poisson, LargestEtaZeroWhenImpossible) {
+  PoissonModel model(0.5);
+  // With such a small rate even η=1 has p < 0.99.
+  EXPECT_EQ(model.LargestEtaWithConfidence(0.99), 0u);
+}
+
+TEST(Poisson, LargeRateNumericallyStable) {
+  PoissonModel model(5000.0);
+  EXPECT_NEAR(model.ProbAtLeast(1), 1.0, 1e-9);
+  std::size_t eta = model.LargestEtaWithConfidence(0.99);
+  // η should be a bit below the mean (≈ λ − 2.33·sqrt(λ)).
+  EXPECT_GT(eta, 4700u);
+  EXPECT_LT(eta, 5000u);
+}
+
+class PoissonRateTest : public testing::TestWithParam<double> {};
+
+TEST_P(PoissonRateTest, MeanMatchesRate) {
+  PoissonModel model(GetParam());
+  double mean = 0;
+  for (std::size_t k = 0; k < 400; ++k) {
+    mean += static_cast<double>(k) * model.Pmf(k);
+  }
+  EXPECT_NEAR(mean, GetParam(), 1e-6 * (1 + GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonRateTest,
+                         testing::Values(0.5, 1.0, 3.0, 10.0, 51.36, 100.0));
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,112 @@
+#include "matching/record_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/error_injection.h"
+
+namespace disc {
+namespace {
+
+Relation SmallStrings() {
+  Relation r(Schema::StringNamed({"name", "city"}));
+  r.AppendUnchecked(Tuple{Value("golden bistro"), Value("boston")});
+  r.AppendUnchecked(Tuple{Value("golden bistro."), Value("boston")});
+  r.AppendUnchecked(Tuple{Value("jade palace"), Value("chicago")});
+  return r;
+}
+
+TEST(MatchRecords, FindsNearDuplicatePair) {
+  Relation r = SmallStrings();
+  std::vector<MatchPair> matches = MatchRecords(r);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], MatchPair(0, 1));
+}
+
+TEST(MatchRecords, NoFalseMatchesAcrossEntities) {
+  Relation r = SmallStrings();
+  std::vector<MatchPair> matches = MatchRecords(r);
+  for (const MatchPair& p : matches) {
+    EXPECT_FALSE(p.first == 2 || p.second == 2);
+  }
+}
+
+TEST(MatchRecords, ThresholdControlsStrictness) {
+  Relation r = SmallStrings();
+  MatchingOptions loose;
+  loose.similarity_threshold = 0.1;
+  MatchingOptions strict;
+  strict.similarity_threshold = 0.99;
+  EXPECT_GE(MatchRecords(r, loose).size(), MatchRecords(r, strict).size());
+}
+
+TEST(MatchRecords, AttributeSubset) {
+  Relation r = SmallStrings();
+  MatchingOptions opts;
+  opts.attributes = {1};  // city only
+  std::vector<MatchPair> matches = MatchRecords(r, opts);
+  // Rows 0 and 1 share "boston" exactly.
+  bool found01 = false;
+  for (const MatchPair& p : matches) {
+    if (p == MatchPair(0, 1)) found01 = true;
+  }
+  EXPECT_TRUE(found01);
+}
+
+TEST(ScoreMatching, PerfectPrediction) {
+  std::vector<MatchPair> truth{{0, 1}, {2, 3}};
+  MatchingScores s = ScoreMatching(truth, truth);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(ScoreMatching, PartialOverlap) {
+  std::vector<MatchPair> truth{{0, 1}, {2, 3}};
+  std::vector<MatchPair> pred{{0, 1}, {4, 5}};
+  MatchingScores s = ScoreMatching(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(ScoreMatching, EmptyConventions) {
+  MatchingScores both = ScoreMatching({}, {});
+  EXPECT_DOUBLE_EQ(both.precision, 1.0);
+  EXPECT_DOUBLE_EQ(both.recall, 1.0);
+  MatchingScores no_pred = ScoreMatching({}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(no_pred.recall, 0.0);
+}
+
+TEST(PairsFromEntityIds, BuildsAllPairs) {
+  std::vector<int> ids{7, 7, 8, 7};
+  std::vector<MatchPair> pairs = PairsFromEntityIds(ids);
+  // Entity 7 has rows {0, 1, 3} → 3 pairs; entity 8 has one row → 0 pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+}
+
+TEST(Matching, TyposBreakMatchingAndRepairRestoresIt) {
+  // End-to-end mini version of Figure 8's story.
+  RestaurantSpec spec;
+  spec.entities = 40;
+  spec.tuples = 60;
+  spec.seed = 5;
+  LabeledRelation data = GenerateRestaurant(spec);
+  std::vector<MatchPair> truth = PairsFromEntityIds(data.labels);
+
+  MatchingScores clean_scores =
+      ScoreMatching(MatchRecords(data.data), truth);
+
+  ErrorInjectionSpec err;
+  err.tuple_rate = 0.3;
+  err.min_attributes = 1;
+  err.max_attributes = 2;
+  err.seed = 6;
+  InjectionResult injected = InjectStringTypos(data.data, err);
+  MatchingScores dirty_scores =
+      ScoreMatching(MatchRecords(injected.dirty), truth);
+
+  // Typos can only hurt (or tie) matching accuracy.
+  EXPECT_LE(dirty_scores.f1, clean_scores.f1 + 1e-9);
+}
+
+}  // namespace
+}  // namespace disc

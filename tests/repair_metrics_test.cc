@@ -1,0 +1,86 @@
+#include "eval/repair_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+Relation MakeRel(std::initializer_list<std::initializer_list<double>> rows) {
+  Relation r;
+  bool first = true;
+  for (const auto& row : rows) {
+    if (first) {
+      r = Relation(Schema::Numeric(row.size()));
+      first = false;
+    }
+    Tuple t;
+    for (double v : row) t.push_back(Value(v));
+    r.AppendUnchecked(std::move(t));
+  }
+  return r;
+}
+
+TEST(ModifiedAttributes, FindsChangedCells) {
+  Relation before = MakeRel({{1, 2, 3}});
+  Relation after = MakeRel({{1, 9, 3}});
+  AttributeSet mod = ModifiedAttributes(before, after, 0);
+  EXPECT_EQ(mod.size(), 1u);
+  EXPECT_TRUE(mod.contains(1));
+}
+
+TEST(EvaluateRepair, NoChangesIsZero) {
+  Relation data = MakeRel({{1, 2}, {3, 4}});
+  DistanceEvaluator ev(data.schema());
+  RepairReport r = EvaluateRepair(data, data, data, ev);
+  EXPECT_EQ(r.tuples_changed, 0u);
+  EXPECT_DOUBLE_EQ(r.mean_adjustment_cost, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_residual_error, 0.0);
+}
+
+TEST(EvaluateRepair, CountsChangedTuples) {
+  Relation dirty = MakeRel({{1, 2}, {3, 4}, {5, 6}});
+  Relation repaired = MakeRel({{1, 2}, {3, 10}, {5, 6}});
+  DistanceEvaluator ev(dirty.schema());
+  RepairReport r = EvaluateRepair(dirty, repaired, dirty, ev);
+  EXPECT_EQ(r.tuples_changed, 1u);
+  EXPECT_DOUBLE_EQ(r.mean_modified_attributes, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_adjustment_cost, 6.0);
+}
+
+TEST(EvaluateRepair, ResidualMeasuresDistanceToTruth) {
+  Relation dirty = MakeRel({{0, 0}});
+  Relation repaired = MakeRel({{3, 4}});
+  Relation truth = MakeRel({{3, 0}});
+  DistanceEvaluator ev(dirty.schema());
+  RepairReport r = EvaluateRepair(dirty, repaired, truth, ev);
+  EXPECT_DOUBLE_EQ(r.mean_residual_error, 4.0);
+}
+
+TEST(EvaluateRepair, PerfectRepairZeroResidual) {
+  Relation dirty = MakeRel({{0, 99}});
+  Relation truth = MakeRel({{0, 1}});
+  DistanceEvaluator ev(dirty.schema());
+  RepairReport r = EvaluateRepair(dirty, truth, truth, ev);
+  EXPECT_DOUBLE_EQ(r.mean_residual_error, 0.0);
+  EXPECT_EQ(r.tuples_changed, 1u);
+}
+
+TEST(EvaluateRepair, EmptyRelation) {
+  Relation empty(Schema::Numeric(2));
+  DistanceEvaluator ev(empty.schema());
+  RepairReport r = EvaluateRepair(empty, empty, empty, ev);
+  EXPECT_EQ(r.tuples_changed, 0u);
+}
+
+TEST(EvaluateRepair, MeanOverMultipleChanges) {
+  Relation dirty = MakeRel({{0, 0}, {0, 0}});
+  Relation repaired = MakeRel({{3, 4}, {0, 2}});  // costs 5 and 2
+  DistanceEvaluator ev(dirty.schema());
+  RepairReport r = EvaluateRepair(dirty, repaired, dirty, ev);
+  EXPECT_EQ(r.tuples_changed, 2u);
+  EXPECT_DOUBLE_EQ(r.mean_adjustment_cost, 3.5);
+  EXPECT_DOUBLE_EQ(r.mean_modified_attributes, 1.5);
+}
+
+}  // namespace
+}  // namespace disc

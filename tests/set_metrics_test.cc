@@ -1,0 +1,60 @@
+#include "eval/set_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace disc {
+namespace {
+
+TEST(Jaccard, IdenticalSetsOne) {
+  AttributeSet a{1, 3};
+  EXPECT_DOUBLE_EQ(JaccardIndex(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsZero) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(AttributeSet{0}, AttributeSet{1}), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  // |{1} ∩ {1,2}| / |{1} ∪ {1,2}| = 1/2.
+  EXPECT_DOUBLE_EQ(JaccardIndex(AttributeSet{1}, AttributeSet{1, 2}), 0.5);
+}
+
+TEST(Jaccard, BothEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(AttributeSet(), AttributeSet()), 1.0);
+}
+
+TEST(Jaccard, OneEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(JaccardIndex(AttributeSet{2}, AttributeSet()), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardIndex(AttributeSet(), AttributeSet{2}), 0.0);
+}
+
+TEST(Jaccard, Symmetric) {
+  AttributeSet a{0, 1, 5};
+  AttributeSet b{1, 5, 9};
+  EXPECT_DOUBLE_EQ(JaccardIndex(a, b), JaccardIndex(b, a));
+}
+
+TEST(SetPrecisionRecall, KnownValues) {
+  AttributeSet truth{0, 1};
+  AttributeSet pred{1, 2, 3};
+  EXPECT_NEAR(SetPrecision(truth, pred), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(SetRecall(truth, pred), 1.0 / 2.0, 1e-12);
+}
+
+TEST(SetPrecisionRecall, EmptyConventions) {
+  EXPECT_DOUBLE_EQ(SetPrecision(AttributeSet{1}, AttributeSet()), 1.0);
+  EXPECT_DOUBLE_EQ(SetRecall(AttributeSet(), AttributeSet{1}), 1.0);
+}
+
+TEST(Jaccard, OverChangeLowersScore) {
+  // The paper's Figure 10(c) point: adjusting 6 attributes when 2 are wrong
+  // gives Jaccard 2/6 = 0.33, versus 1.0 for a minimal repair.
+  AttributeSet truth{0, 1};
+  AttributeSet minimal{0, 1};
+  AttributeSet over{0, 1, 2, 3, 4, 5};
+  EXPECT_GT(JaccardIndex(truth, minimal), JaccardIndex(truth, over));
+  EXPECT_NEAR(JaccardIndex(truth, over), 2.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace disc

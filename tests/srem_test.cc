@@ -1,0 +1,84 @@
+#include "clustering/srem.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/generators.h"
+#include "eval/clustering_metrics.h"
+
+namespace disc {
+namespace {
+
+LabeledRelation TwoBlobs(std::uint64_t seed = 9) {
+  std::vector<ClusterSpec> clusters;
+  clusters.push_back({{0, 0}, 0.7, 70});
+  clusters.push_back({{10, 0}, 0.7, 70});
+  return GenerateGaussianMixture(clusters, seed);
+}
+
+TEST(Srem, RecoversTwoBlobs) {
+  LabeledRelation data = TwoBlobs();
+  SremParams p;
+  p.k = 2;
+  SremResult res = Srem(data.data, p);
+  EXPECT_EQ(NumClusters(res.labels), 2u);
+  PairCountingScores s = PairCounting(res.labels, data.labels);
+  EXPECT_GT(s.f1, 0.95);
+}
+
+TEST(Srem, LogLikelihoodFinite) {
+  LabeledRelation data = TwoBlobs();
+  SremParams p;
+  p.k = 2;
+  SremResult res = Srem(data.data, p);
+  EXPECT_TRUE(std::isfinite(res.log_likelihood));
+}
+
+TEST(Srem, MoreRestartsNeverHurtLikelihood) {
+  LabeledRelation data = TwoBlobs();
+  SremParams one;
+  one.k = 2;
+  one.restarts = 1;
+  one.seed = 13;
+  SremParams five;
+  five.k = 2;
+  five.restarts = 5;
+  five.seed = 13;
+  SremResult a = Srem(data.data, one);
+  SremResult b = Srem(data.data, five);
+  // The 5-restart run contains the 1-restart run's initialization.
+  EXPECT_GE(b.log_likelihood, a.log_likelihood - 1e-6);
+}
+
+TEST(Srem, ModelShapesMatchK) {
+  LabeledRelation data = TwoBlobs();
+  SremParams p;
+  p.k = 2;
+  SremResult res = Srem(data.data, p);
+  EXPECT_EQ(res.means.size(), 2u);
+  EXPECT_EQ(res.variances.size(), 2u);
+  EXPECT_EQ(res.weights.size(), 2u);
+  double weight_sum = res.weights[0] + res.weights[1];
+  EXPECT_NEAR(weight_sum, 1.0, 1e-6);
+  for (double v : res.variances) EXPECT_GT(v, 0.0);
+}
+
+TEST(Srem, DeterministicForFixedSeed) {
+  LabeledRelation data = TwoBlobs();
+  SremParams p;
+  p.k = 2;
+  p.seed = 77;
+  SremResult a = Srem(data.data, p);
+  SremResult b = Srem(data.data, p);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Srem, EmptyRelation) {
+  Relation r(Schema::Numeric(2));
+  SremResult res = Srem(r, {});
+  EXPECT_TRUE(res.labels.empty());
+}
+
+}  // namespace
+}  // namespace disc

@@ -1,0 +1,78 @@
+#include "cleaning/sse.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace disc {
+namespace {
+
+Relation GaussianInliers(std::size_t count, std::size_t dims,
+                         std::uint64_t seed = 61) {
+  Rng rng(seed);
+  Relation r(Schema::Numeric(dims));
+  for (std::size_t i = 0; i < count; ++i) {
+    Tuple t(dims);
+    for (std::size_t d = 0; d < dims; ++d) t[d] = Value(rng.Gaussian(0, 1.0));
+    r.AppendUnchecked(std::move(t));
+  }
+  return r;
+}
+
+TEST(Sse, ExplainsSingleBrokenAttribute) {
+  Relation inliers = GaussianInliers(100, 3);
+  DistanceEvaluator ev(inliers.schema());
+  Tuple outlier = Tuple::Numeric({0.1, 30.0, -0.2});
+  AttributeSet explained = ExplainOutlierSse(inliers, ev, outlier);
+  EXPECT_TRUE(explained.contains(1));
+  EXPECT_FALSE(explained.contains(0));
+  EXPECT_FALSE(explained.contains(2));
+}
+
+TEST(Sse, ExplainsAllAttributesForNaturalOutlier) {
+  Relation inliers = GaussianInliers(100, 3);
+  DistanceEvaluator ev(inliers.schema());
+  Tuple natural = Tuple::Numeric({50, -50, 50});
+  AttributeSet explained = ExplainOutlierSse(inliers, ev, natural);
+  EXPECT_EQ(explained.size(), 3u);
+}
+
+TEST(Sse, InlierLikePointHasNoExplanation) {
+  Relation inliers = GaussianInliers(100, 3);
+  DistanceEvaluator ev(inliers.schema());
+  Tuple normal = Tuple::Numeric({0.3, -0.4, 0.1});
+  AttributeSet explained = ExplainOutlierSse(inliers, ev, normal);
+  EXPECT_TRUE(explained.empty());
+}
+
+TEST(Sse, TwoBrokenAttributes) {
+  Relation inliers = GaussianInliers(150, 4);
+  DistanceEvaluator ev(inliers.schema());
+  Tuple outlier = Tuple::Numeric({25.0, 0.1, -30.0, 0.0});
+  AttributeSet explained = ExplainOutlierSse(inliers, ev, outlier);
+  EXPECT_TRUE(explained.contains(0));
+  EXPECT_TRUE(explained.contains(2));
+}
+
+TEST(Sse, ThresholdControlsSensitivity) {
+  Relation inliers = GaussianInliers(100, 2);
+  DistanceEvaluator ev(inliers.schema());
+  Tuple mild = Tuple::Numeric({0.0, 6.0});
+  SseOptions strict;
+  strict.separability_zscore = 20.0;
+  SseOptions loose;
+  loose.separability_zscore = 1.0;
+  EXPECT_LE(ExplainOutlierSse(inliers, ev, mild, strict).size(),
+            ExplainOutlierSse(inliers, ev, mild, loose).size());
+}
+
+TEST(Sse, EmptyInliersGiveEmptyExplanation) {
+  Relation inliers(Schema::Numeric(2));
+  DistanceEvaluator ev(inliers.schema());
+  AttributeSet explained =
+      ExplainOutlierSse(inliers, ev, Tuple::Numeric({1, 2}));
+  EXPECT_TRUE(explained.empty());
+}
+
+}  // namespace
+}  // namespace disc
