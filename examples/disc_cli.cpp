@@ -2,12 +2,14 @@
 //
 // Usage:
 //   disc_cli <input.csv> <output.csv> [--epsilon E] [--eta N]
-//            [--kappa K] [--normalize] [--exact]
+//            [--kappa K] [--threads T] [--normalize] [--exact]
 //
 // Without --epsilon/--eta the constraint is fitted automatically with the
 // Poisson rule of §2.1.2 (p(N(ε) >= η) >= 0.99). --normalize min-max scales
 // numeric attributes before saving and maps the repairs back to original
-// units. Prints a per-outlier report and writes the repaired relation.
+// units. --threads T saves outliers on T worker threads (0 = one per
+// hardware thread; results are bit-identical for any T). Prints a
+// per-outlier report and writes the repaired relation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +26,7 @@ namespace {
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.csv> <output.csv> [--epsilon E] [--eta N]\n"
-               "          [--kappa K] [--normalize] [--exact]\n",
+               "          [--kappa K] [--threads T] [--normalize] [--exact]\n",
                argv0);
 }
 
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   double epsilon = 0;
   std::size_t eta = 0;
   std::size_t kappa = 0;
+  std::size_t threads = 1;
   bool normalize = false;
   bool use_exact = false;
   for (int i = 3; i < argc; ++i) {
@@ -52,6 +55,8 @@ int main(int argc, char** argv) {
       eta = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--kappa") == 0 && i + 1 < argc) {
       kappa = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--normalize") == 0) {
       normalize = true;
     } else if (std::strcmp(argv[i], "--exact") == 0) {
@@ -97,7 +102,13 @@ int main(int argc, char** argv) {
   options.save.kappa = kappa;
   options.use_exact = use_exact;
   options.exact_max_candidates = 200000;
+  options.num_threads = threads;
   SavedDataset saved = SaveOutliers(working, evaluator, options);
+  if (!saved.status.ok()) {
+    std::fprintf(stderr, "error saving outliers: %s\n",
+                 saved.status.ToString().c_str());
+    return 1;
+  }
 
   std::printf("outliers: %zu flagged / %zu tuples; %zu saved, %zu natural, "
               "%zu infeasible; mean cost %.4f, mean #attrs %.2f\n",

@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace disc {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return stopping_ || queue_.size() < queue_capacity_;
+    });
+    if (stopping_) {
+      // Dropping the task destroys its packaged_task; the caller's future
+      // then reports broken_promise rather than hanging.
+      return;
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    // The packaged_task wrapper captures any exception into the future.
+    task();
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace disc

@@ -1,0 +1,93 @@
+#ifndef DISC_COMMON_THREAD_POOL_H_
+#define DISC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace disc {
+
+/// Fixed-size thread pool with a bounded FIFO task queue.
+///
+/// Deliberately work-stealing-free: all workers pop from one shared queue
+/// under a single mutex. The saving workload this pool exists for (one
+/// branch-and-bound search per outlier, milliseconds to seconds each) is far
+/// too coarse for queue contention to matter, and a single FIFO keeps the
+/// execution order — and therefore profiles and logs — easy to reason about.
+///
+/// The queue is bounded: Submit() blocks once `queue_capacity` tasks are
+/// waiting, providing natural backpressure when a producer enqueues faster
+/// than the workers drain (e.g. submitting one task per outlier of a huge
+/// batch). Tasks are wrapped in std::packaged_task, so an exception thrown
+/// inside a task is captured and rethrown from the corresponding future —
+/// it never unwinds through a worker thread.
+///
+/// Thread-safety: Submit() may be called concurrently from any thread.
+/// Shutdown() must not race with itself (the destructor is the usual
+/// caller). Submitting from inside a task is safe as long as the queue is
+/// not full — a full queue would then deadlock, so don't build recursive
+/// fan-out on a bounded pool.
+class ThreadPool {
+ public:
+  /// Queue capacity used when none is given. Large enough that batch
+  /// producers rarely block, small enough to bound memory when they do.
+  static constexpr std::size_t kDefaultQueueCapacity = 1024;
+
+  /// Starts `num_threads` workers (at least 1). `queue_capacity` bounds the
+  /// number of not-yet-started tasks (at least 1).
+  explicit ThreadPool(std::size_t num_threads,
+                      std::size_t queue_capacity = kDefaultQueueCapacity);
+
+  /// Calls Shutdown(): runs every task already queued, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Schedules `fn` and returns a future for its result. Blocks while the
+  /// queue is at capacity. After Shutdown() the task is rejected and the
+  /// returned future reports std::future_errc::broken_promise.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Stops accepting new tasks, finishes everything already queued, joins
+  /// the workers. Idempotent; invoked by the destructor.
+  void Shutdown();
+
+  /// Worker count for CPU-bound work: hardware concurrency, at least 1.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  const std::size_t queue_capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_empty_;  ///< signalled: task queued or stopping
+  std::condition_variable not_full_;   ///< signalled: queue slot freed
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_THREAD_POOL_H_

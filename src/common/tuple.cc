@@ -49,7 +49,7 @@ AttributeSet::AttributeSet(std::initializer_list<std::size_t> indices)
 }
 
 AttributeSet AttributeSet::Full(std::size_t arity) {
-  if (arity >= 64) return AttributeSet(~std::uint64_t{0});
+  if (arity >= kCapacity) return AttributeSet(~std::uint64_t{0});
   return AttributeSet((std::uint64_t{1} << arity) - 1);
 }
 
@@ -64,7 +64,7 @@ AttributeSet AttributeSet::ComplementIn(std::size_t arity) const {
 std::vector<std::size_t> AttributeSet::ToIndices() const {
   std::vector<std::size_t> out;
   out.reserve(size());
-  for (std::size_t i = 0; i < 64; ++i) {
+  for (std::size_t i = 0; i < kCapacity; ++i) {
     if (contains(i)) out.push_back(i);
   }
   return out;

@@ -70,6 +70,11 @@ std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
 /// covers every dataset in the paper (max 57 for Spam).
 class AttributeSet {
  public:
+  /// Maximum number of representable attributes — the bitmask width. Code
+  /// that derives an AttributeSet from wider data must reject it up front
+  /// (see ValidateSaveArity in core/disc_saver.h) rather than truncate.
+  static constexpr std::size_t kCapacity = 64;
+
   /// Constructs the empty set.
   AttributeSet() : bits_(0) {}
   /// Constructs from a raw bitmask.

@@ -1,7 +1,9 @@
 #include "core/disc_saver.h"
 
 #include <algorithm>
+#include <future>
 #include <limits>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -10,9 +12,21 @@
 
 namespace disc {
 
+Status ValidateSaveArity(std::size_t arity) {
+  if (arity > kMaxSaveableAttributes) {
+    return Status::InvalidArgument(
+        "relation has " + std::to_string(arity) +
+        " attributes; outlier saving supports at most " +
+        std::to_string(kMaxSaveableAttributes) +
+        " (AttributeSet bitmask capacity)");
+  }
+  return Status::OK();
+}
+
 AttributeSet ChangedAttributes(const Tuple& original, const Tuple& adjusted) {
   AttributeSet changed;
-  for (std::size_t a = 0; a < original.size() && a < 64; ++a) {
+  for (std::size_t a = 0;
+       a < original.size() && a < kMaxSaveableAttributes; ++a) {
     if (!(original[a] == adjusted[a])) changed.insert(a);
   }
   return changed;
@@ -222,6 +236,35 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
     result.adjusted = outlier;
   }
   return result;
+}
+
+std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
+                                           const SaveOptions& options,
+                                           ThreadPool* pool) const {
+  std::vector<SaveResult> results(outliers.size());
+  if (pool == nullptr || pool->size() <= 1 || outliers.size() <= 1) {
+    for (std::size_t i = 0; i < outliers.size(); ++i) {
+      results[i] = Save(outliers[i], options);
+    }
+    return results;
+  }
+
+  // One task per outlier: the searches vary wildly in cost (pruning depends
+  // on how deep in a cluster the donor tuples sit), so fine-grained tasks
+  // load-balance better than fixed chunks. The pool's bounded queue supplies
+  // backpressure for very large batches. Results land in input order, which
+  // together with the unchanged per-outlier search order makes the output
+  // bit-identical to the sequential path.
+  std::vector<std::future<SaveResult>> futures;
+  futures.reserve(outliers.size());
+  for (const Tuple& outlier : outliers) {
+    futures.push_back(pool->Submit(
+        [this, &outlier, &options] { return Save(outlier, options); }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    results[i] = futures[i].get();
+  }
+  return results;
 }
 
 }  // namespace disc

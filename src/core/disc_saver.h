@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "common/relation.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/tuple.h"
 #include "constraints/distance_constraint.h"
 #include "core/bounds.h"
@@ -13,6 +16,18 @@
 #include "index/neighbor_index.h"
 
 namespace disc {
+
+/// Widest relation the savers support. Adjusted-attribute bookkeeping
+/// (ChangedAttributes, the B&B search over attribute sets X) uses
+/// AttributeSet bitmasks, so schemas beyond this arity must be rejected with
+/// a Status — never silently truncated. Covers every dataset in the paper
+/// (max 57 attributes for Spam).
+inline constexpr std::size_t kMaxSaveableAttributes = AttributeSet::kCapacity;
+
+/// OK iff a relation of `arity` attributes fits the savers' AttributeSet
+/// bookkeeping; InvalidArgument naming the cap otherwise. Every saving entry
+/// point (SaveOutliers, DiscSaver::SaveAll) checks this before any search.
+Status ValidateSaveArity(std::size_t arity);
 
 /// Knobs for a single Save() call.
 struct SaveOptions {
@@ -66,7 +81,13 @@ struct SaveResult {
 /// beat it.
 ///
 /// Typical use: build once per (inlier set, constraint), then Save() each
-/// outlier.
+/// outlier — or SaveAll() a batch, optionally across a ThreadPool.
+///
+/// Thread-safety: after construction, Save()/SaveAll() are const and touch
+/// only immutable shared state (the inlier relation, evaluator,
+/// NeighborIndex, KthNeighborCache and BoundsEngine are all read-only after
+/// their constructors) plus a per-call SearchState, so any number of threads
+/// may call them concurrently on one DiscSaver.
 class DiscSaver {
  public:
   /// `inliers` is the outlier-free set r; all tuples in it are assumed to
@@ -77,6 +98,19 @@ class DiscSaver {
 
   /// Finds a near-optimal adjustment of `outlier` under the constraint.
   SaveResult Save(const Tuple& outlier, const SaveOptions& options = {}) const;
+
+  /// Saves a batch of outliers, one independent Save() per tuple. With a
+  /// non-null `pool` of more than one worker the searches run concurrently,
+  /// one task per outlier, against the shared read-only index state.
+  ///
+  /// Determinism: each per-outlier search is sequential and identical to a
+  /// plain Save() call, and results are merged by input order, so the
+  /// returned vector is bit-identical for every thread count (including
+  /// pool == nullptr). `outliers` and `options` must stay alive and
+  /// unmodified until SaveAll returns.
+  std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
+                                  const SaveOptions& options = {},
+                                  ThreadPool* pool = nullptr) const;
 
   /// The bounds engine (exposed for tests and diagnostics).
   const BoundsEngine& bounds() const { return *bounds_; }
@@ -96,6 +130,8 @@ class DiscSaver {
 };
 
 /// Computes which attributes differ between `original` and `adjusted`.
+/// Only the first kMaxSaveableAttributes attributes are representable;
+/// callers must have rejected wider tuples via ValidateSaveArity.
 AttributeSet ChangedAttributes(const Tuple& original, const Tuple& adjusted);
 
 }  // namespace disc

@@ -1,5 +1,10 @@
 #include "core/outlier_saving.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "index/index_factory.h"
 
 namespace disc {
@@ -42,6 +47,11 @@ SavedDataset SaveOutliers(const Relation& data,
   SavedDataset out;
   out.repaired = data;
 
+  // Wider schemas would silently overflow the AttributeSet bookkeeping of
+  // the search; reject them up front.
+  out.status = ValidateSaveArity(data.arity());
+  if (!out.status.ok()) return out;
+
   // Split into inliers r and outliers s against the full dataset.
   std::unique_ptr<NeighborIndex> full_index =
       MakeNeighborIndex(data, evaluator, options.constraint.epsilon);
@@ -72,8 +82,31 @@ SavedDataset SaveOutliers(const Relation& data,
         std::make_unique<ExactSaver>(inliers, evaluator, options.constraint);
   }
 
+  // Batch-save the DISC path. Each outlier's search is independent against
+  // the fixed inlier set, so the batch fans out across a thread pool; the
+  // merge below walks `split.outlier_rows` in input order either way, so
+  // the records are bit-identical for every thread count.
+  std::vector<SaveResult> disc_results;
+  if (!effective.use_exact) {
+    std::vector<Tuple> outlier_tuples;
+    outlier_tuples.reserve(split.outlier_rows.size());
+    for (std::size_t row : split.outlier_rows) {
+      outlier_tuples.push_back(data[row]);
+    }
+    std::size_t threads = effective.num_threads == 0
+                              ? ThreadPool::DefaultThreadCount()
+                              : effective.num_threads;
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1 && outlier_tuples.size() > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+    }
+    disc_results =
+        disc_saver.SaveAll(outlier_tuples, effective.save, pool.get());
+  }
+
   out.records.reserve(split.outlier_rows.size());
-  for (std::size_t row : split.outlier_rows) {
+  for (std::size_t i = 0; i < split.outlier_rows.size(); ++i) {
+    const std::size_t row = split.outlier_rows[i];
     const Tuple& outlier = data[row];
     OutlierRecord rec;
     rec.row = row;
@@ -89,10 +122,10 @@ SavedDataset SaveOutliers(const Relation& data,
       rec.cost = res.cost;
       rec.adjusted_attributes = res.adjusted_attributes;
     } else {
-      SaveResult res = disc_saver.Save(outlier, effective.save);
+      SaveResult& res = disc_results[i];
       feasible = res.feasible;
       kappa_exceeded = res.kappa_exceeded;
-      rec.adjusted = res.adjusted;
+      rec.adjusted = std::move(res.adjusted);
       rec.cost = res.cost;
       rec.adjusted_attributes = res.adjusted_attributes;
       rec.lower_bound = res.lower_bound;

@@ -28,6 +28,11 @@ struct OutlierSavingOptions {
   bool use_exact = false;
   /// Candidate budget for the exact algorithm (0 = unlimited).
   std::size_t exact_max_candidates = 0;
+  /// Worker threads for batch saving (DISC path only; the exact saver stays
+  /// sequential). 1 = in-caller sequential saving, 0 = one worker per
+  /// hardware thread. Results are bit-identical for every value — see
+  /// DiscSaver::SaveAll.
+  std::size_t num_threads = 1;
 };
 
 /// Why an outlier ended up saved or not.
@@ -49,6 +54,10 @@ struct OutlierRecord {
 
 /// Result of saving all outliers of a dataset.
 struct SavedDataset {
+  /// OK unless the pipeline rejected its input (e.g. a schema wider than
+  /// kMaxSaveableAttributes). On error `repaired` is the unmodified input
+  /// and no records are produced.
+  Status status;
   /// The full dataset with saved outliers' values adjusted in place.
   Relation repaired;
   /// Rows that violated the constraint (the outlier set s).
@@ -70,7 +79,10 @@ struct SavedDataset {
 /// outliers s under the constraint, then save each outlier against r
 /// (Algorithm 1, or the exact algorithm when `use_exact`). Outliers are
 /// saved independently — each is adjusted w.r.t. the fixed inlier set, so
-/// the order of processing does not matter.
+/// the order of processing does not matter; with `num_threads` > 1 the
+/// per-outlier searches run on a ThreadPool with bit-identical results.
+/// Check `SavedDataset::status` first: a schema wider than
+/// kMaxSaveableAttributes is rejected rather than silently truncated.
 SavedDataset SaveOutliers(const Relation& data,
                           const DistanceEvaluator& evaluator,
                           const OutlierSavingOptions& options);

@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace disc {
+namespace {
+
+TEST(ThreadPool, ReportsRequestedSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValuesThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  // Two tasks that can only finish if they overlap in time.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&arrived] {
+    arrived.fetch_add(1);
+    // Wait (bounded) for the other task to arrive on the other worker.
+    for (int spin = 0; spin < 20000 && arrived.load() < 2; ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    return arrived.load();
+  };
+  std::future<int> f1 = pool.Submit(rendezvous);
+  std::future<int> f2 = pool.Submit(rendezvous);
+  EXPECT_EQ(f1.get(), 2);
+  EXPECT_EQ(f2.get(), 2);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.Submit([] { return 1; });
+  std::future<int> bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.Submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueueAndJoins) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        completed.fetch_add(1);
+      });
+    }
+    // Destructor runs here: every already-submitted task must finish.
+  }
+  EXPECT_EQ(completed.load(), 50);
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackpressure) {
+  // Capacity 2 with 16 slow tasks: Submit must block rather than grow the
+  // queue, and every task must still run exactly once.
+  ThreadPool pool(2, /*queue_capacity=*/2);
+  std::atomic<int> completed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&completed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      completed.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownBreaksPromise) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  std::future<int> f = pool.Submit([] { return 3; });
+  EXPECT_THROW(f.get(), std::future_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([] { return 5; });
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(f.get(), 5);
+}
+
+TEST(ThreadPool, ConcurrentProducers) {
+  ThreadPool pool(4, /*queue_capacity=*/8);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&pool, &sum] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 25; ++i) {
+        futures.push_back(pool.Submit([&sum] { sum.fetch_add(1); }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum.load(), 100);
+}
+
+}  // namespace
+}  // namespace disc
