@@ -132,7 +132,7 @@ int main() {
     // sets so the row finishes; the count column shows the blow-up.
     SaveOptions full;
     full.kappa = 0;
-    full.max_visited_sets = 3000;
+    full.budget.max_visited_sets = 3000;
     PrintOutcome("kappa=inf(cap)", RunVariant(ds, evaluator, full));
   }
 

@@ -4,7 +4,10 @@
 // errors, then runs the same DiscSaver::SaveAll batch with 1, 2, 4 and 8
 // worker threads. Reports seconds and speedup vs. the 1-thread run and
 // verifies the results are bit-identical across thread counts (the
-// determinism guarantee of SaveAll).
+// determinism guarantee of SaveAll). A per-outlier latency pass yields
+// p50/p99, and a deadline-mode run exercises the anytime degradation path.
+// Everything is also written machine-readably to BENCH_parallel_save.json
+// in the working directory.
 //
 // Not a paper figure: this benchmarks the repo's own parallel saving path.
 
@@ -13,11 +16,13 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "constraints/distance_constraint.h"
 #include "core/disc_saver.h"
 #include "core/outlier_saving.h"
+#include "core/search_budget.h"
 #include "data/generators.h"
 #include "index/index_factory.h"
 #include "support.h"
@@ -70,6 +75,8 @@ bool SameResults(const std::vector<SaveResult>& a,
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].feasible != b[i].feasible || a[i].adjusted != b[i].adjusted ||
         a[i].cost != b[i].cost ||
+        a[i].termination != b[i].termination ||
+        a[i].index_queries != b[i].index_queries ||
         !(a[i].adjusted_attributes == b[i].adjusted_attributes)) {
       return false;
     }
@@ -101,9 +108,45 @@ int Run() {
   SaveOptions save_options;
   save_options.kappa = 2;
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("parallel_save");
+  json.Key("tuples").Uint(s.data.size());
+  json.Key("outliers").Uint(outliers.size());
+  json.Key("inliers").Uint(inliers.size());
+  json.Key("epsilon").Number(s.constraint.epsilon);
+  json.Key("eta").Uint(s.constraint.eta);
+
+  // --- Per-outlier latency (sequential, so queueing does not pollute the
+  // percentiles) and batch throughput. ---
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(outliers.size());
+  Timer latency_timer;
+  for (const Tuple& outlier : outliers) {
+    Timer one;
+    SaveResult r = saver.Save(outlier, save_options);
+    latencies_ms.push_back(one.Seconds() * 1e3);
+    (void)r;
+  }
+  double latency_total = latency_timer.Seconds();
+  double p50 = Percentile(latencies_ms, 50);
+  double p99 = Percentile(latencies_ms, 99);
+  double throughput = latency_total > 0
+                          ? static_cast<double>(outliers.size()) / latency_total
+                          : 0;
+  std::printf("per-outlier latency: p50 %.3f ms, p99 %.3f ms; "
+              "throughput %.1f outliers/s (1 thread)\n",
+              p50, p99, throughput);
+  json.Key("latency").BeginObject();
+  json.Key("p50_ms").Number(p50);
+  json.Key("p99_ms").Number(p99);
+  json.Key("throughput_per_s").Number(throughput);
+  json.EndObject();
+
   PrintHeader("Parallel batch outlier saving (DiscSaver::SaveAll)");
   PrintRow({"threads", "seconds", "speedup", "saved"});
 
+  json.Key("thread_sweep").BeginArray();
   std::vector<SaveResult> baseline;
   double baseline_seconds = 0;
   bool deterministic = true;
@@ -128,13 +171,68 @@ int Run() {
     PrintRow({std::to_string(threads), Fmt(seconds, 3),
               Fmt(baseline_seconds / seconds, 2) + "x",
               std::to_string(saved)});
+    json.BeginObject();
+    json.Key("threads").Uint(threads);
+    json.Key("seconds").Number(seconds);
+    json.Key("speedup").Number(seconds > 0 ? baseline_seconds / seconds : 0);
+    json.Key("saved").Uint(saved);
+    json.EndObject();
   }
+  json.EndArray();
 
   std::printf("determinism across thread counts: %s\n",
               deterministic ? "OK (bit-identical)" : "MISMATCH");
+
+  // --- Deadline mode: rerun the batch under an aggressive whole-batch
+  // deadline (a quarter of the measured sequential time) and tally how the
+  // anytime path degrades. Every record must still be present. ---
+  const double deadline_fraction = 0.25;
+  auto deadline_ms = static_cast<std::int64_t>(
+      latency_total * deadline_fraction * 1e3);
+  if (deadline_ms < 1) deadline_ms = 1;
+  BatchBudget batch;
+  batch.deadline = Deadline::AfterMillis(deadline_ms);
+  Timer deadline_timer;
+  std::vector<SaveResult> degraded =
+      saver.SaveAll(outliers, save_options, nullptr, batch);
+  double deadline_seconds = deadline_timer.Seconds();
+
+  std::size_t completed = 0, hit_deadline = 0, saved_any = 0;
+  for (const SaveResult& r : degraded) {
+    if (r.termination == SaveTermination::kCompleted ||
+        r.termination == SaveTermination::kInfeasible) {
+      ++completed;
+    } else if (r.termination == SaveTermination::kDeadline) {
+      ++hit_deadline;
+    }
+    if (r.feasible) ++saved_any;
+  }
+  bool all_recorded = degraded.size() == outliers.size();
+  std::printf("deadline mode (%lld ms budget): %.3f s wall, %zu/%zu records "
+              "(%zu completed, %zu past deadline, %zu saved)\n",
+              static_cast<long long>(deadline_ms), deadline_seconds,
+              degraded.size(), outliers.size(), completed, hit_deadline,
+              saved_any);
+
+  json.Key("deadline_mode").BeginObject();
+  json.Key("deadline_ms").Int(deadline_ms);
+  json.Key("wall_seconds").Number(deadline_seconds);
+  json.Key("records").Uint(degraded.size());
+  json.Key("completed").Uint(completed);
+  json.Key("past_deadline").Uint(hit_deadline);
+  json.Key("saved").Uint(saved_any);
+  json.EndObject();
+
+  json.Key("deterministic").Bool(deterministic);
+  json.EndObject();
+  const std::string json_path = "BENCH_parallel_save.json";
+  if (WriteTextFile(json_path, json.str() + "\n")) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   std::printf("hardware threads available: %zu\n",
               ThreadPool::DefaultThreadCount());
-  return deterministic ? 0 : 1;
+  return deterministic && all_recorded ? 0 : 1;
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include "support.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/stringutil.h"
 
 namespace disc::bench {
@@ -113,6 +116,128 @@ void PrintRow(const std::vector<std::string>& cells, int width) {
 
 std::string Fmt(double v, int decimals) {
   return StrFormat("%.*f", decimals, v);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  double rank = p / 100.0 * static_cast<double>(values.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx < 1) idx = 1;
+  if (idx > values.size()) idx = values.size();
+  return values[idx - 1];
+}
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Escaped(const std::string& s) {
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += StrFormat("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  MaybeComma();
+  Escaped(k);
+  out_ += ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  MaybeComma();
+  Escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double v) {
+  MaybeComma();
+  out_ += StrFormat("%.9g", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long v) {
+  MaybeComma();
+  out_ += StrFormat("%lld", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(unsigned long long v) {
+  MaybeComma();
+  out_ += StrFormat("%llu", v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace disc::bench

@@ -78,6 +78,41 @@ void PrintHeader(const std::string& title);
 void PrintRow(const std::vector<std::string>& cells, int width = 10);
 std::string Fmt(double v, int decimals = 4);
 
+/// Nearest-rank percentile of a sample; `p` in [0, 100]. Sorts a copy.
+/// Returns 0 on an empty sample.
+double Percentile(std::vector<double> values, double p);
+
+/// Minimal streaming JSON writer for machine-readable bench artifacts
+/// (BENCH_*.json). Handles commas and string escaping; the caller is
+/// responsible for well-formed nesting (every Begin* paired with an End*,
+/// Key() before each value inside an object).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(long long v);
+  JsonWriter& Uint(unsigned long long v);
+  JsonWriter& Bool(bool v);
+  /// The JSON document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escaped(const std::string& s);
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+/// Writes `content` to `path`, truncating. Returns false (and prints to
+/// stderr) on failure — benches treat the JSON artifact as best-effort.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
 }  // namespace disc::bench
 
 #endif  // DISC_BENCH_SUPPORT_H_

@@ -3,13 +3,18 @@
 // Usage:
 //   disc_cli <input.csv> <output.csv> [--epsilon E] [--eta N]
 //            [--kappa K] [--threads T] [--normalize] [--exact]
+//            [--deadline-ms D] [--per-outlier-deadline-ms D]
 //
 // Without --epsilon/--eta the constraint is fitted automatically with the
 // Poisson rule of §2.1.2 (p(N(ε) >= η) >= 0.99). --normalize min-max scales
 // numeric attributes before saving and maps the repairs back to original
 // units. --threads T saves outliers on T worker threads (0 = one per
-// hardware thread; results are bit-identical for any T). Prints a
-// per-outlier report and writes the repaired relation.
+// hardware thread; results are bit-identical for any T).
+// --deadline-ms bounds the whole pipeline's wall clock: searches that run
+// out of time return their best feasible incumbent and the run reports how
+// many outliers degraded (anytime saving — see DESIGN.md).
+// --per-outlier-deadline-ms additionally caps each individual search.
+// Prints a per-outlier report and writes the repaired relation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +31,8 @@ namespace {
 void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.csv> <output.csv> [--epsilon E] [--eta N]\n"
-               "          [--kappa K] [--threads T] [--normalize] [--exact]\n",
+               "          [--kappa K] [--threads T] [--normalize] [--exact]\n"
+               "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n",
                argv0);
 }
 
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   bool normalize = false;
   bool use_exact = false;
+  long long deadline_ms = 0;
+  long long per_outlier_deadline_ms = 0;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
       epsilon = std::atof(argv[++i]);
@@ -57,6 +65,11 @@ int main(int argc, char** argv) {
       kappa = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--per-outlier-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      per_outlier_deadline_ms = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--normalize") == 0) {
       normalize = true;
     } else if (std::strcmp(argv[i], "--exact") == 0) {
@@ -103,6 +116,8 @@ int main(int argc, char** argv) {
   options.use_exact = use_exact;
   options.exact_max_candidates = 200000;
   options.num_threads = threads;
+  options.batch_deadline_ms = deadline_ms;
+  options.per_outlier_deadline_ms = per_outlier_deadline_ms;
   SavedDataset saved = SaveOutliers(working, evaluator, options);
   if (!saved.status.ok()) {
     std::fprintf(stderr, "error saving outliers: %s\n",
@@ -117,6 +132,25 @@ int main(int argc, char** argv) {
               saved.CountDisposition(OutlierDisposition::kNaturalOutlier),
               saved.CountDisposition(OutlierDisposition::kInfeasible),
               saved.MeanAdjustmentCost(), saved.MeanAdjustedAttributes());
+
+  // Degradation summary: which searches were truncated and why. Every
+  // applied adjustment is fully feasible regardless — a truncated search
+  // just may have settled for a costlier repair (anytime contract).
+  if (saved.degraded()) {
+    std::printf(
+        "degraded: %s\n  completed %zu, deadline %zu, cancelled %zu, "
+        "visit-budget %zu, query-budget %zu, infeasible %zu\n",
+        saved.DegradationStatus().ToString().c_str(),
+        saved.CountTermination(SaveTermination::kCompleted),
+        saved.CountTermination(SaveTermination::kDeadline),
+        saved.CountTermination(SaveTermination::kCancelled),
+        saved.CountTermination(SaveTermination::kVisitBudget),
+        saved.CountTermination(SaveTermination::kQueryBudget),
+        saved.CountTermination(SaveTermination::kInfeasible));
+  } else if (deadline_ms > 0 || per_outlier_deadline_ms > 0) {
+    std::printf("no degradation: all %zu searches finished in budget\n",
+                saved.records.size());
+  }
 
   Relation repaired =
       normalize ? normalizer.Invert(saved.repaired) : saved.repaired;

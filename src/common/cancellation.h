@@ -1,0 +1,69 @@
+#ifndef DISC_COMMON_CANCELLATION_H_
+#define DISC_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace disc {
+
+/// Read side of a cooperative cancellation flag.
+///
+/// Tokens are cheap to copy and safe to share across threads: `cancelled()`
+/// is a single relaxed-acquire atomic load. The default-constructed token
+/// can never be cancelled, so APIs can take a CancellationToken
+/// unconditionally and treat "not cancellable" as the zero value.
+///
+/// Cancellation is strictly cooperative — nothing is interrupted; long
+/// computations poll `cancelled()` at safe points (see SearchBudget) and
+/// wind down with whatever partial result is valid.
+class CancellationToken {
+ public:
+  /// Constructs a token that is never cancelled.
+  CancellationToken() = default;
+
+  /// True iff cancellation has been requested on the owning source.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// True iff this token is connected to a CancellationSource at all.
+  bool can_be_cancelled() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side: owns the shared flag and hands out tokens.
+///
+/// Typical use: the batch driver keeps the source, passes `token()` into
+/// every queued search, and calls `RequestCancel()` to drain-and-skip the
+/// rest of the batch. RequestCancel is idempotent and may be called from
+/// any thread (including a signal-like control thread) while searches run.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// A token observing this source.
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  /// Requests cancellation. All tokens from this source observe it on their
+  /// next poll. Irrevocable.
+  void RequestCancel() { flag_->store(true, std::memory_order_release); }
+
+  /// True iff RequestCancel() has been called.
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_CANCELLATION_H_

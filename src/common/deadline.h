@@ -1,0 +1,79 @@
+#ifndef DISC_COMMON_DEADLINE_H_
+#define DISC_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace disc {
+
+/// A wall-clock deadline on the steady clock (immune to NTP adjustments).
+///
+/// Value type: cheap to copy, trivially shareable across threads (it is just
+/// a time point; whether it has passed is a pure function of the clock).
+/// The default-constructed Deadline is infinite — `expired()` is always
+/// false — so APIs can take a Deadline unconditionally and treat "no
+/// deadline" as the zero value.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Constructs the infinite deadline (never expires).
+  constexpr Deadline() : point_(Clock::time_point::max()) {}
+
+  /// The infinite deadline, spelled out.
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// A deadline at an absolute steady-clock time point.
+  static Deadline At(Clock::time_point point) {
+    Deadline d;
+    d.point_ = point;
+    return d;
+  }
+
+  /// A deadline `duration` from now. Non-positive durations yield an
+  /// already-expired deadline.
+  static Deadline After(Clock::duration duration) {
+    return At(Clock::now() + duration);
+  }
+
+  /// A deadline `millis` milliseconds from now.
+  static Deadline AfterMillis(std::int64_t millis) {
+    return After(std::chrono::milliseconds(millis));
+  }
+
+  /// True iff this deadline never expires.
+  constexpr bool is_infinite() const {
+    return point_ == Clock::time_point::max();
+  }
+
+  /// True iff the deadline has passed. Infinite deadlines never expire.
+  bool expired() const { return !is_infinite() && Clock::now() >= point_; }
+
+  /// Time left before expiry, clamped at zero. Infinite deadlines report
+  /// Clock::duration::max().
+  Clock::duration remaining() const {
+    if (is_infinite()) return Clock::duration::max();
+    Clock::time_point now = Clock::now();
+    return now >= point_ ? Clock::duration::zero() : point_ - now;
+  }
+
+  /// The underlying time point (Clock::time_point::max() when infinite).
+  constexpr Clock::time_point point() const { return point_; }
+
+  /// The earlier of two deadlines.
+  static constexpr Deadline Min(Deadline a, Deadline b) {
+    return a.point_ <= b.point_ ? a : b;
+  }
+
+  friend constexpr bool operator==(Deadline a, Deadline b) {
+    return a.point_ == b.point_;
+  }
+
+ private:
+  Clock::time_point point_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_DEADLINE_H_

@@ -20,6 +20,12 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -48,6 +54,18 @@ Status Status::Internal(std::string message) {
 
 Status Status::IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+
+Status Status::DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+
+Status Status::Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+
+Status Status::ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 std::string Status::ToString() const {

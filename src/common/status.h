@@ -17,6 +17,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -44,6 +47,14 @@ class Status {
   static Status Internal(std::string message);
   /// Returns an IoError status with the given message.
   static Status IoError(std::string message);
+  /// Returns a DeadlineExceeded status: a wall-clock budget ran out before
+  /// the operation completed (the result, if any, may be degraded).
+  static Status DeadlineExceeded(std::string message);
+  /// Returns a Cancelled status: the operation was cooperatively cancelled.
+  static Status Cancelled(std::string message);
+  /// Returns a ResourceExhausted status: a non-time budget (visited sets,
+  /// index queries, candidates) was exhausted before completion.
+  static Status ResourceExhausted(std::string message);
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }

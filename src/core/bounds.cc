@@ -16,12 +16,14 @@ BoundsEngine::BoundsEngine(const Relation& relation,
       cache_(cache),
       constraint_(constraint) {}
 
-double BoundsEngine::GlobalLowerBound(const Tuple& outlier) const {
+double BoundsEngine::GlobalLowerBound(const Tuple& outlier,
+                                      BudgetGauge* gauge) const {
   // η-th nearest inlier. The outlier itself is not in r, but it still counts
   // toward its own neighbor total (Formula 4), so only η−1 inliers are
   // needed besides the tuple itself.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return 0;
+  if (gauge != nullptr) gauge->queries().Add();
   std::vector<Neighbor> nn = index_.KNearest(outlier, needed);
   if (nn.size() < needed) return 0;
   double bound = nn.back().distance - constraint_.epsilon;
@@ -29,18 +31,23 @@ double BoundsEngine::GlobalLowerBound(const Tuple& outlier) const {
 }
 
 double BoundsEngine::LowerBoundForX(const Tuple& outlier,
-                                    const AttributeSet& x) const {
+                                    const AttributeSet& x,
+                                    BudgetGauge* gauge) const {
   // Candidates are inliers with Δ(t_o[X], t[X]) ≤ ε (the shaded band in
   // Figure 3); among them we need the η-th nearest in full-space distance
   // (η−1 excluding the tuple's self-count).
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return 0;
+  if (gauge != nullptr) gauge->queries().Add();
 
   // Collect full-space distances of qualifying inliers; track only the
   // smallest `needed` of them with a max-heap.
   std::vector<double> heap;
   heap.reserve(needed);
   for (std::size_t row = 0; row < relation_.size(); ++row) {
+    // An abandoned scan returns the uninformative bound 0: nothing is
+    // pruned on its account, and the caller unwinds via gauge->stopped().
+    if (gauge != nullptr && !gauge->KeepScanning()) return 0;
     const Tuple& t = relation_[row];
     double dx = evaluator_.DistanceOn(x, outlier, t);
     if (dx > constraint_.epsilon) continue;
@@ -63,9 +70,10 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
 }
 
 std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
-    const Tuple& outlier, const AttributeSet& x) const {
+    const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge) const {
   const std::size_t arity = evaluator_.arity();
   AttributeSet complement = x.ComplementIn(arity);
+  if (gauge != nullptr) gauge->queries().Add();
 
   // Two donor candidates per X:
   //  (a) the Proposition-5 qualified donor — δ_η(t) ≤ ε − Δ(t_o[X], t[X])
@@ -79,6 +87,10 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
   double best_any = std::numeric_limits<double>::infinity();
   std::size_t best_any_row = static_cast<std::size_t>(-1);
   for (std::size_t row = 0; row < relation_.size(); ++row) {
+    // No partial donor scan may produce a bound: abandoning returns "no
+    // upper bound" so the incumbent is never replaced by a half-searched
+    // splice (anytime-soundness — see DESIGN.md).
+    if (gauge != nullptr && !gauge->KeepScanning()) return std::nullopt;
     const Tuple& t = relation_[row];
     double dx = evaluator_.DistanceOn(x, outlier, t);
     if (dx > constraint_.epsilon) continue;
@@ -112,17 +124,19 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
   // Prefer the strictly cheaper unqualified splice when it verifies.
   if (best_any < best_qualified) {
     UpperBound candidate = splice(best_any_row);
-    if (IsFeasible(candidate.adjusted)) return candidate;
+    if (IsFeasible(candidate.adjusted, gauge)) return candidate;
   }
   if (best_qualified_row == static_cast<std::size_t>(-1)) return std::nullopt;
   return splice(best_qualified_row);
 }
 
-bool BoundsEngine::IsFeasible(const Tuple& candidate) const {
+bool BoundsEngine::IsFeasible(const Tuple& candidate,
+                              BudgetGauge* gauge) const {
   // The saved tuple itself counts toward its η total (Formula 4), so η−1
   // inlier matches suffice.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return true;
+  if (gauge != nullptr) gauge->queries().Add();
   return index_.CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 

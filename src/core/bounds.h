@@ -8,6 +8,7 @@
 #include "common/relation.h"
 #include "common/tuple.h"
 #include "constraints/distance_constraint.h"
+#include "core/search_budget.h"
 #include "distance/evaluator.h"
 #include "index/kth_neighbor_cache.h"
 #include "index/neighbor_index.h"
@@ -20,6 +21,14 @@ namespace disc {
 /// Context: an outlier tuple t_o is to be adjusted under constraint (ε, η)
 /// against the inlier set r. The bounds are parameterized by the set X of
 /// *unadjusted* attributes (the adjustment may only change R \ X).
+///
+/// Every method takes an optional BudgetGauge. With a gauge, each bound
+/// computation is metered as one logical index query and the O(n) row scans
+/// poll the gauge (strided) so an expired deadline or a cancellation stops
+/// a scan mid-flight. An abandoned computation returns a *safe* value — an
+/// uninformative lower bound (0), no upper bound, or "not feasible" — never
+/// a partial result; callers detect the stop via gauge->stopped() and
+/// unwind with their incumbent. Without a gauge, behaviour is unchanged.
 class BoundsEngine {
  public:
   /// `relation` is the inlier set r; `cache` holds δ_η(t) per inlier
@@ -33,13 +42,15 @@ class BoundsEngine {
   /// Lower bound of Lemma 2 (X = ∅ special case): Δ(t_o, t_1) − ε where t_1
   /// is the η-th nearest inlier to t_o. Returns 0 when fewer than η inliers
   /// exist (no informative bound).
-  double GlobalLowerBound(const Tuple& outlier) const;
+  double GlobalLowerBound(const Tuple& outlier,
+                          BudgetGauge* gauge = nullptr) const;
 
   /// Lower bound of Proposition 3: Δ(t_o, t_1) − ε where t_1 is the η-th
   /// nearest neighbor of t_o within r_ε(t_o[X]) (inliers whose distance to
   /// t_o *on X* is ≤ ε). Returns +infinity when fewer than η inliers
   /// qualify — no feasible adjustment with unadjusted X exists at all.
-  double LowerBoundForX(const Tuple& outlier, const AttributeSet& x) const;
+  double LowerBoundForX(const Tuple& outlier, const AttributeSet& x,
+                        BudgetGauge* gauge = nullptr) const;
 
   /// Upper bound of Proposition 5. Finds t_2 ∈ r_ε(t_o[X]) with
   /// δ_η(t_2) ≤ ε − Δ(t_o[X], t_2[X]) minimizing Δ(t_o[R\X], t_2[R\X]), and
@@ -51,10 +62,11 @@ class BoundsEngine {
     std::size_t donor_row = 0;  ///< row of t_2 in r
   };
   std::optional<UpperBound> UpperBoundForX(const Tuple& outlier,
-                                           const AttributeSet& x) const;
+                                           const AttributeSet& x,
+                                           BudgetGauge* gauge = nullptr) const;
 
   /// Feasibility check: does `candidate` have ≥ η ε-neighbors in r?
-  bool IsFeasible(const Tuple& candidate) const;
+  bool IsFeasible(const Tuple& candidate, BudgetGauge* gauge = nullptr) const;
 
   /// The constraint in force.
   const DistanceConstraint& constraint() const { return constraint_; }

@@ -1,6 +1,8 @@
 #include "core/disc_saver.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <limits>
 #include <string>
@@ -11,6 +13,21 @@
 #include "index/index_factory.h"
 
 namespace disc {
+
+namespace {
+
+/// Record for an outlier whose search never ran (batch drained-and-skipped
+/// after the deadline passed or cancellation fired): untouched tuple,
+/// nothing visited, termination says why.
+SaveResult SkippedResult(const Tuple& outlier, SaveTermination why) {
+  SaveResult result;
+  result.feasible = false;
+  result.termination = why;
+  result.adjusted = outlier;
+  return result;
+}
+
+}  // namespace
 
 Status ValidateSaveArity(std::size_t arity) {
   if (arity > kMaxSaveableAttributes) {
@@ -49,27 +66,28 @@ struct DiscSaver::SearchState {
   bool found = false;
   std::unordered_set<std::uint64_t> visited;
   std::size_t pruned = 0;
-  bool budget_exhausted = false;
+  BudgetGauge* gauge = nullptr;
 };
 
 void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
                         const SaveOptions& options,
                         SearchState* state) const {
-  if (state->budget_exhausted) return;
+  BudgetGauge* gauge = state->gauge;
+  if (gauge->stopped()) return;
   if (!state->visited.insert(x.bits()).second) {
     return;  // this X was already processed (§3.3.1)
   }
-  if (options.max_visited_sets != 0 &&
-      state->visited.size() > options.max_visited_sets) {
-    state->budget_exhausted = true;
-    return;
-  }
+  // Node expansion: fire the fault-injection hook, then check cancellation,
+  // deadline, visited-set and query budgets. On any trip the incumbent
+  // stands and the whole search unwinds (anytime contract).
+  if (!gauge->OnNodeExpanded(state->visited.size())) return;
 
   // Lower bound (Algorithm 1 lines 1-3, Proposition 3): any adjustment that
   // keeps X fixed costs at least LB(X); supersets of X only cost more, so
   // the whole subtree is cut when LB(X) >= incumbent.
   if (options.use_lower_bound_pruning) {
-    double lb = bounds_->LowerBoundForX(outlier, x);
+    double lb = bounds_->LowerBoundForX(outlier, x, gauge);
+    if (gauge->stopped()) return;
     if (lb >= state->best_cost) {
       ++state->pruned;
       return;
@@ -77,9 +95,12 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   }
 
   // Upper bound (lines 4-9, Proposition 5): the spliced tuple t_o^u is a
-  // feasible adjustment; adopt it when it beats the incumbent.
+  // feasible adjustment; adopt it when it beats the incumbent. An abandoned
+  // donor scan yields no bound, so a stopped gauge can never sneak a
+  // half-searched splice into the incumbent.
   std::optional<BoundsEngine::UpperBound> ub =
-      bounds_->UpperBoundForX(outlier, x);
+      bounds_->UpperBoundForX(outlier, x, gauge);
+  if (gauge->stopped()) return;
   if (ub.has_value() && ub->cost < state->best_cost) {
     state->best_cost = ub->cost;
     state->best_adjusted = ub->adjusted;
@@ -91,17 +112,20 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   for (std::size_t a = 0; a < arity; ++a) {
     if (x.contains(a)) continue;
     Explore(outlier, x.With(a), options, state);
-    if (state->budget_exhausted) return;
+    if (gauge->stopped()) return;
   }
 }
 
-void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted) const {
+void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted,
+                             BudgetGauge* gauge) const {
   // Greedily restore adjusted attributes to the original values, cheapest
   // contribution first, as long as the result keeps >= eta epsilon-
   // neighbors. Each successful revert strictly reduces the adjustment cost.
+  // Every mutation goes through a fully-validated trial, so stopping
+  // between iterations (deadline/cancellation) leaves a feasible tuple.
   const std::size_t arity = evaluator_.arity();
   bool changed = true;
-  while (changed) {
+  while (changed && gauge->ContinueRefinement()) {
     changed = false;
     // Candidate attributes ordered by their per-attribute contribution.
     std::vector<std::pair<double, std::size_t>> order;
@@ -114,7 +138,7 @@ void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted) const {
     for (const auto& [contribution, a] : order) {
       Tuple trial = *adjusted;
       trial[a] = outlier[a];
-      if (bounds_->IsFeasible(trial)) {
+      if (bounds_->IsFeasible(trial, gauge)) {
         *adjusted = std::move(trial);
         changed = true;
         break;  // re-rank contributions after each successful revert
@@ -125,9 +149,17 @@ void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted) const {
 
 SaveResult DiscSaver::Save(const Tuple& outlier,
                            const SaveOptions& options) const {
+  return SaveImpl(outlier, options, Deadline::Infinite(), CancellationToken());
+}
+
+SaveResult DiscSaver::SaveImpl(
+    const Tuple& outlier, const SaveOptions& options, Deadline task_deadline,
+    const CancellationToken& batch_cancellation) const {
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
+  BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
   SearchState state;
+  state.gauge = &gauge;
 
   // The X = emptyset upper bound (Lemma 4 flavour): nearest substitution-
   // style donor. In unrestricted mode it seeds the incumbent directly. In
@@ -138,7 +170,7 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
   // and mask the low-attribute adjustment the caller asked for. The
   // substitution is reconsidered after revert refinement below.
   std::optional<BoundsEngine::UpperBound> global_seed =
-      bounds_->UpperBoundForX(outlier, AttributeSet());
+      bounds_->UpperBoundForX(outlier, AttributeSet(), &gauge);
   if (!restricted && global_seed.has_value()) {
     state.best_cost = global_seed->cost;
     state.best_adjusted = global_seed->adjusted;
@@ -176,14 +208,27 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
       AttributeSet x;
       for (std::size_t idx : combo) x.insert(idx);
       Explore(outlier, x, options, &state);
-      if (state.budget_exhausted) break;
+      if (gauge.stopped()) break;
     } while (base_size > 0 && next_combination());
   }
 
   SaveResult result;
-  result.lower_bound = bounds_->GlobalLowerBound(outlier);
+  result.lower_bound = bounds_->GlobalLowerBound(outlier, &gauge);
   result.visited_sets = state.visited.size();
   result.pruned_sets = state.pruned;
+
+  // Fills the termination/accounting fields once the verdict fields
+  // (feasible, kappa_exceeded) are final.
+  auto finalize = [&](SaveResult* r) {
+    r->index_queries = gauge.query_count();
+    if (gauge.stopped()) {
+      r->termination = gauge.reason();
+    } else if (r->feasible || r->kappa_exceeded) {
+      r->termination = SaveTermination::kCompleted;
+    } else {
+      r->termination = SaveTermination::kInfeasible;
+    }
+  };
 
   // Collect candidates: the search incumbent (kappa-qualified when
   // restricted) and, in restricted mode, the reverted substitution seed —
@@ -195,14 +240,18 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
 
   if (state.found) {
     Tuple adjusted = state.best_adjusted;
-    if (options.use_revert_refinement) RevertRefine(outlier, &adjusted);
+    if (options.use_revert_refinement) {
+      RevertRefine(outlier, &adjusted, &gauge);
+    }
     best = adjusted;
     best_cost = evaluator_.Distance(outlier, best);
     have = true;
   }
   if (restricted && global_seed.has_value()) {
     Tuple adjusted = global_seed->adjusted;
-    if (options.use_revert_refinement) RevertRefine(outlier, &adjusted);
+    if (options.use_revert_refinement) {
+      RevertRefine(outlier, &adjusted, &gauge);
+    }
     AttributeSet changed = ChangedAttributes(outlier, adjusted);
     double cost = evaluator_.Distance(outlier, adjusted);
     if (changed.size() <= options.kappa) {
@@ -213,7 +262,7 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
       }
     } else if (!have) {
       // A feasible adjustment exists but needs more attributes than the
-      // caller trusts — the natural-outlier reading of §1.2.
+      // caller trusts — the signature of a natural outlier under §1.2.
       kappa_blocked = true;
     }
   }
@@ -224,6 +273,7 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
       result.feasible = false;
       result.kappa_exceeded = true;
       result.adjusted = outlier;
+      finalize(&result);
       return result;
     }
     result.feasible = true;
@@ -235,16 +285,66 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
     result.kappa_exceeded = kappa_blocked;
     result.adjusted = outlier;
   }
+  finalize(&result);
   return result;
 }
 
 std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
                                            const SaveOptions& options,
-                                           ThreadPool* pool) const {
-  std::vector<SaveResult> results(outliers.size());
-  if (pool == nullptr || pool->size() <= 1 || outliers.size() <= 1) {
-    for (std::size_t i = 0; i < outliers.size(); ++i) {
-      results[i] = Save(outliers[i], options);
+                                           ThreadPool* pool,
+                                           const BatchBudget& batch) const {
+  const std::size_t n = outliers.size();
+  std::vector<SaveResult> results(n);
+  if (n == 0) return results;
+
+  const bool parallel = pool != nullptr && pool->size() > 1 && n > 1;
+  const std::size_t workers =
+      parallel ? std::min<std::size_t>(pool->size(), n) : 1;
+
+  // Fair sub-deadlines: each task, when it *starts*, takes the remaining
+  // batch wall clock × worker parallelism ÷ outliers left. Early tasks
+  // that finish under their slice donate the unspent time to later ones
+  // (the remaining clock only shrinks by what was actually used); a task
+  // that would start past the deadline is drained-and-skipped.
+  std::atomic<std::size_t> remaining{n};
+
+  auto run_one = [&](const Tuple& outlier) -> SaveResult {
+    if (batch.cancellation.cancelled()) {
+      remaining.fetch_sub(1, std::memory_order_relaxed);
+      return SkippedResult(outlier, SaveTermination::kCancelled);
+    }
+    if (batch.deadline.expired()) {
+      remaining.fetch_sub(1, std::memory_order_relaxed);
+      return SkippedResult(outlier, SaveTermination::kDeadline);
+    }
+    Deadline task_deadline = batch.deadline;
+    if (!batch.deadline.is_infinite()) {
+      const std::size_t left = std::max<std::size_t>(
+          std::size_t{1}, remaining.load(std::memory_order_relaxed));
+      const auto rem = batch.deadline.remaining();
+      // Slice = rem × min(workers, left) ÷ left, with a clamp that skips
+      // the multiply for absurdly long deadlines (overflow safety).
+      auto slice = rem;
+      if (rem < std::chrono::hours(1)) {
+        const auto par =
+            static_cast<std::int64_t>(std::min<std::size_t>(workers, left));
+        slice = rem * par / static_cast<std::int64_t>(left);
+      }
+      task_deadline = Deadline::Min(batch.deadline, Deadline::After(slice));
+    }
+    if (batch.per_outlier_limit.count() > 0) {
+      task_deadline = Deadline::Min(task_deadline,
+                                    Deadline::After(batch.per_outlier_limit));
+    }
+    SaveResult result =
+        SaveImpl(outlier, options, task_deadline, batch.cancellation);
+    remaining.fetch_sub(1, std::memory_order_relaxed);
+    return result;
+  };
+
+  if (!parallel) {
+    for (std::size_t i = 0; i < n; ++i) {
+      results[i] = run_one(outliers[i]);
     }
     return results;
   }
@@ -254,12 +354,14 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   // load-balance better than fixed chunks. The pool's bounded queue supplies
   // backpressure for very large batches. Results land in input order, which
   // together with the unchanged per-outlier search order makes the output
-  // bit-identical to the sequential path.
+  // bit-identical to the sequential path — including under a batch budget,
+  // where skipped tasks produce their records without ever blocking the
+  // pool's drain.
   std::vector<std::future<SaveResult>> futures;
-  futures.reserve(outliers.size());
+  futures.reserve(n);
   for (const Tuple& outlier : outliers) {
-    futures.push_back(pool->Submit(
-        [this, &outlier, &options] { return Save(outlier, options); }));
+    futures.push_back(
+        pool->Submit([&run_one, &outlier] { return run_one(outlier); }));
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     results[i] = futures[i].get();

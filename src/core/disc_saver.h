@@ -11,6 +11,7 @@
 #include "common/tuple.h"
 #include "constraints/distance_constraint.h"
 #include "core/bounds.h"
+#include "core/search_budget.h"
 #include "distance/evaluator.h"
 #include "index/kth_neighbor_cache.h"
 #include "index/neighbor_index.h"
@@ -38,9 +39,11 @@ struct SaveOptions {
   std::size_t kappa = 0;
   /// Lower-bound pruning (Algorithm 1 line 2). Disable only for ablation.
   bool use_lower_bound_pruning = true;
-  /// Safety cap on the number of distinct attribute sets X visited
-  /// (0 = unlimited). When hit, the best incumbent found so far is returned.
-  std::size_t max_visited_sets = 0;
+  /// Execution budget: deadline, cancellation, visited-set and index-query
+  /// caps (all optional). On any limit the best incumbent found so far is
+  /// returned and SaveResult::termination records why the search stopped —
+  /// a truncated search is never silently passed off as a completed one.
+  SearchBudget budget;
   /// Revert refinement: after the bound-guided search, greedily restore
   /// adjusted attributes to their original values while the adjustment
   /// stays feasible (checked exactly, not via the Proposition-5 sufficient
@@ -55,6 +58,12 @@ struct SaveOptions {
 struct SaveResult {
   /// True iff a feasible adjustment was found.
   bool feasible = false;
+  /// How the search ended. kCompleted/kInfeasible are definitive answers;
+  /// the other values mean the search was truncated (deadline, budget,
+  /// cancellation) and `adjusted` is the best — still fully feasible —
+  /// incumbent found up to that point (Proposition 5 or better), or the
+  /// unmodified input when no incumbent existed yet (`feasible` == false).
+  SaveTermination termination = SaveTermination::kCompleted;
   /// The adjusted tuple t_o' (equals the input when infeasible).
   Tuple adjusted;
   /// Adjustment cost Δ(t_o, t_o').
@@ -69,6 +78,9 @@ struct SaveResult {
   std::size_t visited_sets = 0;
   /// Number of subtrees cut by the lower-bound pruning rule.
   std::size_t pruned_sets = 0;
+  /// Logical neighbor-index queries spent (bound scans, kNN, feasibility
+  /// checks) — the unit metered by SearchBudget::max_index_queries.
+  std::size_t index_queries = 0;
   /// True when no adjustment within the κ attribute budget was found but a
   /// feasible adjustment touching more attributes exists — the signature of
   /// a natural outlier under §1.2's reading.
@@ -97,6 +109,9 @@ class DiscSaver {
             DistanceConstraint constraint);
 
   /// Finds a near-optimal adjustment of `outlier` under the constraint.
+  /// Anytime: with a SaveOptions::budget the call returns the best feasible
+  /// incumbent found when the budget runs out (never a partial adjustment),
+  /// with SaveResult::termination saying why it stopped.
   SaveResult Save(const Tuple& outlier, const SaveOptions& options = {}) const;
 
   /// Saves a batch of outliers, one independent Save() per tuple. With a
@@ -108,18 +123,34 @@ class DiscSaver {
   /// returned vector is bit-identical for every thread count (including
   /// pool == nullptr). `outliers` and `options` must stay alive and
   /// unmodified until SaveAll returns.
+  ///
+  /// Batch budget: `batch.deadline` bounds the whole batch. Each task
+  /// computes a fair slice of the remaining time when it starts (remaining
+  /// wall clock × worker parallelism ÷ outliers left), intersected with
+  /// `batch.per_outlier_limit` and the per-search budget in `options`.
+  /// Once the batch deadline passes or `batch.cancellation` fires, queued
+  /// tasks drain-and-skip: they still pop off the pool queue but complete
+  /// immediately with an untouched tuple and termination kDeadline /
+  /// kCancelled, so pool shutdown is never blocked. A batch with an
+  /// unlimited budget is bit-identical to one saved without this
+  /// parameter.
   std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
                                   const SaveOptions& options = {},
-                                  ThreadPool* pool = nullptr) const;
+                                  ThreadPool* pool = nullptr,
+                                  const BatchBudget& batch = {}) const;
 
   /// The bounds engine (exposed for tests and diagnostics).
   const BoundsEngine& bounds() const { return *bounds_; }
 
  private:
   struct SearchState;
+  SaveResult SaveImpl(const Tuple& outlier, const SaveOptions& options,
+                      Deadline task_deadline,
+                      const CancellationToken& batch_cancellation) const;
   void Explore(const Tuple& outlier, AttributeSet x, const SaveOptions& options,
                SearchState* state) const;
-  void RevertRefine(const Tuple& outlier, Tuple* adjusted) const;
+  void RevertRefine(const Tuple& outlier, Tuple* adjusted,
+                    BudgetGauge* gauge) const;
 
   const Relation& inliers_;
   const DistanceEvaluator& evaluator_;

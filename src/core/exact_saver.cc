@@ -22,14 +22,17 @@ struct ExactSaver::EnumState {
   Tuple best_adjusted;
   bool found = false;
   std::size_t checked = 0;
-  bool budget_exhausted = false;
+  /// Set when max_candidates trips (the gauge handles every other limit).
+  bool candidate_cap_hit = false;
+  BudgetGauge* gauge = nullptr;
 };
 
-bool ExactSaver::IsFeasible(const Tuple& candidate) const {
+bool ExactSaver::IsFeasible(const Tuple& candidate, BudgetGauge* gauge) const {
   // The saved tuple counts toward its own η total (Formula 4), so η−1
   // inlier matches suffice.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return true;
+  if (gauge != nullptr) gauge->queries().Add();
   return index_->CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 
@@ -37,7 +40,7 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
                            Tuple* candidate, double partial_cost_raw,
                            const ExactOptions& options,
                            EnumState* state) const {
-  if (state->budget_exhausted) return;
+  if (state->candidate_cap_hit || state->gauge->stopped()) return;
   const LpNorm norm = evaluator_.norm();
   auto raw_total = [&](double raw) {
     // Convert the accumulated raw value into the norm's final aggregate.
@@ -55,13 +58,18 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
   }
 
   if (attr == evaluator_.arity()) {
+    // One fully assembled candidate = one budget unit: fire the fault hook,
+    // poll deadline/cancellation, and count toward the visit budget. The
+    // incumbent only ever holds candidates that passed a complete
+    // feasibility check, so stopping here is always safe.
     ++state->checked;
+    if (!state->gauge->OnNodeExpanded(state->checked)) return;
     if (options.max_candidates != 0 &&
         state->checked > options.max_candidates) {
-      state->budget_exhausted = true;
+      state->candidate_cap_hit = true;
       return;
     }
-    if (IsFeasible(*candidate)) {
+    if (IsFeasible(*candidate, state->gauge)) {
       double cost = evaluator_.Distance(outlier, *candidate);
       if (cost < state->best_cost) {
         state->best_cost = cost;
@@ -87,21 +95,33 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
 
   step(outlier[attr]);
   for (const Value& v : domains_[attr]) {
-    if (state->budget_exhausted) return;
+    if (state->candidate_cap_hit || state->gauge->stopped()) return;
     if (v == outlier[attr]) continue;
     step(v);
   }
 }
 
-ExactResult ExactSaver::Save(const Tuple& outlier,
-                             const ExactOptions& options) const {
+ExactResult ExactSaver::Save(const Tuple& outlier, const ExactOptions& options,
+                             Deadline extra_deadline,
+                             const CancellationToken& extra_cancellation) const {
+  BudgetGauge gauge(&options.budget, extra_deadline, extra_cancellation);
   EnumState state;
+  state.gauge = &gauge;
   Tuple candidate = outlier;
   Enumerate(outlier, 0, &candidate, 0.0, options, &state);
 
   ExactResult result;
   result.candidates_checked = state.checked;
-  result.exhausted_budget = state.budget_exhausted;
+  result.index_queries = gauge.query_count();
+  if (gauge.stopped()) {
+    result.termination = gauge.reason();
+  } else if (state.candidate_cap_hit) {
+    result.termination = SaveTermination::kVisitBudget;
+  } else if (state.found) {
+    result.termination = SaveTermination::kCompleted;
+  } else {
+    result.termination = SaveTermination::kInfeasible;
+  }
   if (state.found) {
     result.feasible = true;
     result.adjusted = state.best_adjusted;

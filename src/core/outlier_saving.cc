@@ -1,11 +1,15 @@
 #include "core/outlier_saving.h"
 
+#include <chrono>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "index/index_factory.h"
+#include "index/query_counter.h"
 
 namespace disc {
 
@@ -15,6 +19,40 @@ std::size_t SavedDataset::CountDisposition(OutlierDisposition d) const {
     if (rec.disposition == d) ++count;
   }
   return count;
+}
+
+std::size_t SavedDataset::CountTermination(SaveTermination t) const {
+  std::size_t count = 0;
+  for (const OutlierRecord& rec : records) {
+    if (rec.termination == t) ++count;
+  }
+  return count;
+}
+
+bool SavedDataset::degraded() const {
+  for (const OutlierRecord& rec : records) {
+    if (rec.termination != SaveTermination::kCompleted &&
+        rec.termination != SaveTermination::kInfeasible) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SavedDataset::DegradationStatus() const {
+  const std::size_t cancelled =
+      CountTermination(SaveTermination::kCancelled);
+  const std::size_t deadline = CountTermination(SaveTermination::kDeadline);
+  const std::size_t budget = CountTermination(SaveTermination::kVisitBudget) +
+                             CountTermination(SaveTermination::kQueryBudget);
+  if (cancelled == 0 && deadline == 0 && budget == 0) return Status::OK();
+  std::string detail = std::to_string(cancelled) + " cancelled, " +
+                       std::to_string(deadline) + " past deadline, " +
+                       std::to_string(budget) + " out of budget (of " +
+                       std::to_string(records.size()) + " outliers)";
+  if (cancelled > 0) return Status::Cancelled(detail);
+  if (deadline > 0) return Status::DeadlineExceeded(detail);
+  return Status::ResourceExhausted(detail);
 }
 
 double SavedDataset::MeanAdjustmentCost() const {
@@ -44,6 +82,14 @@ double SavedDataset::MeanAdjustedAttributes() const {
 SavedDataset SaveOutliers(const Relation& data,
                           const DistanceEvaluator& evaluator,
                           const OutlierSavingOptions& options) {
+  // The batch clock starts here, so the deadline also covers the index
+  // build and the inlier/outlier split below — the caller's wall-clock
+  // budget is for the whole pipeline, not just the searches.
+  const Deadline batch_deadline =
+      options.batch_deadline_ms > 0
+          ? Deadline::AfterMillis(options.batch_deadline_ms)
+          : Deadline::Infinite();
+
   SavedDataset out;
   out.repaired = data;
 
@@ -52,11 +98,16 @@ SavedDataset SaveOutliers(const Relation& data,
   out.status = ValidateSaveArity(data.arity());
   if (!out.status.ok()) return out;
 
-  // Split into inliers r and outliers s against the full dataset.
+  // Split into inliers r and outliers s against the full dataset. The
+  // counting decorator meters the split phase so callers can see how the
+  // query budget divides between detection and saving.
   std::unique_ptr<NeighborIndex> full_index =
       MakeNeighborIndex(data, evaluator, options.constraint.epsilon);
+  QueryCounter split_queries;
+  CountingNeighborIndex counted_index(*full_index, &split_queries);
   InlierOutlierSplit split =
-      SplitInliersOutliers(data, *full_index, options.constraint);
+      SplitInliersOutliers(data, counted_index, options.constraint);
+  out.split_index_queries = split_queries.count();
   out.inlier_rows = split.inlier_rows;
   out.outlier_rows = split.outlier_rows;
   if (split.outlier_rows.empty()) return out;
@@ -82,6 +133,14 @@ SavedDataset SaveOutliers(const Relation& data,
         std::make_unique<ExactSaver>(inliers, evaluator, options.constraint);
   }
 
+  BatchBudget batch;
+  batch.deadline = batch_deadline;
+  if (options.per_outlier_deadline_ms > 0) {
+    batch.per_outlier_limit =
+        std::chrono::milliseconds(options.per_outlier_deadline_ms);
+  }
+  batch.cancellation = options.cancellation;
+
   // Batch-save the DISC path. Each outlier's search is independent against
   // the fixed inlier set, so the batch fans out across a thread pool; the
   // merge below walks `split.outlier_rows` in input order either way, so
@@ -101,11 +160,12 @@ SavedDataset SaveOutliers(const Relation& data,
       pool = std::make_unique<ThreadPool>(threads);
     }
     disc_results =
-        disc_saver.SaveAll(outlier_tuples, effective.save, pool.get());
+        disc_saver.SaveAll(outlier_tuples, effective.save, pool.get(), batch);
   }
 
-  out.records.reserve(split.outlier_rows.size());
-  for (std::size_t i = 0; i < split.outlier_rows.size(); ++i) {
+  const std::size_t total_outliers = split.outlier_rows.size();
+  out.records.reserve(total_outliers);
+  for (std::size_t i = 0; i < total_outliers; ++i) {
     const std::size_t row = split.outlier_rows[i];
     const Tuple& outlier = data[row];
     OutlierRecord rec;
@@ -114,17 +174,44 @@ SavedDataset SaveOutliers(const Relation& data,
     bool feasible = false;
     bool kappa_exceeded = false;
     if (effective.use_exact) {
-      ExactOptions exact_options;
-      exact_options.max_candidates = effective.exact_max_candidates;
-      ExactResult res = exact_saver->Save(outlier, exact_options);
-      feasible = res.feasible;
-      rec.adjusted = res.adjusted;
-      rec.cost = res.cost;
-      rec.adjusted_attributes = res.adjusted_attributes;
+      // Sequential fair slicing, same policy as DiscSaver::SaveAll with one
+      // worker: remaining batch time ÷ outliers left, intersected with the
+      // per-outlier cap; drain-and-skip once the budget is gone.
+      if (batch.cancellation.cancelled()) {
+        rec.termination = SaveTermination::kCancelled;
+        rec.adjusted = outlier;
+      } else if (batch.deadline.expired()) {
+        rec.termination = SaveTermination::kDeadline;
+        rec.adjusted = outlier;
+      } else {
+        Deadline task_deadline = batch.deadline;
+        if (!batch.deadline.is_infinite()) {
+          const auto left = static_cast<std::int64_t>(total_outliers - i);
+          task_deadline = Deadline::Min(
+              batch.deadline, Deadline::After(batch.deadline.remaining() / left));
+        }
+        if (batch.per_outlier_limit.count() > 0) {
+          task_deadline = Deadline::Min(
+              task_deadline, Deadline::After(batch.per_outlier_limit));
+        }
+        ExactOptions exact_options;
+        exact_options.max_candidates = effective.exact_max_candidates;
+        exact_options.budget = effective.save.budget;
+        ExactResult res = exact_saver->Save(outlier, exact_options,
+                                            task_deadline, batch.cancellation);
+        feasible = res.feasible;
+        rec.termination = res.termination;
+        rec.index_queries = res.index_queries;
+        rec.adjusted = res.adjusted;
+        rec.cost = res.cost;
+        rec.adjusted_attributes = res.adjusted_attributes;
+      }
     } else {
       SaveResult& res = disc_results[i];
       feasible = res.feasible;
       kappa_exceeded = res.kappa_exceeded;
+      rec.termination = res.termination;
+      rec.index_queries = res.index_queries;
       rec.adjusted = std::move(res.adjusted);
       rec.cost = res.cost;
       rec.adjusted_attributes = res.adjusted_attributes;

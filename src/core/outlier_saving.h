@@ -2,12 +2,15 @@
 #define DISC_CORE_OUTLIER_SAVING_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/relation.h"
 #include "constraints/distance_constraint.h"
 #include "core/disc_saver.h"
 #include "core/exact_saver.h"
+#include "core/search_budget.h"
 #include "distance/evaluator.h"
 
 namespace disc {
@@ -33,6 +36,22 @@ struct OutlierSavingOptions {
   /// hardware thread. Results are bit-identical for every value — see
   /// DiscSaver::SaveAll.
   std::size_t num_threads = 1;
+  /// Wall-clock budget for the whole pipeline in milliseconds, measured
+  /// from SaveOutliers entry (it therefore also covers the index build and
+  /// inlier/outlier split). 0 = unlimited. When the budget runs out the
+  /// remaining searches degrade gracefully: each outlier still gets a
+  /// record, carrying the best feasible incumbent found within its fair
+  /// share of the time (see DiscSaver::SaveAll) or the untouched tuple,
+  /// with OutlierRecord::termination saying what happened. The overall
+  /// status stays OK — degradation is reported, not failed.
+  std::int64_t batch_deadline_ms = 0;
+  /// Per-outlier wall-clock cap in milliseconds (0 = unlimited),
+  /// intersected with the fair batch share.
+  std::int64_t per_outlier_deadline_ms = 0;
+  /// Cooperative cancellation for the whole pipeline. Fires between index
+  /// scans and node expansions; already-running searches return their
+  /// incumbent, queued ones drain-and-skip.
+  CancellationToken cancellation;
 };
 
 /// Why an outlier ended up saved or not.
@@ -46,17 +65,26 @@ enum class OutlierDisposition {
 struct OutlierRecord {
   std::size_t row = 0;  ///< row in the original relation
   OutlierDisposition disposition = OutlierDisposition::kInfeasible;
+  /// How this outlier's search ended. kCompleted/kInfeasible are definitive
+  /// verdicts; kDeadline/kCancelled/kVisitBudget/kQueryBudget mean the
+  /// search was truncated and the record holds the best anytime answer —
+  /// when `disposition` is kSaved the adjustment is still fully feasible,
+  /// it just may not be the cheapest one a full search would find.
+  SaveTermination termination = SaveTermination::kCompleted;
   Tuple adjusted;
   double cost = 0;
   AttributeSet adjusted_attributes;
   double lower_bound = 0;
+  /// Logical neighbor-index queries this outlier's search spent.
+  std::size_t index_queries = 0;
 };
 
 /// Result of saving all outliers of a dataset.
 struct SavedDataset {
   /// OK unless the pipeline rejected its input (e.g. a schema wider than
   /// kMaxSaveableAttributes). On error `repaired` is the unmodified input
-  /// and no records are produced.
+  /// and no records are produced. Deadline/budget degradation does NOT make
+  /// this non-OK — check degraded() / DegradationStatus() for that.
   Status status;
   /// The full dataset with saved outliers' values adjusted in place.
   Relation repaired;
@@ -66,9 +94,21 @@ struct SavedDataset {
   std::vector<std::size_t> inlier_rows;
   /// One record per outlier row, in the same order as `outlier_rows`.
   std::vector<OutlierRecord> records;
+  /// Neighbor-index queries spent on the inlier/outlier split phase.
+  std::size_t split_index_queries = 0;
 
   /// Number of records with the given disposition.
   std::size_t CountDisposition(OutlierDisposition d) const;
+  /// Number of records with the given termination reason.
+  std::size_t CountTermination(SaveTermination t) const;
+  /// True when at least one search was truncated (any termination other
+  /// than kCompleted / kInfeasible).
+  bool degraded() const;
+  /// OK when nothing degraded; otherwise the most severe truncation as a
+  /// Status — Cancelled over DeadlineExceeded over ResourceExhausted — with
+  /// a message tallying the affected records. Advisory: the dataset in
+  /// `repaired` is valid either way.
+  Status DegradationStatus() const;
   /// Mean adjustment cost over saved outliers (0 when none).
   double MeanAdjustmentCost() const;
   /// Mean number of adjusted attributes over saved outliers (0 when none).
@@ -83,6 +123,13 @@ struct SavedDataset {
 /// per-outlier searches run on a ThreadPool with bit-identical results.
 /// Check `SavedDataset::status` first: a schema wider than
 /// kMaxSaveableAttributes is rejected rather than silently truncated.
+///
+/// Anytime contract: with `batch_deadline_ms` / `per_outlier_deadline_ms` /
+/// `cancellation` set, the call still returns a complete SavedDataset —
+/// every outlier row gets a record, every applied adjustment is fully
+/// feasible (≥ η ε-neighbors), and truncated searches are marked via
+/// OutlierRecord::termination. See DESIGN.md, "Anytime saving &
+/// degradation contract".
 SavedDataset SaveOutliers(const Relation& data,
                           const DistanceEvaluator& evaluator,
                           const OutlierSavingOptions& options);

@@ -1,0 +1,164 @@
+#ifndef DISC_CORE_SEARCH_BUDGET_H_
+#define DISC_CORE_SEARCH_BUDGET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/cancellation.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "index/query_counter.h"
+
+namespace disc {
+
+/// Why a per-outlier save ended. The minimum-cost adjustment problem is
+/// NP-hard (Theorem 1) and the search is *anytime*: a feasible incumbent
+/// (the Proposition-5 splice) exists almost immediately and only improves,
+/// so a truncated search still returns a valid — just possibly costlier —
+/// adjustment. This enum makes every truncation visible; a budget-capped
+/// search is never again indistinguishable from a completed one.
+enum class SaveTermination {
+  /// The search exhausted its space; the result is its final answer
+  /// (feasible adjustment, or a κ-blocked natural outlier).
+  kCompleted = 0,
+  /// Stopped by SearchBudget::max_visited_sets; incumbent returned.
+  kVisitBudget,
+  /// Stopped by SearchBudget::max_index_queries; incumbent returned.
+  kQueryBudget,
+  /// Stopped by an expired Deadline; incumbent returned.
+  kDeadline,
+  /// Stopped by cooperative cancellation; incumbent returned.
+  kCancelled,
+  /// The search exhausted its space and proved no feasible adjustment
+  /// exists under the constraint.
+  kInfeasible,
+};
+
+/// Lower-case identifier for logs/JSON ("completed", "visit_budget", ...).
+const char* SaveTerminationName(SaveTermination t);
+
+/// Maps a termination to a Status: OK for kCompleted/kInfeasible (the search
+/// gave its definitive answer), DeadlineExceeded / Cancelled /
+/// ResourceExhausted for the degraded exits.
+Status SaveTerminationStatus(SaveTermination t);
+
+/// Cooperative execution budget for one save. All limits are optional; the
+/// default SearchBudget is unlimited. Checked at node-expansion granularity
+/// (one branch-and-bound node / one exact-enumeration candidate), plus a
+/// strided poll inside the O(n) bound scans, so a search stops within one
+/// node of the limit being hit — and on stop the best incumbent found so
+/// far is returned instead of an error (graceful degradation).
+struct SearchBudget {
+  /// Wall-clock limit (infinite by default).
+  Deadline deadline;
+  /// Cooperative cancellation (never cancelled by default).
+  CancellationToken cancellation;
+  /// Cap on distinct attribute sets X visited by the branch-and-bound
+  /// search (0 = unlimited). Exact enumeration ignores it (its own knob is
+  /// ExactOptions::max_candidates).
+  std::size_t max_visited_sets = 0;
+  /// Cap on logical neighbor-index queries — kNN/range/feasibility calls
+  /// and full-relation bound scans (0 = unlimited).
+  std::size_t max_index_queries = 0;
+  /// Test-only fault-injection hook: invoked with the 0-based index of
+  /// every node expansion *before* the budget checks for that node, so a
+  /// test can cancel/expire at an exact search point and prove the exit
+  /// path sound. Must be cheap; keep it empty in production.
+  std::function<void(std::size_t)> on_node_expanded;
+
+  /// True iff no limit, token, or hook is set.
+  bool IsUnlimited() const {
+    return deadline.is_infinite() && !cancellation.can_be_cancelled() &&
+           max_visited_sets == 0 && max_index_queries == 0 &&
+           !on_node_expanded;
+  }
+};
+
+/// Whole-batch budget for SaveAll / SaveOutliers. The batch deadline is
+/// divided fairly across the not-yet-started outliers (each task computes
+/// its slice when it starts, scaled by the worker parallelism); queued work
+/// past the deadline or after cancellation is drained-and-skipped — tasks
+/// still pop off the thread-pool queue and complete instantly with a
+/// skipped record, so shutdown is never blocked.
+struct BatchBudget {
+  /// Wall clock for the whole batch (infinite by default).
+  Deadline deadline;
+  /// Per-outlier wall-clock cap, measured from that outlier's search start
+  /// (zero = none). Applies on top of the fair batch slice.
+  std::chrono::milliseconds per_outlier_limit{0};
+  /// Cooperative cancellation of the whole batch.
+  CancellationToken cancellation;
+
+  /// True iff no limit or token is set.
+  bool IsUnlimited() const {
+    return deadline.is_infinite() && per_outlier_limit.count() == 0 &&
+           !cancellation.can_be_cancelled();
+  }
+};
+
+/// Per-search enforcement state for one SearchBudget: counts node
+/// expansions and index queries, polls deadline/cancellation, and records
+/// the first stop reason. One gauge per save; never shared across threads.
+///
+/// The two-token design (budget token + batch token) lets a single search
+/// observe both its caller's cancellation and the batch-wide one without
+/// allocating a combined source.
+class BudgetGauge {
+ public:
+  /// A gauge over `budget` (may be null → unlimited) with an optional
+  /// additional deadline and cancellation token from the batch layer. The
+  /// effective deadline is the earlier of the two.
+  explicit BudgetGauge(const SearchBudget* budget,
+                       Deadline extra_deadline = Deadline::Infinite(),
+                       CancellationToken extra_cancellation = {});
+
+  /// Called once per node expansion with the running visited-set count.
+  /// Fires the fault-injection hook, then checks cancellation → deadline →
+  /// visit budget → query budget (first hit wins). Returns false when the
+  /// search must stop; the caller unwinds and returns its incumbent.
+  bool OnNodeExpanded(std::size_t visited_sets);
+
+  /// Strided cancellation/deadline poll for long row scans inside the
+  /// bound computations. Returns false when the scan must abandon; the
+  /// caller then returns a *safe* value (uninformative lower bound, no
+  /// upper bound) and the search unwinds via stopped().
+  bool KeepScanning();
+
+  /// Post-search refinement check: refinement may proceed unless a hard
+  /// stop (deadline/cancellation) happened or happens now. Soft budget
+  /// stops (visited sets, queries) do not block refinement — it is
+  /// polynomial and strictly cost-reducing.
+  bool ContinueRefinement();
+
+  /// Counter fed by the bound scans and feasibility checks (one logical
+  /// index query each). Wire it into a CountingNeighborIndex to meter raw
+  /// index calls with the same budget.
+  QueryCounter& queries() { return queries_; }
+  std::size_t query_count() const { return queries_.count(); }
+
+  /// Node expansions so far.
+  std::size_t nodes_expanded() const { return nodes_; }
+
+  /// True once any limit tripped; search loops must unwind promptly.
+  bool stopped() const { return stopped_; }
+  /// The first stop reason (kCompleted while still running).
+  SaveTermination reason() const { return reason_; }
+
+ private:
+  bool Stop(SaveTermination why);
+
+  const SearchBudget* budget_;  ///< may be null (unlimited)
+  Deadline deadline_;           ///< effective: min(budget, batch slice)
+  CancellationToken extra_cancellation_;
+  QueryCounter queries_;
+  std::size_t nodes_ = 0;
+  std::size_t scan_polls_ = 0;
+  bool stopped_ = false;
+  SaveTermination reason_ = SaveTermination::kCompleted;
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_SEARCH_BUDGET_H_

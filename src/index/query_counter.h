@@ -1,0 +1,66 @@
+#ifndef DISC_INDEX_QUERY_COUNTER_H_
+#define DISC_INDEX_QUERY_COUNTER_H_
+
+#include <cstddef>
+
+#include "index/neighbor_index.h"
+
+namespace disc {
+
+/// Per-search tally of neighbor-index work. Not thread-safe by design: each
+/// concurrent search owns its own counter (the batch driver sums them), so
+/// counting stays free of atomics on the hot path.
+class QueryCounter {
+ public:
+  /// Records `n` queries.
+  void Add(std::size_t n = 1) { count_ += n; }
+  /// Queries recorded so far.
+  std::size_t count() const { return count_; }
+  /// Resets to zero.
+  void Reset() { count_ = 0; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+/// Decorator that counts every query against a wrapped NeighborIndex.
+///
+/// The wrapped index stays shared and immutable (see the thread-safety
+/// contract in DESIGN.md §5); the decorator itself is cheap to construct
+/// per search, so each search can meter its own index traffic — the
+/// `max_index_queries` budget of SearchBudget and the per-record
+/// `index_queries` statistic are fed from these counts. Both references
+/// must outlive the decorator.
+class CountingNeighborIndex : public NeighborIndex {
+ public:
+  CountingNeighborIndex(const NeighborIndex& base, QueryCounter* counter)
+      : base_(base), counter_(counter) {}
+
+  std::size_t size() const override { return base_.size(); }
+
+  std::vector<Neighbor> RangeQuery(const Tuple& query,
+                                   double epsilon) const override {
+    counter_->Add();
+    return base_.RangeQuery(query, epsilon);
+  }
+
+  std::size_t CountWithin(const Tuple& query, double epsilon,
+                          std::size_t cap = 0) const override {
+    counter_->Add();
+    return base_.CountWithin(query, epsilon, cap);
+  }
+
+  std::vector<Neighbor> KNearest(const Tuple& query,
+                                 std::size_t k) const override {
+    counter_->Add();
+    return base_.KNearest(query, k);
+  }
+
+ private:
+  const NeighborIndex& base_;
+  QueryCounter* counter_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_INDEX_QUERY_COUNTER_H_

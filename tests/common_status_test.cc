@@ -22,6 +22,19 @@ TEST(Status, FactoryFunctionsSetCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(Status, ExecutionControlCodeNames) {
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DEADLINE_EXCEEDED: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "CANCELLED: stop");
+  EXPECT_EQ(Status::ResourceExhausted("cap").ToString(),
+            "RESOURCE_EXHAUSTED: cap");
 }
 
 TEST(Status, MessagePreserved) {

@@ -211,9 +211,31 @@ TEST(DiscSaver, BudgetCapRespected) {
   DistanceEvaluator ev(inliers.schema());
   DiscSaver saver(inliers, ev, {2.0, 4});
   SaveOptions opts;
-  opts.max_visited_sets = 5;
+  opts.budget.max_visited_sets = 5;
   SaveResult res = saver.Save(Tuple::Numeric({9, 9, 9, 9, 9, 9}), opts);
   EXPECT_LE(res.visited_sets, 6u);  // cap + the set that tripped it
+}
+
+// Regression: a budget-capped search must be distinguishable from a
+// completed one (the cap used to truncate silently).
+TEST(DiscSaver, BudgetCapReportsTermination) {
+  Relation inliers = GaussianInliers(60, 6, 13);
+  DistanceEvaluator ev(inliers.schema());
+  DiscSaver saver(inliers, ev, {2.0, 4});
+  SaveOptions opts;
+  opts.budget.max_visited_sets = 5;
+  SaveResult capped = saver.Save(Tuple::Numeric({9, 9, 9, 9, 9, 9}), opts);
+  EXPECT_EQ(capped.termination, SaveTermination::kVisitBudget);
+
+  // The same search without a cap completes (or proves infeasibility).
+  SaveResult full = saver.Save(Tuple::Numeric({9, 9, 9, 9, 9, 9}));
+  EXPECT_TRUE(full.termination == SaveTermination::kCompleted ||
+              full.termination == SaveTermination::kInfeasible);
+  // The truncated incumbent can never beat the full search's answer.
+  if (capped.feasible) {
+    ASSERT_TRUE(full.feasible);
+    EXPECT_GE(capped.cost, full.cost - 1e-12);
+  }
 }
 
 TEST(DiscSaver, AdjustedTupleIsAlwaysFeasible) {

@@ -97,8 +97,19 @@ TEST(ExactSaver, BudgetCapReported) {
   ExactOptions opts;
   opts.max_candidates = 3;
   ExactResult res = saver.Save(Tuple::Numeric({10, 10}), opts);
-  EXPECT_TRUE(res.exhausted_budget);
+  EXPECT_EQ(res.termination, SaveTermination::kVisitBudget);
   EXPECT_LE(res.candidates_checked, 4u);
+}
+
+TEST(ExactSaver, CompletedSearchReportsDefinitiveTermination) {
+  Relation inliers = LatticeInliers(4);
+  DistanceEvaluator ev(inliers.schema());
+  ExactSaver saver(inliers, ev, {1.5, 3});
+  ExactResult res = saver.Save(Tuple::Numeric({8, 8}));
+  EXPECT_TRUE(res.termination == SaveTermination::kCompleted ||
+              res.termination == SaveTermination::kInfeasible);
+  EXPECT_EQ(res.termination == SaveTermination::kCompleted, res.feasible);
+  EXPECT_GT(res.index_queries, 0u);
 }
 
 TEST(ExactSaver, CandidatesCheckedGrowsWithDomain) {

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -62,6 +63,8 @@ void ExpectIdenticalRecords(const SavedDataset& a, const SavedDataset& b) {
     EXPECT_EQ(ra.cost, rb.cost) << "record " << i;  // bit-identical, not near
     EXPECT_EQ(ra.adjusted_attributes.bits(), rb.adjusted_attributes.bits());
     EXPECT_EQ(ra.lower_bound, rb.lower_bound);
+    EXPECT_EQ(ra.termination, rb.termination) << "record " << i;
+    EXPECT_EQ(ra.index_queries, rb.index_queries) << "record " << i;
   }
   ASSERT_EQ(a.repaired.size(), b.repaired.size());
   for (std::size_t row = 0; row < a.repaired.size(); ++row) {
@@ -214,10 +217,20 @@ TEST(ParallelSave, WideSchemaRejectedWithStatus) {
 
 TEST(ParallelSave, ValidateSaveArityBoundary) {
   EXPECT_TRUE(ValidateSaveArity(0).ok());
-  EXPECT_TRUE(ValidateSaveArity(kMaxSaveableAttributes).ok());
-  EXPECT_FALSE(ValidateSaveArity(kMaxSaveableAttributes + 1).ok());
-  EXPECT_EQ(ValidateSaveArity(kMaxSaveableAttributes + 1).code(),
-            StatusCode::kInvalidArgument);
+  // Exactly at AttributeSet::kCapacity must pass — the cap is inclusive.
+  static_assert(kMaxSaveableAttributes == AttributeSet::kCapacity);
+  EXPECT_TRUE(ValidateSaveArity(AttributeSet::kCapacity).ok());
+  Status over = ValidateSaveArity(AttributeSet::kCapacity + 1);
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kInvalidArgument);
+  // The message must name both the offending arity and the capacity so the
+  // rejection is actionable without reading the source.
+  EXPECT_NE(over.message().find(std::to_string(AttributeSet::kCapacity)),
+            std::string::npos)
+      << over.message();
+  EXPECT_NE(over.message().find(std::to_string(AttributeSet::kCapacity + 1)),
+            std::string::npos)
+      << over.message();
 }
 
 }  // namespace
