@@ -1,0 +1,472 @@
+// bench_distance_kernels — columnar flat kernels vs the scalar distance path.
+//
+// Three tiers, on all-numeric Gaussian-mixture data (n >= 50k, m >= 8 in
+// the full run):
+//   1. ns/pair: full-tuple Distance and threshold DistanceWithin, scalar
+//      DistanceEvaluator vs columnar FlatKernel.
+//   2. Range-query throughput: BruteForceIndex with the columnar fast path
+//      vs the same index with the fast path disabled (the scalar
+//      reference), after asserting both return bit-identical neighbor sets.
+//   3. End-to-end SaveAll on the Figure-6 Flight-shaped workload, fast path
+//      on vs off, after asserting bit-identical repaired outputs.
+//
+// Flags: --quick shrinks every workload for the CI perf-smoke job; --check
+// exits 1 when the columnar path is not faster than the scalar path on the
+// all-numeric range workload (the regression gate).
+//
+// Results are printed as tables and written to BENCH_distance_kernels.json.
+//
+// Not a paper figure: this benchmarks the repo's own distance architecture.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/disc_saver.h"
+#include "core/outlier_saving.h"
+#include "data/generators.h"
+#include "distance/columnar.h"
+#include "distance/evaluator.h"
+#include "index/brute_force_index.h"
+#include "index/index_factory.h"
+#include "support.h"
+
+namespace disc::bench {
+namespace {
+
+struct KernelConfig {
+  bool quick = false;
+  bool check = false;
+  std::size_t n = 50000;        // rows in the range-query relation
+  std::size_t m = 8;            // attributes
+  std::size_t pair_queries = 64;   // query tuples in the ns/pair pass
+  std::size_t pair_rows = 4096;    // rows evaluated per query tuple
+  std::size_t range_queries = 400;  // range queries per path
+  double save_scale = 0.008;    // Flight dataset scale for the SaveAll pass
+};
+
+Relation MakeNumericWorkload(std::size_t n, std::size_t m,
+                             std::uint64_t seed) {
+  std::vector<std::vector<double>> centers =
+      PlaceClusterCenters(8, m, 100.0, 20.0, seed);
+  std::vector<ClusterSpec> specs;
+  for (const auto& center : centers) {
+    specs.push_back({center, 1.5, n / centers.size()});
+  }
+  return GenerateGaussianMixture(specs, seed + 1).data;
+}
+
+Tuple RandomQueryNear(const Relation& r, Rng* rng) {
+  // Perturb a random row so queries land where data lives (realistic
+  // range-query selectivity instead of empty answers).
+  const Tuple& base = r[rng->NextIndex(r.size())];
+  Tuple q = base;
+  for (std::size_t a = 0; a < q.size(); ++a) {
+    q[a] = Value(q[a].num() + rng->Uniform(-2.0, 2.0));
+  }
+  return q;
+}
+
+/// ns per Distance evaluation, scalar vs columnar, plus the DistanceWithin
+/// variants (threshold chosen so most pairs early-exit).
+struct PairTimings {
+  double scalar_ns = 0;
+  double columnar_ns = 0;
+  double scalar_within_ns = 0;
+  double columnar_within_ns = 0;
+  double checksum = 0;  // defeats dead-code elimination
+};
+
+PairTimings BenchPairs(const Relation& r, const DistanceEvaluator& ev,
+                       const ColumnarView& view, const KernelConfig& cfg) {
+  PairTimings t;
+  const double eps = 3.0;
+  const std::size_t pairs = cfg.pair_queries * cfg.pair_rows;
+  Rng rng(7);
+  std::vector<std::size_t> query_rows(cfg.pair_queries);
+  for (auto& row : query_rows) row = rng.NextIndex(r.size());
+
+  {
+    Timer timer;
+    double acc = 0;
+    for (std::size_t qr : query_rows) {
+      for (std::size_t j = 0; j < cfg.pair_rows; ++j) {
+        acc += ev.Distance(r[qr], r[j]);
+      }
+    }
+    t.scalar_ns = timer.Seconds() * 1e9 / static_cast<double>(pairs);
+    t.checksum += acc;
+  }
+  {
+    Timer timer;
+    double acc = 0;
+    for (std::size_t qr : query_rows) {
+      FlatKernel kernel(view, r[qr]);
+      for (std::size_t j = 0; j < cfg.pair_rows; ++j) {
+        acc += kernel.Distance(j);
+      }
+    }
+    t.columnar_ns = timer.Seconds() * 1e9 / static_cast<double>(pairs);
+    t.checksum -= acc;  // paths agree bit-for-bit, so checksum ends ~0
+  }
+  {
+    Timer timer;
+    std::size_t hits = 0;
+    for (std::size_t qr : query_rows) {
+      for (std::size_t j = 0; j < cfg.pair_rows; ++j) {
+        if (ev.DistanceWithin(r[qr], r[j], eps) <= eps) ++hits;
+      }
+    }
+    t.scalar_within_ns = timer.Seconds() * 1e9 / static_cast<double>(pairs);
+    t.checksum += static_cast<double>(hits);
+  }
+  {
+    Timer timer;
+    std::size_t hits = 0;
+    for (std::size_t qr : query_rows) {
+      FlatKernel kernel(view, r[qr]);
+      for (std::size_t j = 0; j < cfg.pair_rows; ++j) {
+        if (kernel.DistanceWithin(j, eps) <= eps) ++hits;
+      }
+    }
+    t.columnar_within_ns = timer.Seconds() * 1e9 / static_cast<double>(pairs);
+    t.checksum -= static_cast<double>(hits);
+  }
+  return t;
+}
+
+struct RangeTimings {
+  double scalar_qps = 0;
+  double columnar_qps = 0;
+  double scalar_count_qps = 0;
+  double columnar_count_qps = 0;
+  double speedup = 0;
+  double count_speedup = 0;
+  bool identical = true;
+};
+
+RangeTimings BenchRange(const Relation& r, const DistanceEvaluator& ev,
+                        const KernelConfig& cfg) {
+  RangeTimings t;
+  // Selective radius: DISC range queries probe an ε-ball, not a cluster
+  // dump, so most rows take the early-exit reject path.
+  const double eps = 2.5;
+  BruteForceIndex fast(r, ev);
+  BruteForceIndex scalar(r, ev, /*enable_fast_path=*/false);
+
+  Rng rng(21);
+  std::vector<Tuple> queries;
+  queries.reserve(cfg.range_queries);
+  for (std::size_t i = 0; i < cfg.range_queries; ++i) {
+    queries.push_back(RandomQueryNear(r, &rng));
+  }
+
+  // Bit-identity spot check before timing anything.
+  for (std::size_t i = 0; i < queries.size(); i += 16) {
+    std::vector<Neighbor> a = fast.RangeQuery(queries[i], eps);
+    std::vector<Neighbor> b = scalar.RangeQuery(queries[i], eps);
+    if (a.size() != b.size()) {
+      t.identical = false;
+      break;
+    }
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      if (a[j].row != b[j].row || a[j].distance != b[j].distance) {
+        t.identical = false;
+        break;
+      }
+    }
+  }
+
+  std::size_t total = 0;
+  {
+    Timer timer;
+    for (const Tuple& q : queries) total += scalar.RangeQuery(q, eps).size();
+    t.scalar_qps = static_cast<double>(cfg.range_queries) / timer.Seconds();
+  }
+  {
+    Timer timer;
+    for (const Tuple& q : queries) total += fast.RangeQuery(q, eps).size();
+    t.columnar_qps = static_cast<double>(cfg.range_queries) / timer.Seconds();
+  }
+  {
+    Timer timer;
+    for (const Tuple& q : queries) total += scalar.CountWithin(q, eps);
+    t.scalar_count_qps =
+        static_cast<double>(cfg.range_queries) / timer.Seconds();
+  }
+  {
+    Timer timer;
+    for (const Tuple& q : queries) total += fast.CountWithin(q, eps);
+    t.columnar_count_qps =
+        static_cast<double>(cfg.range_queries) / timer.Seconds();
+  }
+  if (total == 0) std::fprintf(stderr, "warning: empty range answers\n");
+  t.speedup = t.columnar_qps / t.scalar_qps;
+  t.count_speedup = t.columnar_count_qps / t.scalar_count_qps;
+  return t;
+}
+
+struct SaveTimings {
+  double scalar_seconds = 0;
+  double fast_seconds = 0;
+  double speedup = 0;
+  bool identical = true;
+  std::size_t outliers = 0;
+  std::size_t saved = 0;
+};
+
+bool SameSaveResults(const std::vector<SaveResult>& a,
+                     const std::vector<SaveResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].feasible != b[i].feasible || a[i].adjusted != b[i].adjusted ||
+        a[i].cost != b[i].cost || a[i].termination != b[i].termination ||
+        !(a[i].adjusted_attributes == b[i].adjusted_attributes)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// DiscSaver::SaveAll on a corrupted Gaussian mixture — the branch-and-bound
+/// hot loop the fast path targets, without the detection/split phase (which
+/// uses the columnar index in both configurations and would dilute the
+/// comparison). Single-threaded so the speedup is the kernel's, not the
+/// pool's.
+SaveTimings BenchSaveAll(const KernelConfig& cfg) {
+  SaveTimings t;
+  const std::size_t dims = 6;
+  const std::size_t per_cluster = cfg.quick ? 220 : 700;
+  std::vector<std::vector<double>> centers =
+      PlaceClusterCenters(5, dims, 60.0, 18.0, 7);
+  std::vector<ClusterSpec> specs;
+  for (const auto& center : centers) specs.push_back({center, 0.8, per_cluster});
+  LabeledRelation mixture = GenerateGaussianMixture(specs, 8);
+  Rng rng(9);
+  for (std::size_t row = 4; row < mixture.data.size(); row += 9) {
+    std::size_t a = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(dims) - 1));
+    mixture.data[row][a] =
+        Value(mixture.data[row][a].num() + 25.0 + rng.Uniform() * 10.0);
+  }
+  const DistanceConstraint constraint{2.0, 6};
+
+  DistanceEvaluator ev(mixture.data.schema());
+  std::unique_ptr<NeighborIndex> index =
+      MakeNeighborIndex(mixture.data, ev, constraint.epsilon);
+  InlierOutlierSplit split =
+      SplitInliersOutliers(mixture.data, *index, constraint);
+  Relation inliers = mixture.data.Select(split.inlier_rows);
+  std::vector<Tuple> outliers;
+  for (std::size_t row : split.outlier_rows) {
+    outliers.push_back(mixture.data[row]);
+  }
+  t.outliers = outliers.size();
+
+  SaveOptions save_options;
+  save_options.kappa = 2;
+  DiscSaver fast_saver(inliers, ev, constraint);
+  DiscSaver scalar_saver(inliers, ev, constraint, /*enable_fast_path=*/false);
+
+  Timer t1;
+  std::vector<SaveResult> scalar = scalar_saver.SaveAll(outliers, save_options);
+  t.scalar_seconds = t1.Seconds();
+
+  Timer t2;
+  std::vector<SaveResult> fast = fast_saver.SaveAll(outliers, save_options);
+  t.fast_seconds = t2.Seconds();
+
+  t.speedup = t.scalar_seconds / t.fast_seconds;
+  t.identical = SameSaveResults(scalar, fast);
+  for (const SaveResult& r : fast) {
+    if (r.feasible) ++t.saved;
+  }
+  return t;
+}
+
+struct PipelineTimings {
+  double scalar_seconds = 0;
+  double fast_seconds = 0;
+  double speedup = 0;
+  bool identical = true;
+  std::size_t outliers = 0;
+};
+
+/// Whole SaveOutliers pipeline (detect + save) on the Flight-shaped paper
+/// workload, fast path on vs off — the user-visible end-to-end number.
+PipelineTimings BenchPipeline(const KernelConfig& cfg) {
+  PipelineTimings t;
+  PaperDataset ds = MakePaperDataset("flight", 42, cfg.save_scale);
+  DistanceEvaluator ev(ds.dirty.schema());
+
+  OutlierSavingOptions fast_options;
+  fast_options.constraint = ds.suggested;
+  OutlierSavingOptions scalar_options = fast_options;
+  scalar_options.use_columnar_fast_path = false;
+
+  Timer t1;
+  SavedDataset scalar = SaveOutliers(ds.dirty, ev, scalar_options);
+  t.scalar_seconds = t1.Seconds();
+
+  Timer t2;
+  SavedDataset fast = SaveOutliers(ds.dirty, ev, fast_options);
+  t.fast_seconds = t2.Seconds();
+
+  t.outliers = fast.outlier_rows.size();
+  t.speedup = t.scalar_seconds / t.fast_seconds;
+
+  if (fast.repaired.size() != scalar.repaired.size()) {
+    t.identical = false;
+  } else {
+    for (std::size_t i = 0; i < fast.repaired.size(); ++i) {
+      if (!(fast.repaired[i] == scalar.repaired[i])) {
+        t.identical = false;
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+int Run(const KernelConfig& cfg) {
+  Relation workload = MakeNumericWorkload(cfg.n, cfg.m, 99);
+  DistanceEvaluator ev(workload.schema());
+  auto view = ColumnarView::Build(workload, ev);
+  if (view == nullptr) {
+    std::fprintf(stderr, "workload unexpectedly ineligible for columnar\n");
+    return 1;
+  }
+
+  PrintHeader("Distance kernels: scalar vs columnar (n=" +
+              std::to_string(workload.size()) + ", m=" + std::to_string(cfg.m) +
+              ")");
+
+  PairTimings pairs = BenchPairs(workload, ev, *view, cfg);
+  PrintRow({"metric", "scalar", "columnar", "speedup"}, 14);
+  PrintRow({"ns/pair", Fmt(pairs.scalar_ns, 1), Fmt(pairs.columnar_ns, 1),
+            Fmt(pairs.scalar_ns / pairs.columnar_ns, 2)},
+           14);
+  PrintRow({"ns/pair(eps)", Fmt(pairs.scalar_within_ns, 1),
+            Fmt(pairs.columnar_within_ns, 1),
+            Fmt(pairs.scalar_within_ns / pairs.columnar_within_ns, 2)},
+           14);
+
+  RangeTimings range = BenchRange(workload, ev, cfg);
+  PrintRow({"range q/s", Fmt(range.scalar_qps, 1), Fmt(range.columnar_qps, 1),
+            Fmt(range.speedup, 2)},
+           14);
+  PrintRow({"count q/s", Fmt(range.scalar_count_qps, 1),
+            Fmt(range.columnar_count_qps, 1), Fmt(range.count_speedup, 2)},
+           14);
+  std::printf("range results bit-identical: %s\n",
+              range.identical ? "yes" : "NO");
+
+  SaveTimings save = BenchSaveAll(cfg);
+  PrintHeader("DiscSaver::SaveAll (Gaussian mixture, " +
+              std::to_string(save.outliers) + " outliers, " +
+              std::to_string(save.saved) + " saved)");
+  PrintRow({"path", "seconds", "speedup"}, 14);
+  PrintRow({"scalar", Fmt(save.scalar_seconds, 3), "1.00"}, 14);
+  PrintRow({"columnar", Fmt(save.fast_seconds, 3), Fmt(save.speedup, 2)}, 14);
+  std::printf("save results bit-identical: %s\n",
+              save.identical ? "yes" : "NO");
+
+  PipelineTimings pipeline = BenchPipeline(cfg);
+  PrintHeader("SaveOutliers pipeline (Flight-shaped, " +
+              std::to_string(pipeline.outliers) + " outliers)");
+  PrintRow({"path", "seconds", "speedup"}, 14);
+  PrintRow({"scalar", Fmt(pipeline.scalar_seconds, 3), "1.00"}, 14);
+  PrintRow({"columnar", Fmt(pipeline.fast_seconds, 3),
+            Fmt(pipeline.speedup, 2)},
+           14);
+  std::printf("repaired outputs bit-identical: %s\n",
+              pipeline.identical ? "yes" : "NO");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("distance_kernels");
+  json.Key("quick").Bool(cfg.quick);
+  json.Key("n").Uint(workload.size());
+  json.Key("m").Uint(cfg.m);
+  json.Key("pair_ns");
+  json.BeginObject();
+  json.Key("scalar").Number(pairs.scalar_ns);
+  json.Key("columnar").Number(pairs.columnar_ns);
+  json.Key("scalar_within").Number(pairs.scalar_within_ns);
+  json.Key("columnar_within").Number(pairs.columnar_within_ns);
+  json.Key("checksum").Number(pairs.checksum);
+  json.EndObject();
+  json.Key("range");
+  json.BeginObject();
+  json.Key("epsilon").Number(2.5);
+  json.Key("queries").Uint(cfg.range_queries);
+  json.Key("scalar_qps").Number(range.scalar_qps);
+  json.Key("columnar_qps").Number(range.columnar_qps);
+  json.Key("scalar_count_qps").Number(range.scalar_count_qps);
+  json.Key("columnar_count_qps").Number(range.columnar_count_qps);
+  json.Key("speedup").Number(range.speedup);
+  json.Key("count_speedup").Number(range.count_speedup);
+  json.Key("bit_identical").Bool(range.identical);
+  json.EndObject();
+  json.Key("save_all");
+  json.BeginObject();
+  json.Key("dataset").String("gaussian_mixture");
+  json.Key("outliers").Uint(save.outliers);
+  json.Key("saved").Uint(save.saved);
+  json.Key("scalar_seconds").Number(save.scalar_seconds);
+  json.Key("fast_seconds").Number(save.fast_seconds);
+  json.Key("speedup").Number(save.speedup);
+  json.Key("bit_identical").Bool(save.identical);
+  json.EndObject();
+  json.Key("pipeline");
+  json.BeginObject();
+  json.Key("dataset").String("flight");
+  json.Key("scale").Number(cfg.save_scale);
+  json.Key("outliers").Uint(pipeline.outliers);
+  json.Key("scalar_seconds").Number(pipeline.scalar_seconds);
+  json.Key("fast_seconds").Number(pipeline.fast_seconds);
+  json.Key("speedup").Number(pipeline.speedup);
+  json.Key("bit_identical").Bool(pipeline.identical);
+  json.EndObject();
+  json.EndObject();
+  WriteTextFile("BENCH_distance_kernels.json", json.str());
+  std::printf("wrote BENCH_distance_kernels.json\n");
+
+  if (!range.identical || !save.identical || !pipeline.identical) {
+    std::fprintf(stderr, "FAIL: fast path is not bit-identical\n");
+    return 1;
+  }
+  if (cfg.check && range.speedup < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: columnar range path slower than scalar (%.2fx)\n",
+                 range.speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace disc::bench
+
+int main(int argc, char** argv) {
+  disc::bench::KernelConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.quick = true;
+      cfg.n = 8000;
+      cfg.pair_queries = 16;
+      cfg.pair_rows = 2048;
+      cfg.range_queries = 60;
+      cfg.save_scale = 0.003;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      cfg.check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+  return disc::bench::Run(cfg);
+}

@@ -1,9 +1,49 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
+#include "distance/lp_norm.h"
+
 namespace disc {
+
+namespace {
+
+/// The memoized attribute rows of a SearchDistanceCache for one subset X,
+/// resolved once per bound call so the O(n) row scans below touch flat
+/// arrays with no per-row subset iteration or lazy-fill checks.
+struct SubsetRows {
+  std::array<const double*, AttributeSet::kCapacity> rows;
+  std::size_t count = 0;
+};
+
+SubsetRows ResolveSubsetRows(const SearchDistanceCache& dcache,
+                             const AttributeSet& x, std::size_t arity) {
+  SubsetRows s;
+  for (std::size_t a = 0; a < arity; ++a) {
+    if (x.contains(a)) s.rows[s.count++] = dcache.attribute_row(a);
+  }
+  return s;
+}
+
+/// Subset distance with early exit from the hoisted rows — the same values
+/// accumulated in the same ascending-attribute order with the same per-add
+/// Exceeds check as SearchDistanceCache::DistanceOnWithin, so verdicts and
+/// accepted totals are bit-identical.
+inline double SubsetDistanceWithin(const SubsetRows& s, LpNorm norm,
+                                   std::size_t row, double threshold) {
+  LpAccumulator acc(norm);
+  for (std::size_t j = 0; j < s.count; ++j) {
+    acc.Add(s.rows[j][row]);
+    if (acc.Exceeds(threshold)) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return acc.Total();
+}
+
+}  // namespace
 
 BoundsEngine::BoundsEngine(const Relation& relation,
                            const DistanceEvaluator& evaluator,
@@ -31,8 +71,8 @@ double BoundsEngine::GlobalLowerBound(const Tuple& outlier,
 }
 
 double BoundsEngine::LowerBoundForX(const Tuple& outlier,
-                                    const AttributeSet& x,
-                                    BudgetGauge* gauge) const {
+                                    const AttributeSet& x, BudgetGauge* gauge,
+                                    const SearchDistanceCache* dcache) const {
   // Candidates are inliers with Δ(t_o[X], t[X]) ≤ ε (the shaded band in
   // Figure 3); among them we need the η-th nearest in full-space distance
   // (η−1 excluding the tuple's self-count).
@@ -41,17 +81,27 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
   if (gauge != nullptr) gauge->queries().Add();
 
   // Collect full-space distances of qualifying inliers; track only the
-  // smallest `needed` of them with a max-heap.
+  // smallest `needed` of them with a max-heap. Band checks pass ε as the
+  // early-exit threshold so they stop at the first overshooting attribute
+  // (the verdict is unchanged: non-negative Lp aggregates are monotone).
   std::vector<double> heap;
   heap.reserve(needed);
+  SubsetRows band;
+  if (dcache != nullptr) {
+    band = ResolveSubsetRows(*dcache, x, evaluator_.arity());
+  }
+  const LpNorm norm = evaluator_.norm();
   for (std::size_t row = 0; row < relation_.size(); ++row) {
     // An abandoned scan returns the uninformative bound 0: nothing is
     // pruned on its account, and the caller unwinds via gauge->stopped().
     if (gauge != nullptr && !gauge->KeepScanning()) return 0;
-    const Tuple& t = relation_[row];
-    double dx = evaluator_.DistanceOn(x, outlier, t);
+    double dx = dcache != nullptr
+                    ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
+                    : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
+                                                  constraint_.epsilon);
     if (dx > constraint_.epsilon) continue;
-    double d = evaluator_.Distance(outlier, t);
+    double d = dcache != nullptr ? dcache->FullDistance(row)
+                                 : evaluator_.Distance(outlier, relation_[row]);
     if (heap.size() < needed) {
       heap.push_back(d);
       std::push_heap(heap.begin(), heap.end());
@@ -70,7 +120,8 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
 }
 
 std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
-    const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge) const {
+    const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge,
+    const SearchDistanceCache* dcache) const {
   const std::size_t arity = evaluator_.arity();
   AttributeSet complement = x.ComplementIn(arity);
   if (gauge != nullptr) gauge->queries().Add();
@@ -86,15 +137,30 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
   std::size_t best_qualified_row = static_cast<std::size_t>(-1);
   double best_any = std::numeric_limits<double>::infinity();
   std::size_t best_any_row = static_cast<std::size_t>(-1);
+  SubsetRows band, splice_rows;
+  if (dcache != nullptr) {
+    band = ResolveSubsetRows(*dcache, x, arity);
+    splice_rows = ResolveSubsetRows(*dcache, complement, arity);
+  }
+  const LpNorm norm = evaluator_.norm();
   for (std::size_t row = 0; row < relation_.size(); ++row) {
     // No partial donor scan may produce a bound: abandoning returns "no
     // upper bound" so the incumbent is never replaced by a half-searched
     // splice (anytime-soundness — see DESIGN.md).
     if (gauge != nullptr && !gauge->KeepScanning()) return std::nullopt;
-    const Tuple& t = relation_[row];
-    double dx = evaluator_.DistanceOn(x, outlier, t);
+    double dx = dcache != nullptr
+                    ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
+                    : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
+                                                  constraint_.epsilon);
     if (dx > constraint_.epsilon) continue;
-    double cost = evaluator_.DistanceOn(complement, outlier, t);
+    // A splice cost beyond both incumbents can update neither, so the
+    // larger incumbent is a sound early-exit threshold (accepted values are
+    // exact, rejected ones come back as +infinity and fail both `<`).
+    double cost_cap = std::max(best_any, best_qualified);
+    double cost = dcache != nullptr
+                      ? SubsetDistanceWithin(splice_rows, norm, row, cost_cap)
+                      : evaluator_.DistanceOnWithin(complement, outlier,
+                                                    relation_[row], cost_cap);
     if (cost < best_any) {
       best_any = cost;
       best_any_row = row;

@@ -9,6 +9,7 @@
 #include "common/tuple.h"
 #include "constraints/distance_constraint.h"
 #include "core/search_budget.h"
+#include "core/search_distance_cache.h"
 #include "distance/evaluator.h"
 #include "index/kth_neighbor_cache.h"
 #include "index/neighbor_index.h"
@@ -49,8 +50,14 @@ class BoundsEngine {
   /// nearest neighbor of t_o within r_ε(t_o[X]) (inliers whose distance to
   /// t_o *on X* is ≤ ε). Returns +infinity when fewer than η inliers
   /// qualify — no feasible adjustment with unadjusted X exists at all.
+  ///
+  /// `dcache`, when supplied, must be the per-search cache built for this
+  /// `outlier` over this relation; the full-space distances and memoized
+  /// attribute rows then replace the per-X recomputation. Results are
+  /// bit-identical with or without it.
   double LowerBoundForX(const Tuple& outlier, const AttributeSet& x,
-                        BudgetGauge* gauge = nullptr) const;
+                        BudgetGauge* gauge = nullptr,
+                        const SearchDistanceCache* dcache = nullptr) const;
 
   /// Upper bound of Proposition 5. Finds t_2 ∈ r_ε(t_o[X]) with
   /// δ_η(t_2) ≤ ε − Δ(t_o[X], t_2[X]) minimizing Δ(t_o[R\X], t_2[R\X]), and
@@ -61,9 +68,9 @@ class BoundsEngine {
     double cost = 0;
     std::size_t donor_row = 0;  ///< row of t_2 in r
   };
-  std::optional<UpperBound> UpperBoundForX(const Tuple& outlier,
-                                           const AttributeSet& x,
-                                           BudgetGauge* gauge = nullptr) const;
+  std::optional<UpperBound> UpperBoundForX(
+      const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge = nullptr,
+      const SearchDistanceCache* dcache = nullptr) const;
 
   /// Feasibility check: does `candidate` have ≥ η ε-neighbors in r?
   bool IsFeasible(const Tuple& candidate, BudgetGauge* gauge = nullptr) const;

@@ -51,13 +51,19 @@ AttributeSet ChangedAttributes(const Tuple& original, const Tuple& adjusted) {
 
 DiscSaver::DiscSaver(const Relation& inliers,
                      const DistanceEvaluator& evaluator,
-                     DistanceConstraint constraint)
-    : inliers_(inliers), evaluator_(evaluator), constraint_(constraint) {
+                     DistanceConstraint constraint, bool enable_fast_path)
+    : inliers_(inliers),
+      evaluator_(evaluator),
+      constraint_(constraint),
+      enable_fast_path_(enable_fast_path) {
   index_ = MakeNeighborIndex(inliers_, evaluator_, constraint_.epsilon);
   cache_ = std::make_unique<KthNeighborCache>(inliers_, *index_,
                                               constraint_.eta);
   bounds_ = std::make_unique<BoundsEngine>(inliers_, evaluator_, *index_,
                                            *cache_, constraint_);
+  if (enable_fast_path_) {
+    columnar_ = ColumnarView::Build(inliers_, evaluator_);
+  }
 }
 
 struct DiscSaver::SearchState {
@@ -67,6 +73,10 @@ struct DiscSaver::SearchState {
   std::unordered_set<std::uint64_t> visited;
   std::size_t pruned = 0;
   BudgetGauge* gauge = nullptr;
+  /// Per-search distance cache (full-space distances to every inlier plus
+  /// memoized per-attribute rows), shared by every bound computation of this
+  /// search. Null when the fast path is disabled.
+  const SearchDistanceCache* dcache = nullptr;
 };
 
 void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
@@ -86,7 +96,7 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   // keeps X fixed costs at least LB(X); supersets of X only cost more, so
   // the whole subtree is cut when LB(X) >= incumbent.
   if (options.use_lower_bound_pruning) {
-    double lb = bounds_->LowerBoundForX(outlier, x, gauge);
+    double lb = bounds_->LowerBoundForX(outlier, x, gauge, state->dcache);
     if (gauge->stopped()) return;
     if (lb >= state->best_cost) {
       ++state->pruned;
@@ -99,7 +109,7 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   // donor scan yields no bound, so a stopped gauge can never sneak a
   // half-searched splice into the incumbent.
   std::optional<BoundsEngine::UpperBound> ub =
-      bounds_->UpperBoundForX(outlier, x, gauge);
+      bounds_->UpperBoundForX(outlier, x, gauge, state->dcache);
   if (gauge->stopped()) return;
   if (ub.has_value() && ub->cost < state->best_cost) {
     state->best_cost = ub->cost;
@@ -161,6 +171,18 @@ SaveResult DiscSaver::SaveImpl(
   SearchState state;
   state.gauge = &gauge;
 
+  // Per-search distance cache: Δ(t_o, t) to every inlier is invariant
+  // across all B&B nodes of this search, so compute the vector once here
+  // (the very first bound scan would have paid that cost anyway) and let
+  // every LowerBoundForX/UpperBoundForX serve from it. Backed by the
+  // columnar kernels when the relation qualifies, the scalar evaluator
+  // otherwise; bit-identical either way.
+  std::optional<SearchDistanceCache> dcache;
+  if (enable_fast_path_) {
+    dcache.emplace(inliers_, evaluator_, outlier, columnar_.get());
+    state.dcache = &*dcache;
+  }
+
   // The X = emptyset upper bound (Lemma 4 flavour): nearest substitution-
   // style donor. In unrestricted mode it seeds the incumbent directly. In
   // kappa-restricted mode it is kept OUT of the search incumbent — the
@@ -170,7 +192,7 @@ SaveResult DiscSaver::SaveImpl(
   // and mask the low-attribute adjustment the caller asked for. The
   // substitution is reconsidered after revert refinement below.
   std::optional<BoundsEngine::UpperBound> global_seed =
-      bounds_->UpperBoundForX(outlier, AttributeSet(), &gauge);
+      bounds_->UpperBoundForX(outlier, AttributeSet(), &gauge, state.dcache);
   if (!restricted && global_seed.has_value()) {
     state.best_cost = global_seed->cost;
     state.best_adjusted = global_seed->adjusted;

@@ -12,6 +12,8 @@
 #include "constraints/distance_constraint.h"
 #include "core/bounds.h"
 #include "core/search_budget.h"
+#include "core/search_distance_cache.h"
+#include "distance/columnar.h"
 #include "distance/evaluator.h"
 #include "index/kth_neighbor_cache.h"
 #include "index/neighbor_index.h"
@@ -105,8 +107,15 @@ class DiscSaver {
   /// `inliers` is the outlier-free set r; all tuples in it are assumed to
   /// satisfy the constraint. The relation and evaluator must outlive the
   /// saver.
+  ///
+  /// `enable_fast_path` controls the columnar kernels and the per-search
+  /// distance cache (results are bit-identical either way; disabling exists
+  /// for reference comparisons in tests and benchmarks). The columnar
+  /// kernels engage only when the inlier relation is all-numeric and every
+  /// metric is a scaled absolute difference (ColumnarView::Eligible); the
+  /// per-search cache engages for any schema.
   DiscSaver(const Relation& inliers, const DistanceEvaluator& evaluator,
-            DistanceConstraint constraint);
+            DistanceConstraint constraint, bool enable_fast_path = true);
 
   /// Finds a near-optimal adjustment of `outlier` under the constraint.
   /// Anytime: with a SaveOptions::budget the call returns the best feasible
@@ -155,9 +164,11 @@ class DiscSaver {
   const Relation& inliers_;
   const DistanceEvaluator& evaluator_;
   DistanceConstraint constraint_;
+  bool enable_fast_path_ = true;
   std::unique_ptr<NeighborIndex> index_;
   std::unique_ptr<KthNeighborCache> cache_;
   std::unique_ptr<BoundsEngine> bounds_;
+  std::unique_ptr<ColumnarView> columnar_;  ///< null when ineligible/disabled
 };
 
 /// Computes which attributes differ between `original` and `adjusted`.

@@ -70,7 +70,10 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
       return;
     }
     if (IsFeasible(*candidate, state->gauge)) {
-      double cost = evaluator_.Distance(outlier, *candidate);
+      // Early exit past the incumbent: a candidate strictly costlier than
+      // best_cost comes back as +infinity and fails the `<` identically.
+      double cost =
+          evaluator_.DistanceWithin(outlier, *candidate, state->best_cost);
       if (cost < state->best_cost) {
         state->best_cost = cost;
         state->best_adjusted = *candidate;

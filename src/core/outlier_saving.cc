@@ -126,7 +126,8 @@ SavedDataset SaveOutliers(const Relation& data,
   }
 
   // Build the saver once; save each outlier against the fixed inlier set.
-  DiscSaver disc_saver(inliers, evaluator, effective.constraint);
+  DiscSaver disc_saver(inliers, evaluator, effective.constraint,
+                       effective.use_columnar_fast_path);
   std::unique_ptr<ExactSaver> exact_saver;
   if (options.use_exact) {
     exact_saver =

@@ -1,0 +1,68 @@
+#include "core/search_distance_cache.h"
+
+#include <limits>
+
+#include "distance/lp_norm.h"
+
+namespace disc {
+
+SearchDistanceCache::SearchDistanceCache(const Relation& relation,
+                                         const DistanceEvaluator& evaluator,
+                                         const Tuple& outlier,
+                                         const ColumnarView* view)
+    : relation_(relation),
+      evaluator_(evaluator),
+      outlier_(outlier),
+      arity_(evaluator.arity()),
+      attr_rows_(evaluator.arity()) {
+  if (view != nullptr) kernel_.emplace(*view, outlier);
+  const std::size_t n = relation.size();
+  full_.resize(n);
+  if (kernel_.has_value()) {
+    for (std::size_t i = 0; i < n; ++i) full_[i] = kernel_->Distance(i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      full_[i] = evaluator_.Distance(outlier_, relation_[i]);
+    }
+  }
+}
+
+const double* SearchDistanceCache::AttributeRow(std::size_t a) const {
+  std::vector<double>& row = attr_rows_[a];
+  if (row.empty() && !full_.empty()) {
+    row.resize(full_.size());
+    if (kernel_.has_value()) {
+      kernel_->FillAttributeDistances(a, row.data());
+    } else {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        row[i] = evaluator_.AttributeDistance(a, outlier_[a], relation_[i][a]);
+      }
+    }
+  }
+  return row.data();
+}
+
+double SearchDistanceCache::DistanceOn(const AttributeSet& x,
+                                       std::size_t row) const {
+  LpAccumulator acc(evaluator_.norm());
+  for (std::size_t a = 0; a < arity_; ++a) {
+    if (x.contains(a)) acc.Add(AttributeRow(a)[row]);
+  }
+  return acc.Total();
+}
+
+double SearchDistanceCache::DistanceOnWithin(const AttributeSet& x,
+                                             std::size_t row,
+                                             double threshold) const {
+  LpAccumulator acc(evaluator_.norm());
+  for (std::size_t a = 0; a < arity_; ++a) {
+    if (!x.contains(a)) continue;
+    acc.Add(AttributeRow(a)[row]);
+    if (acc.Exceeds(threshold)) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return acc.Total();
+}
+
+}  // namespace disc

@@ -1,0 +1,86 @@
+#ifndef DISC_CORE_SEARCH_DISTANCE_CACHE_H_
+#define DISC_CORE_SEARCH_DISTANCE_CACHE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+#include "distance/columnar.h"
+#include "distance/evaluator.h"
+
+namespace disc {
+
+/// Per-outlier-search distance cache for the branch-and-bound hot loops.
+///
+/// Within one outlier's search, the full-space distance Δ(t_o, t) to each
+/// inlier is invariant across every B&B node, yet LowerBoundForX recomputes
+/// it at every explored X. This cache computes the full-distance vector ONCE
+/// per search and serves it from a flat array thereafter. Likewise the
+/// per-attribute distances Δ(t_o[A], t[A]) are invariant; they are memoized
+/// lazily (one n-sized row per attribute, filled on first touch), turning
+/// every subset distance Δ(t_o[X], t[X]) into a short sum over cached
+/// doubles — no Value unwrapping, no virtual metric dispatch.
+///
+/// Determinism contract: cached entries are produced by exactly the scalar
+/// arithmetic (via FlatKernel when a ColumnarView is supplied, whose kernels
+/// are bit-identical to DistanceEvaluator by construction, or via the
+/// evaluator itself otherwise), and subset sums replay the canonical
+/// LpAccumulator recurrence in increasing attribute order. Every value and
+/// every threshold verdict matches the uncached path bit for bit.
+///
+/// Thread-safety: NONE — the lazy rows mutate under const. A cache is a
+/// per-search, stack-local object owned by a single worker; it is never
+/// shared across threads (the shared-state immutability contract of
+/// DESIGN.md §5 applies to indexes, not to this).
+class SearchDistanceCache {
+ public:
+  /// Builds the cache for one outlier search. `view` may be null (scalar
+  /// fallback); when non-null it must have been built over `relation` with
+  /// `evaluator`. All references must outlive the cache; `outlier` must not
+  /// be mutated while the cache is live.
+  SearchDistanceCache(const Relation& relation,
+                      const DistanceEvaluator& evaluator, const Tuple& outlier,
+                      const ColumnarView* view = nullptr);
+
+  /// Number of inlier rows n.
+  std::size_t rows() const { return full_.size(); }
+  /// True when the columnar fast path backs this cache.
+  bool columnar() const { return kernel_.has_value(); }
+
+  /// Cached full-space distance Δ(t_o, t_row).
+  double FullDistance(std::size_t row) const { return full_[row]; }
+
+  /// Subset distance Δ(t_o[X], t_row[X]) from the memoized attribute rows —
+  /// bit-identical to DistanceEvaluator::DistanceOn.
+  double DistanceOn(const AttributeSet& x, std::size_t row) const;
+
+  /// Subset distance with early exit past `threshold` (+infinity), matching
+  /// DistanceEvaluator::DistanceOnWithin bit for bit.
+  double DistanceOnWithin(const AttributeSet& x, std::size_t row,
+                          double threshold) const;
+
+  /// The memoized n-entry row of Δ(t_o[a], t_i[a]) for attribute `a`,
+  /// filled on first touch. For scans that touch every row (the bound
+  /// loops), resolving the subset's row pointers once and accumulating
+  /// inline beats a DistanceOnWithin call per row; the per-row arithmetic
+  /// is identical (same values, same canonical attribute order).
+  const double* attribute_row(std::size_t a) const { return AttributeRow(a); }
+
+ private:
+  /// The memoized row for attribute `a`, filling it on first touch.
+  const double* AttributeRow(std::size_t a) const;
+
+  const Relation& relation_;
+  const DistanceEvaluator& evaluator_;
+  const Tuple& outlier_;
+  std::size_t arity_;
+  std::optional<FlatKernel> kernel_;
+  std::vector<double> full_;                           ///< eager, n entries
+  mutable std::vector<std::vector<double>> attr_rows_;  ///< lazy, m rows
+};
+
+}  // namespace disc
+
+#endif  // DISC_CORE_SEARCH_DISTANCE_CACHE_H_

@@ -17,6 +17,16 @@ class AttributeMetric {
   virtual ~AttributeMetric() = default;
   /// Distance between two attribute values.
   virtual double Distance(const Value& a, const Value& b) const = 0;
+
+  /// Introspection hook for the columnar fast path: true iff this metric
+  /// computes |a - b| / scale on numeric values, in which case `*scale` is
+  /// set. The flat kernels (distance/columnar.h) may then evaluate the
+  /// metric over raw double arrays, bit-identically, without virtual
+  /// dispatch. Metrics with any other semantics must keep the default.
+  virtual bool IsScaledAbsoluteDifference(double* scale) const {
+    (void)scale;
+    return false;
+  }
 };
 
 /// |a - b| on numeric values, optionally scaled by 1/scale (so attributes
@@ -26,6 +36,10 @@ class AbsoluteDifferenceMetric : public AttributeMetric {
   /// `scale` divides the raw difference; must be > 0.
   explicit AbsoluteDifferenceMetric(double scale = 1.0) : scale_(scale) {}
   double Distance(const Value& a, const Value& b) const override;
+  bool IsScaledAbsoluteDifference(double* scale) const override {
+    *scale = scale_;
+    return true;
+  }
 
  private:
   double scale_;

@@ -1,0 +1,322 @@
+#include "distance/columnar.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace disc {
+
+namespace {
+
+/// Multiplicative slack for the variance-ordered reject pass. Summing m ≤ 64
+/// non-negative terms in any order differs from the canonical-order sum by a
+/// relative error of at most (m−1)·ε ≈ 1.4e-14, so a permuted partial sum
+/// beyond threshold·(1 + 1e-12) proves the canonical sum is beyond the
+/// threshold too — the fast pass can only reject pairs the scalar reference
+/// also rejects. (At threshold 0 the slack degenerates to 0, which is still
+/// exact: non-negative sums are order-independently zero or positive.)
+constexpr double kCertainRejectSlack = 1.0 + 1e-12;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bits of `x` restricted to attributes < arity, mirroring the scalar
+/// DistanceOn loop which only tests a < m.
+inline std::uint64_t MaskedBits(const AttributeSet& x, std::size_t arity) {
+  std::uint64_t mask = arity >= 64 ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << arity) - 1);
+  return x.bits() & mask;
+}
+
+/// Per-row threshold kernels shared by DistanceWithin and the batch scans.
+/// Each returns the exact canonical-order distance on accept and +infinity
+/// on reject, matching LpAccumulator bit for bit (see DistanceWithin).
+
+inline double RowWithinL2(const ColumnarView& v, const double* q,
+                          std::size_t row, double thr_sq, double reject,
+                          bool unit) {
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d * d;
+    if (acc > reject) return kInf;
+  }
+  acc = 0;
+  const std::size_t m = v.arity();
+  for (std::size_t a = 0; a < m; ++a) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d * d;
+    if (acc > thr_sq) return kInf;
+  }
+  return std::sqrt(acc);
+}
+
+inline double RowWithinL1(const ColumnarView& v, const double* q,
+                          std::size_t row, double threshold, double reject,
+                          bool unit) {
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d;
+    if (acc > reject) return kInf;
+  }
+  acc = 0;
+  const std::size_t m = v.arity();
+  for (std::size_t a = 0; a < m; ++a) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d;
+    if (acc > threshold) return kInf;
+  }
+  return acc;
+}
+
+inline double RowWithinLInf(const ColumnarView& v, const double* q,
+                            std::size_t row, double threshold, bool unit) {
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    if (d > threshold) return kInf;
+    acc = std::max(acc, d);
+  }
+  return acc;
+}
+
+/// Runs the per-row threshold kernel over all rows, invoking
+/// `hit(row, distance)` for each accept. The norm switch and the threshold
+/// constants are hoisted outside the row loop, and `hit` is a lambda, so
+/// each norm compiles to one tight scan over the columns.
+template <typename Hit>
+inline void ScanWithin(const ColumnarView& v, const double* q, double epsilon,
+                       Hit&& hit) {
+  const std::size_t n = v.rows();
+  const bool unit = v.unit_scales();
+  switch (v.norm()) {
+    case LpNorm::kL2: {
+      const double thr_sq = epsilon * epsilon;
+      const double reject = thr_sq * kCertainRejectSlack;
+      for (std::size_t i = 0; i < n; ++i) {
+        double d = RowWithinL2(v, q, i, thr_sq, reject, unit);
+        if (d <= epsilon) hit(i, d);
+      }
+      return;
+    }
+    case LpNorm::kL1: {
+      const double reject = epsilon * kCertainRejectSlack;
+      for (std::size_t i = 0; i < n; ++i) {
+        double d = RowWithinL1(v, q, i, epsilon, reject, unit);
+        if (d <= epsilon) hit(i, d);
+      }
+      return;
+    }
+    case LpNorm::kLInf: {
+      for (std::size_t i = 0; i < n; ++i) {
+        double d = RowWithinLInf(v, q, i, epsilon, unit);
+        if (d <= epsilon) hit(i, d);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool ColumnarView::Eligible(const Relation& relation,
+                            const DistanceEvaluator& evaluator) {
+  return relation.arity() > 0 &&
+         relation.arity() <= AttributeSet::kCapacity &&
+         relation.arity() == evaluator.arity() &&
+         relation.schema().all_numeric() &&
+         evaluator.AllScaledAbsoluteDifference();
+}
+
+std::unique_ptr<ColumnarView> ColumnarView::Build(
+    const Relation& relation, const DistanceEvaluator& evaluator) {
+  if (!Eligible(relation, evaluator)) return nullptr;
+  auto view = std::unique_ptr<ColumnarView>(new ColumnarView());
+  const std::size_t n = relation.size();
+  const std::size_t m = relation.arity();
+  view->rows_ = n;
+  view->arity_ = m;
+  view->norm_ = evaluator.norm();
+  evaluator.AllScaledAbsoluteDifference(&view->scales_);
+  view->unit_scales_ = std::all_of(view->scales_.begin(), view->scales_.end(),
+                                   [](double s) { return s == 1.0; });
+
+  view->data_.resize(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = relation[i];
+    for (std::size_t a = 0; a < m; ++a) {
+      view->data_[a * n + i] = t[a].num();
+    }
+  }
+
+  // Scan order: scaled variance, descending (ties by index). High-variance
+  // attributes contribute the largest terms on average, so far pairs trip
+  // the early exit within the first attribute or two.
+  std::vector<double> variance(m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    const double* col = view->column(a);
+    double mean = 0;
+    std::size_t finite = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::isfinite(col[i])) {
+        mean += col[i];
+        ++finite;
+      }
+    }
+    if (finite == 0) continue;
+    mean /= static_cast<double>(finite);
+    double var = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::isfinite(col[i])) {
+        double d = col[i] - mean;
+        var += d * d;
+      }
+    }
+    double s = view->scales_[a];
+    variance[a] = var / static_cast<double>(finite) / (s * s);
+  }
+  view->scan_order_.resize(m);
+  std::iota(view->scan_order_.begin(), view->scan_order_.end(), 0);
+  std::sort(view->scan_order_.begin(), view->scan_order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return variance[a] > variance[b] ||
+                     (variance[a] == variance[b] && a < b);
+            });
+  return view;
+}
+
+std::vector<double> ColumnarView::QueryCoords(const Tuple& query) const {
+  std::vector<double> q(arity_);
+  for (std::size_t a = 0; a < arity_; ++a) q[a] = query[a].num();
+  return q;
+}
+
+double FlatKernel::Distance(std::size_t row) const {
+  const ColumnarView& v = *view_;
+  const std::size_t m = v.arity();
+  const bool unit = v.unit_scales();
+  switch (v.norm()) {
+    case LpNorm::kL2: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q_[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    }
+    case LpNorm::kL1: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q_[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc += d;
+      }
+      return acc;
+    }
+    case LpNorm::kLInf: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q_[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc = std::max(acc, d);
+      }
+      return acc;
+    }
+  }
+  return 0;
+}
+
+double FlatKernel::DistanceWithin(std::size_t row, double threshold) const {
+  const ColumnarView& v = *view_;
+  const bool unit = v.unit_scales();
+  switch (v.norm()) {
+    case LpNorm::kL2: {
+      // Fast pass, high-variance attributes first: running d² against ε²,
+      // rejecting past the slackened threshold (certain reject — see
+      // kCertainRejectSlack), no sqrt on the reject path. Survivors are
+      // recomputed in canonical order with the exact LpAccumulator
+      // semantics (threshold check after every add, one sqrt on accept) so
+      // the returned value is bit-identical to the scalar reference.
+      const double thr_sq = threshold * threshold;
+      return RowWithinL2(v, q_.data(), row, thr_sq,
+                         thr_sq * kCertainRejectSlack, unit);
+    }
+    case LpNorm::kL1:
+      return RowWithinL1(v, q_.data(), row, threshold,
+                         threshold * kCertainRejectSlack, unit);
+    case LpNorm::kLInf:
+      // max is order-independent (NaN terms drop out of std::max exactly as
+      // in LpAccumulator), so one pass in scan order is already exact.
+      return RowWithinLInf(v, q_.data(), row, threshold, unit);
+  }
+  return 0;
+}
+
+void FlatKernel::CollectWithin(double epsilon, std::vector<std::size_t>* rows,
+                               std::vector<double>* distances) const {
+  ScanWithin(*view_, q_.data(), epsilon, [&](std::size_t row, double d) {
+    rows->push_back(row);
+    distances->push_back(d);
+  });
+}
+
+std::size_t FlatKernel::CountWithin(double epsilon) const {
+  std::size_t count = 0;
+  ScanWithin(*view_, q_.data(), epsilon,
+             [&](std::size_t, double) { ++count; });
+  return count;
+}
+
+double FlatKernel::DistanceOn(const AttributeSet& x, std::size_t row) const {
+  const ColumnarView& v = *view_;
+  const bool unit = v.unit_scales();
+  LpAccumulator acc(v.norm());
+  for (std::uint64_t bits = MaskedBits(x, v.arity()); bits != 0;
+       bits &= bits - 1) {
+    const auto a = static_cast<std::size_t>(std::countr_zero(bits));
+    double d = std::fabs(q_[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc.Add(d);
+  }
+  return acc.Total();
+}
+
+double FlatKernel::DistanceOnWithin(const AttributeSet& x, std::size_t row,
+                                    double threshold) const {
+  const ColumnarView& v = *view_;
+  const bool unit = v.unit_scales();
+  LpAccumulator acc(v.norm());
+  for (std::uint64_t bits = MaskedBits(x, v.arity()); bits != 0;
+       bits &= bits - 1) {
+    const auto a = static_cast<std::size_t>(std::countr_zero(bits));
+    double d = std::fabs(q_[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc.Add(d);
+    if (acc.Exceeds(threshold)) return kInf;
+  }
+  return acc.Total();
+}
+
+void FlatKernel::FillAttributeDistances(std::size_t a, double* out) const {
+  const ColumnarView& v = *view_;
+  const double* col = v.column(a);
+  const double q = q_[a];
+  const double scale = v.scale(a);
+  const std::size_t n = v.rows();
+  if (scale == 1.0) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::fabs(q - col[i]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = std::fabs(q - col[i]) / scale;
+  }
+}
+
+}  // namespace disc

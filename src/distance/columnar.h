@@ -1,0 +1,146 @@
+#ifndef DISC_DISTANCE_COLUMNAR_H_
+#define DISC_DISTANCE_COLUMNAR_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/relation.h"
+#include "common/tuple.h"
+#include "distance/evaluator.h"
+#include "distance/lp_norm.h"
+
+namespace disc {
+
+/// Columnar (structure-of-arrays) snapshot of an all-numeric Relation for
+/// the flat distance kernels.
+///
+/// The scalar distance path walks variant-typed `Value`s and pays a virtual
+/// `AttributeMetric::Distance` call per attribute per pair. When every
+/// metric is a scaled absolute difference and every attribute is numeric,
+/// distances reduce to arithmetic over raw double arrays; ColumnarView
+/// flattens the relation into contiguous per-attribute columns once (at
+/// index/saver build time) so the hot O(n·m) scans stream through memory
+/// with no dispatch and no unwrapping.
+///
+/// Determinism contract: the kernels perform exactly the operations of the
+/// scalar path — `|q − v| / scale` per attribute, aggregated in canonical
+/// (increasing attribute) order by the LpAccumulator recurrence — so every
+/// returned distance, and every ≤/> threshold verdict, is bit-identical to
+/// `DistanceEvaluator`. The early-exit fast scan (see FlatKernel) only ever
+/// rejects pairs the scalar path would also reject.
+///
+/// Thread-safety: immutable after Build(); safe for concurrent const use
+/// (same contract as the NeighborIndex implementations, DESIGN.md §5).
+class ColumnarView {
+ public:
+  /// Eligibility for the fast path: the schema is all-numeric and
+  /// non-empty, no wider than AttributeSet::kCapacity (the subset kernels
+  /// key on bitmasks), and every evaluator metric is a scaled absolute
+  /// difference. String attributes or custom metrics fall back to the
+  /// scalar reference path.
+  static bool Eligible(const Relation& relation,
+                       const DistanceEvaluator& evaluator);
+
+  /// Builds a view, or returns nullptr when `relation` is not Eligible.
+  static std::unique_ptr<ColumnarView> Build(
+      const Relation& relation, const DistanceEvaluator& evaluator);
+
+  /// Number of rows n.
+  std::size_t rows() const { return rows_; }
+  /// Number of attributes m.
+  std::size_t arity() const { return arity_; }
+  /// The aggregation norm (copied from the evaluator).
+  LpNorm norm() const { return norm_; }
+  /// Contiguous column of attribute `a` (n doubles).
+  const double* column(std::size_t a) const {
+    return data_.data() + a * rows_;
+  }
+  /// The metric scale of attribute `a` (divides the raw difference).
+  double scale(std::size_t a) const { return scales_[a]; }
+  /// True iff every attribute scale is exactly 1 (lets the kernels skip
+  /// the division).
+  bool unit_scales() const { return unit_scales_; }
+
+  /// Attribute permutation scanned by the early-exit kernels: highest
+  /// scaled variance first, so far-apart pairs overshoot the threshold in
+  /// the first few attributes. Pure heuristic — it never changes results,
+  /// only how soon a certain reject fires.
+  std::span<const std::size_t> scan_order() const { return scan_order_; }
+
+  /// Extracts a query tuple's coordinates (must be all-numeric and of
+  /// matching arity — guaranteed for tuples over an eligible schema).
+  std::vector<double> QueryCoords(const Tuple& query) const;
+
+ private:
+  ColumnarView() = default;
+
+  std::size_t rows_ = 0;
+  std::size_t arity_ = 0;
+  LpNorm norm_ = LpNorm::kL2;
+  bool unit_scales_ = true;
+  std::vector<double> data_;  ///< column-major: column a at [a*n, (a+1)*n)
+  std::vector<double> scales_;
+  std::vector<std::size_t> scan_order_;
+};
+
+/// Distance kernel binding one query point to a ColumnarView. Cheap to
+/// construct (copies m doubles); make one per query, then evaluate any
+/// number of rows. All methods are bit-identical to the corresponding
+/// DistanceEvaluator calls with the query as t1 and the indexed row as t2.
+class FlatKernel {
+ public:
+  FlatKernel(const ColumnarView& view, const Tuple& query)
+      : view_(&view), q_(view.QueryCoords(query)) {}
+  FlatKernel(const ColumnarView& view, std::vector<double> query_coords)
+      : view_(&view), q_(std::move(query_coords)) {}
+
+  /// Full-tuple distance Δ(q, t_row) — canonical order, no early exit.
+  double Distance(std::size_t row) const;
+
+  /// Full-tuple distance with early exit: +infinity as soon as the pair is
+  /// certainly beyond `threshold`, the exact (canonical-order) distance
+  /// otherwise. For L2 the scan compares running d² against ε² and takes a
+  /// single sqrt only on accept. Verdicts and accepted values are
+  /// bit-identical to DistanceEvaluator::DistanceWithin.
+  double DistanceWithin(std::size_t row, double threshold) const;
+
+  /// Subset distance Δ(q[X], t_row[X]) — canonical order over X.
+  double DistanceOn(const AttributeSet& x, std::size_t row) const;
+
+  /// Subset distance with early exit past `threshold` (+infinity), matching
+  /// DistanceEvaluator::DistanceOnWithin bit for bit.
+  double DistanceOnWithin(const AttributeSet& x, std::size_t row,
+                          double threshold) const;
+
+  /// Batch range scan over all n rows: appends every row with
+  /// Δ(q, t_row) ≤ epsilon to `rows` and its distance to `distances`
+  /// (parallel arrays, ascending row order). Verdicts and distances are
+  /// bit-identical to calling DistanceWithin(row, epsilon) per row; the
+  /// batch form keeps the O(n) loop inside the kernel so the threshold
+  /// constants and norm dispatch are hoisted out of the per-row path.
+  void CollectWithin(double epsilon, std::vector<std::size_t>* rows,
+                     std::vector<double>* distances) const;
+
+  /// Batch count: the number of rows with Δ(q, t_row) ≤ epsilon, without
+  /// materializing the matches. Same verdicts as CollectWithin.
+  std::size_t CountWithin(double epsilon) const;
+
+  /// Fills `out[i] = Δ(q[a], t_i[a])` for all n rows of attribute `a` —
+  /// the memoized per-attribute rows of SearchDistanceCache.
+  void FillAttributeDistances(std::size_t a, double* out) const;
+
+  /// The bound view.
+  const ColumnarView& view() const { return *view_; }
+  /// The query coordinates.
+  std::span<const double> query() const { return q_; }
+
+ private:
+  const ColumnarView* view_;
+  std::vector<double> q_;
+};
+
+}  // namespace disc
+
+#endif  // DISC_DISTANCE_COLUMNAR_H_

@@ -48,4 +48,42 @@ double DistanceEvaluator::DistanceWithin(const Tuple& t1, const Tuple& t2,
   return acc.Total();
 }
 
+double DistanceEvaluator::DistanceOnWithin(const AttributeSet& x,
+                                           const Tuple& t1, const Tuple& t2,
+                                           double threshold) const {
+  LpAccumulator acc(norm_);
+  for (std::size_t a = 0; a < metrics_.size(); ++a) {
+    if (!x.contains(a)) continue;
+    acc.Add(metrics_[a]->Distance(t1[a], t2[a]));
+    if (acc.Exceeds(threshold)) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return acc.Total();
+}
+
+bool DistanceEvaluator::AllScaledAbsoluteDifference(
+    std::vector<double>* scales) const {
+  if (scales != nullptr) {
+    scales->clear();
+    scales->reserve(metrics_.size());
+  }
+  for (const auto& metric : metrics_) {
+    double scale = 1.0;
+    if (!metric->IsScaledAbsoluteDifference(&scale)) return false;
+    if (scales != nullptr) scales->push_back(scale);
+  }
+  return true;
+}
+
+bool DistanceEvaluator::AllUnitAbsoluteDifference() const {
+  for (const auto& metric : metrics_) {
+    double scale = 1.0;
+    if (!metric->IsScaledAbsoluteDifference(&scale) || scale != 1.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace disc

@@ -56,6 +56,28 @@ class DistanceEvaluator {
   double DistanceWithin(const Tuple& t1, const Tuple& t2,
                         double threshold) const;
 
+  /// Subset distance with early exit: like DistanceOn, but returns
+  /// +infinity as soon as the running aggregate exceeds `threshold`.
+  /// Because per-attribute distances are non-negative and the Lp aggregate
+  /// is monotone in adds, the ≤/> `threshold` verdict is identical to
+  /// computing DistanceOn fully — only the work stops earlier (the
+  /// band-membership checks of Propositions 3/5 scan O(n) rows and mostly
+  /// reject).
+  double DistanceOnWithin(const AttributeSet& x, const Tuple& t1,
+                          const Tuple& t2, double threshold) const;
+
+  /// The metric for attribute `a` (introspection for fast paths).
+  const AttributeMetric& metric(std::size_t a) const { return *metrics_[a]; }
+
+  /// True iff every attribute metric is a scaled absolute difference —
+  /// the columnar fast path's eligibility test. When true and `scales` is
+  /// non-null, fills it with the per-attribute scales.
+  bool AllScaledAbsoluteDifference(std::vector<double>* scales = nullptr) const;
+
+  /// True iff every attribute metric is the unit-scale absolute difference
+  /// (what KdTree / GridIndex hard-code).
+  bool AllUnitAbsoluteDifference() const;
+
   /// Replaces the metric for attribute `a`.
   void SetMetric(std::size_t a, std::unique_ptr<AttributeMetric> metric) {
     metrics_[a] = std::move(metric);

@@ -1,38 +1,11 @@
 #include "distance/lp_norm.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace disc {
 
 double AggregateDistances(std::span<const double> per_attribute, LpNorm norm) {
   LpAccumulator acc(norm);
   for (double d : per_attribute) acc.Add(d);
   return acc.Total();
-}
-
-void LpAccumulator::Add(double d) {
-  switch (norm_) {
-    case LpNorm::kL1:
-      acc_ += d;
-      break;
-    case LpNorm::kL2:
-      acc_ += d * d;
-      break;
-    case LpNorm::kLInf:
-      acc_ = std::max(acc_, d);
-      break;
-  }
-}
-
-double LpAccumulator::Total() const {
-  if (norm_ == LpNorm::kL2) return std::sqrt(acc_);
-  return acc_;
-}
-
-bool LpAccumulator::Exceeds(double threshold) const {
-  if (norm_ == LpNorm::kL2) return acc_ > threshold * threshold;
-  return acc_ > threshold;
 }
 
 }  // namespace disc

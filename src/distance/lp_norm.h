@@ -1,6 +1,8 @@
 #ifndef DISC_DISTANCE_LP_NORM_H_
 #define DISC_DISTANCE_LP_NORM_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <span>
 
@@ -27,15 +29,37 @@ class LpAccumulator {
  public:
   explicit LpAccumulator(LpNorm norm) : norm_(norm) {}
 
+  // Defined inline: these run once per attribute inside every distance
+  // computation in the system, so a call per Add would dominate the hot
+  // loops (the branch on norm_ is loop-invariant and predicted away).
+
   /// Adds one per-attribute distance.
-  void Add(double d);
+  void Add(double d) {
+    switch (norm_) {
+      case LpNorm::kL1:
+        acc_ += d;
+        break;
+      case LpNorm::kL2:
+        acc_ += d * d;
+        break;
+      case LpNorm::kLInf:
+        acc_ = std::max(acc_, d);
+        break;
+    }
+  }
 
   /// The aggregate of everything added so far.
-  double Total() const;
+  double Total() const {
+    if (norm_ == LpNorm::kL2) return std::sqrt(acc_);
+    return acc_;
+  }
 
   /// True iff the aggregate already exceeds `threshold` (monotone in adds,
   /// so once true it stays true).
-  bool Exceeds(double threshold) const;
+  bool Exceeds(double threshold) const {
+    if (norm_ == LpNorm::kL2) return acc_ > threshold * threshold;
+    return acc_ > threshold;
+  }
 
  private:
   LpNorm norm_;

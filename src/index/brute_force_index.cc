@@ -2,25 +2,61 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace disc {
+
+namespace {
+
+/// (distance, then row) — the reported neighbor order, and the "is a better
+/// neighbor" relation for the bounded kNN heap.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance ||
+         (a.distance == b.distance && a.row < b.row);
+}
+
+}  // namespace
 
 std::vector<Neighbor> BruteForceIndex::RangeQuery(const Tuple& query,
                                                   double epsilon) const {
   std::vector<Neighbor> out;
-  for (std::size_t row = 0; row < relation_.size(); ++row) {
-    double d = evaluator_.DistanceWithin(query, relation_[row], epsilon);
-    if (d <= epsilon) out.push_back({row, d});
+  if (columnar_ != nullptr) {
+    // Batch scan: the row loop lives inside the kernel (one tight loop per
+    // norm), with per-row verdicts identical to the scalar path below.
+    FlatKernel kernel(*columnar_, query);
+    std::vector<std::size_t> rows;
+    std::vector<double> distances;
+    kernel.CollectWithin(epsilon, &rows, &distances);
+    out.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out.push_back({rows[i], distances[i]});
+    }
+  } else {
+    for (std::size_t row = 0; row < relation_.size(); ++row) {
+      double d = evaluator_.DistanceWithin(query, relation_[row], epsilon);
+      if (d <= epsilon) out.push_back({row, d});
+    }
   }
-  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance || (a.distance == b.distance && a.row < b.row);
-  });
+  std::sort(out.begin(), out.end(), NeighborLess);
   return out;
 }
 
 std::size_t BruteForceIndex::CountWithin(const Tuple& query, double epsilon,
                                          std::size_t cap) const {
   std::size_t count = 0;
+  if (columnar_ != nullptr) {
+    FlatKernel kernel(*columnar_, query);
+    // The batch count scans every row, so it only applies to uncapped
+    // queries; a cap means the caller wants to stop counting early.
+    if (cap == 0) return kernel.CountWithin(epsilon);
+    for (std::size_t row = 0; row < relation_.size(); ++row) {
+      if (kernel.DistanceWithin(row, epsilon) <= epsilon) {
+        ++count;
+        if (count >= cap) return count;
+      }
+    }
+    return count;
+  }
   for (std::size_t row = 0; row < relation_.size(); ++row) {
     double d = evaluator_.DistanceWithin(query, relation_[row], epsilon);
     if (d <= epsilon) {
@@ -33,22 +69,42 @@ std::size_t BruteForceIndex::CountWithin(const Tuple& query, double epsilon,
 
 std::vector<Neighbor> BruteForceIndex::KNearest(const Tuple& query,
                                                 std::size_t k) const {
-  std::vector<Neighbor> all;
-  all.reserve(relation_.size());
-  for (std::size_t row = 0; row < relation_.size(); ++row) {
-    all.push_back({row, evaluator_.Distance(query, relation_[row])});
-  }
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance || (a.distance == b.distance && a.row < b.row);
+  // Bounded max-heap of the k best neighbors seen so far (front = worst of
+  // them under the (distance, row) order). O(n log k), no n-sized
+  // materialization. Once the heap is full, its worst distance becomes the
+  // early-exit threshold: a candidate strictly beyond it cannot enter (even
+  // the row tie-break needs distance equality, and DistanceWithin's exceed
+  // test is strict), so the selected set matches a full sort exactly.
+  std::vector<Neighbor> heap;
+  if (k == 0) return heap;
+  heap.reserve(std::min(k, relation_.size()));
+  const double inf = std::numeric_limits<double>::infinity();
+  auto offer = [&](std::size_t row, auto&& distance_within) {
+    double worst = heap.size() < k ? inf : heap.front().distance;
+    Neighbor cand{row, distance_within(worst)};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), NeighborLess);
+    } else if (NeighborLess(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), NeighborLess);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), NeighborLess);
+    }
   };
-  if (k < all.size()) {
-    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
-                      all.end(), cmp);
-    all.resize(k);
+  if (columnar_ != nullptr) {
+    FlatKernel kernel(*columnar_, query);
+    for (std::size_t row = 0; row < relation_.size(); ++row) {
+      offer(row, [&](double worst) { return kernel.DistanceWithin(row, worst); });
+    }
   } else {
-    std::sort(all.begin(), all.end(), cmp);
+    for (std::size_t row = 0; row < relation_.size(); ++row) {
+      offer(row, [&](double worst) {
+        return evaluator_.DistanceWithin(query, relation_[row], worst);
+      });
+    }
   }
-  return all;
+  std::sort(heap.begin(), heap.end(), NeighborLess);
+  return heap;
 }
 
 }  // namespace disc

@@ -1,9 +1,11 @@
 #ifndef DISC_INDEX_BRUTE_FORCE_INDEX_H_
 #define DISC_INDEX_BRUTE_FORCE_INDEX_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/relation.h"
+#include "distance/columnar.h"
 #include "distance/evaluator.h"
 #include "index/neighbor_index.h"
 
@@ -12,11 +14,21 @@ namespace disc {
 /// Linear-scan neighbor index. Works for any schema (numeric or string
 /// attributes) and any metric; O(n·m) per query. The reference
 /// implementation the tree/grid indexes are validated against.
+///
+/// When the relation is all-numeric and every metric is a scaled absolute
+/// difference (ColumnarView::Eligible), queries run on the columnar flat
+/// kernels — contiguous double arrays, no virtual dispatch, squared-threshold
+/// early exit — with bit-identical results to the scalar path.
 class BruteForceIndex : public NeighborIndex {
  public:
   /// Indexes `relation`; both references must outlive the index.
-  BruteForceIndex(const Relation& relation, const DistanceEvaluator& evaluator)
-      : relation_(relation), evaluator_(evaluator) {}
+  /// `enable_fast_path` exists for tests and benchmarks that need the
+  /// scalar reference path on data that would qualify for the columnar one.
+  BruteForceIndex(const Relation& relation, const DistanceEvaluator& evaluator,
+                  bool enable_fast_path = true)
+      : relation_(relation), evaluator_(evaluator) {
+    if (enable_fast_path) columnar_ = ColumnarView::Build(relation, evaluator);
+  }
 
   std::size_t size() const override { return relation_.size(); }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
@@ -26,9 +38,14 @@ class BruteForceIndex : public NeighborIndex {
   std::vector<Neighbor> KNearest(const Tuple& query,
                                  std::size_t k) const override;
 
+  /// The columnar view backing the fast path, or null when the relation is
+  /// ineligible (or the fast path was disabled).
+  const ColumnarView* columnar_view() const { return columnar_.get(); }
+
  private:
   const Relation& relation_;
   const DistanceEvaluator& evaluator_;
+  std::unique_ptr<ColumnarView> columnar_;
 };
 
 }  // namespace disc

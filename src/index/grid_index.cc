@@ -7,13 +7,17 @@
 namespace disc {
 
 GridIndex::GridIndex(const Relation& relation, double cell_size, LpNorm norm)
-    : dims_(relation.arity()), cell_size_(cell_size), norm_(norm) {
-  points_.reserve(relation.size());
-  for (const Tuple& t : relation) {
-    points_.push_back(Coords(t));
+    : dims_(relation.arity()),
+      size_(relation.size()),
+      cell_size_(cell_size),
+      norm_(norm) {
+  coords_.resize(size_ * dims_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Tuple& t = relation[i];
+    for (std::size_t a = 0; a < dims_; ++a) coords_[i * dims_ + a] = t[a].num();
   }
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    cells_[KeyFor(points_[i])].push_back(i);
+  for (std::size_t i = 0; i < size_; ++i) {
+    cells_[KeyFor(coords_.data() + i * dims_)].push_back(i);
   }
 }
 
@@ -23,7 +27,7 @@ std::vector<double> GridIndex::Coords(const Tuple& t) const {
   return coords;
 }
 
-GridIndex::CellKey GridIndex::KeyFor(const std::vector<double>& coords) const {
+GridIndex::CellKey GridIndex::KeyFor(const double* coords) const {
   // Hash-combine the per-axis cell indices into a 64-bit key.
   CellKey key = 1469598103934665603ull;  // FNV offset basis
   for (std::size_t a = 0; a < dims_; ++a) {
@@ -34,12 +38,16 @@ GridIndex::CellKey GridIndex::KeyFor(const std::vector<double>& coords) const {
   return key;
 }
 
-double GridIndex::PointDistance(const std::vector<double>& query,
-                                std::size_t point) const {
+double GridIndex::PointDistanceWithin(const std::vector<double>& query,
+                                      std::size_t point,
+                                      double threshold) const {
   LpAccumulator acc(norm_);
-  const std::vector<double>& p = points_[point];
+  const double* p = coords_.data() + point * dims_;
   for (std::size_t a = 0; a < dims_; ++a) {
     acc.Add(std::fabs(query[a] - p[a]));
+    if (acc.Exceeds(threshold)) {
+      return std::numeric_limits<double>::infinity();
+    }
   }
   return acc.Total();
 }
@@ -53,8 +61,8 @@ void GridIndex::VisitNearbyCells(const std::vector<double>& query,
   double probes = 1;
   for (std::size_t a = 0; a < dims_; ++a) {
     probes *= 2.0 * radius_cells + 1.0;
-    if (probes > static_cast<double>(points_.size()) + 64.0) {
-      for (std::size_t row = 0; row < points_.size(); ++row) {
+    if (probes > static_cast<double>(size_) + 64.0) {
+      for (std::size_t row = 0; row < size_; ++row) {
         if (!visit(row)) return;
       }
       return;
@@ -72,7 +80,7 @@ void GridIndex::VisitNearbyCells(const std::vector<double>& query,
     for (std::size_t a = 0; a < dims_; ++a) {
       probe[a] = (static_cast<double>(base[a] + offset[a]) + 0.5) * cell_size_;
     }
-    auto it = cells_.find(KeyFor(probe));
+    auto it = cells_.find(KeyFor(probe.data()));
     if (it != cells_.end()) {
       for (std::size_t row : it->second) {
         if (!visit(row)) return;
@@ -95,7 +103,7 @@ std::vector<Neighbor> GridIndex::RangeQuery(const Tuple& query,
   std::vector<double> q = Coords(query);
   int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
   VisitNearbyCells(q, radius, [&](std::size_t row) {
-    double d = PointDistance(q, row);
+    double d = PointDistanceWithin(q, row, epsilon);
     if (d <= epsilon) out.push_back({row, d});
     return true;
   });
@@ -112,7 +120,7 @@ std::size_t GridIndex::CountWithin(const Tuple& query, double epsilon,
   int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
   std::size_t count = 0;
   VisitNearbyCells(q, radius, [&](std::size_t row) {
-    if (PointDistance(q, row) <= epsilon) {
+    if (PointDistanceWithin(q, row, epsilon) <= epsilon) {
       ++count;
       if (cap != 0 && count >= cap) return false;
     }
@@ -125,7 +133,7 @@ std::vector<Neighbor> GridIndex::KNearest(const Tuple& query,
                                           std::size_t k) const {
   // Grow the search radius ring by ring until k are found and the next ring
   // cannot improve. Falls back to a full scan in the worst case.
-  if (k == 0 || points_.empty()) return {};
+  if (k == 0 || size_ == 0) return {};
   std::vector<double> q = Coords(query);
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
     return a.distance < b.distance ||
@@ -139,12 +147,13 @@ std::vector<Neighbor> GridIndex::KNearest(const Tuple& query,
       return hits;
     }
     // All points fit within the scanned area? Then return what we have.
-    if (static_cast<std::size_t>(radius) * 2 >
-        points_.size() + 2 * dims_ + 64) {
+    if (static_cast<std::size_t>(radius) * 2 > size_ + 2 * dims_ + 64) {
       std::vector<Neighbor> all;
-      all.reserve(points_.size());
-      for (std::size_t row = 0; row < points_.size(); ++row) {
-        all.push_back({row, PointDistance(q, row)});
+      all.reserve(size_);
+      for (std::size_t row = 0; row < size_; ++row) {
+        all.push_back(
+            {row, PointDistanceWithin(
+                      q, row, std::numeric_limits<double>::infinity())});
       }
       std::sort(all.begin(), all.end(), cmp);
       if (k < all.size()) all.resize(k);

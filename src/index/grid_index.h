@@ -25,7 +25,7 @@ class GridIndex : public NeighborIndex {
   /// Grids stay efficient only in very low dimension.
   static constexpr std::size_t kMaxGridDims = 4;
 
-  std::size_t size() const override { return points_.size(); }
+  std::size_t size() const override { return size_; }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
                                    double epsilon) const override;
   std::size_t CountWithin(const Tuple& query, double epsilon,
@@ -36,10 +36,13 @@ class GridIndex : public NeighborIndex {
  private:
   using CellKey = std::uint64_t;
 
-  CellKey KeyFor(const std::vector<double>& coords) const;
+  CellKey KeyFor(const double* coords) const;
   std::vector<double> Coords(const Tuple& t) const;
-  double PointDistance(const std::vector<double>& query,
-                       std::size_t point) const;
+  /// Distance with early exit: +infinity as soon as the running aggregate
+  /// exceeds `threshold`, the exact distance otherwise — same recurrence as
+  /// DistanceEvaluator::DistanceWithin (bit-identical verdicts).
+  double PointDistanceWithin(const std::vector<double>& query,
+                             std::size_t point, double threshold) const;
 
   /// Visits every point in cells within `radius_cells` of the query cell.
   template <typename Visitor>
@@ -47,9 +50,10 @@ class GridIndex : public NeighborIndex {
                         Visitor&& visit) const;
 
   std::size_t dims_ = 0;
+  std::size_t size_ = 0;
   double cell_size_ = 1;
   LpNorm norm_;
-  std::vector<std::vector<double>> points_;
+  std::vector<double> coords_;  // flat row-major, point i at [i*m, (i+1)*m)
   std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
 };
 

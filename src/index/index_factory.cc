@@ -9,8 +9,13 @@ namespace disc {
 std::unique_ptr<NeighborIndex> MakeNeighborIndex(
     const Relation& relation, const DistanceEvaluator& evaluator,
     double epsilon_hint, bool force_brute_force) {
+  // KdTree / GridIndex hard-code the unit-scale absolute-difference metric;
+  // any other evaluator configuration (custom metrics, non-unit scales)
+  // must go through BruteForceIndex — which engages its own columnar fast
+  // path whenever the relation is all-numeric with scaled-abs-diff metrics.
   if (force_brute_force || !relation.schema().all_numeric() ||
-      relation.arity() == 0 || relation.arity() > 63) {
+      relation.arity() == 0 || relation.arity() > 63 ||
+      !evaluator.AllUnitAbsoluteDifference()) {
     return std::make_unique<BruteForceIndex>(relation, evaluator);
   }
   if (epsilon_hint > 0 && relation.arity() <= GridIndex::kMaxGridDims) {

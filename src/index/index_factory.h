@@ -16,8 +16,10 @@ namespace disc {
 ///  - BruteForceIndex otherwise (string attributes or custom metrics).
 ///
 /// The KdTree/GridIndex fast paths assume the evaluator uses the default
-/// unit-scale absolute-difference metric per attribute; pass
-/// `force_brute_force` when that does not hold.
+/// unit-scale absolute-difference metric per attribute; when that does not
+/// hold the factory detects it (metric introspection) and falls back to
+/// BruteForceIndex automatically. `force_brute_force` still forces the
+/// fallback explicitly (e.g. for reference comparisons in tests).
 std::unique_ptr<NeighborIndex> MakeNeighborIndex(
     const Relation& relation, const DistanceEvaluator& evaluator,
     double epsilon_hint = 0, bool force_brute_force = false);

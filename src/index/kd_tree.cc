@@ -8,16 +8,16 @@ namespace disc {
 
 KdTree::KdTree(const Relation& relation, LpNorm norm) : norm_(norm) {
   dims_ = relation.arity();
-  points_.reserve(relation.size());
-  for (const Tuple& t : relation) {
-    std::vector<double> coords(dims_);
-    for (std::size_t a = 0; a < dims_; ++a) coords[a] = t[a].num();
-    points_.push_back(std::move(coords));
+  size_ = relation.size();
+  coords_.resize(size_ * dims_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Tuple& t = relation[i];
+    for (std::size_t a = 0; a < dims_; ++a) coords_[i * dims_ + a] = t[a].num();
   }
-  order_.resize(points_.size());
+  order_.resize(size_);
   for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-  if (!points_.empty()) {
-    root_ = Build(0, points_.size(), 0);
+  if (size_ > 0) {
+    root_ = Build(0, size_, 0);
   }
 }
 
@@ -38,7 +38,7 @@ int KdTree::Build(std::size_t begin, std::size_t end, std::size_t depth) {
     double lo = std::numeric_limits<double>::infinity();
     double hi = -lo;
     for (std::size_t i = begin; i < end; ++i) {
-      double v = points_[order_[i]][axis];
+      double v = Coord(order_[i], axis);
       lo = std::min(lo, v);
       hi = std::max(hi, v);
     }
@@ -54,9 +54,9 @@ int KdTree::Build(std::size_t begin, std::size_t end, std::size_t depth) {
                    order_.begin() + static_cast<std::ptrdiff_t>(mid),
                    order_.begin() + static_cast<std::ptrdiff_t>(end),
                    [&](std::size_t a, std::size_t b) {
-                     return points_[a][best_axis] < points_[b][best_axis];
+                     return Coord(a, best_axis) < Coord(b, best_axis);
                    });
-  node.split = points_[order_[mid]][best_axis];
+  node.split = Coord(order_[mid], best_axis);
 
   int self = static_cast<int>(nodes_.size());
   nodes_.push_back(node);
@@ -67,12 +67,15 @@ int KdTree::Build(std::size_t begin, std::size_t end, std::size_t depth) {
   return self;
 }
 
-double KdTree::PointDistance(const std::vector<double>& query,
-                             std::size_t point) const {
+double KdTree::PointDistanceWithin(const std::vector<double>& query,
+                                   std::size_t point, double threshold) const {
   LpAccumulator acc(norm_);
-  const std::vector<double>& p = points_[point];
+  const double* p = coords_.data() + point * dims_;
   for (std::size_t a = 0; a < dims_; ++a) {
     acc.Add(std::fabs(query[a] - p[a]));
+    if (acc.Exceeds(threshold)) {
+      return std::numeric_limits<double>::infinity();
+    }
   }
   return acc.Total();
 }
@@ -89,7 +92,7 @@ void KdTree::RangeSearch(int node_id, const std::vector<double>& query,
   if (node.is_leaf) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
       std::size_t row = order_[i];
-      double d = PointDistance(query, row);
+      double d = PointDistanceWithin(query, row, epsilon);
       if (d <= epsilon) out->push_back({row, d});
     }
     return;
@@ -110,7 +113,7 @@ void KdTree::CountSearch(int node_id, const std::vector<double>& query,
   const Node& node = nodes_[static_cast<std::size_t>(node_id)];
   if (node.is_leaf) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      if (PointDistance(query, order_[i]) <= epsilon) {
+      if (PointDistanceWithin(query, order_[i], epsilon) <= epsilon) {
         ++*count;
         if (cap != 0 && *count >= cap) return;
       }
@@ -136,7 +139,11 @@ void KdTree::KnnSearch(int node_id, const std::vector<double>& query,
   if (node.is_leaf) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
       std::size_t row = order_[i];
-      Neighbor cand{row, PointDistance(query, row)};
+      // A candidate strictly beyond the current worst cannot enter the heap
+      // (the exceed test is strict, so ties still compare exactly by row).
+      double worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                      : heap->front().distance;
+      Neighbor cand{row, PointDistanceWithin(query, row, worst)};
       if (heap->size() < k) {
         heap->push_back(cand);
         std::push_heap(heap->begin(), heap->end(), cmp);

@@ -15,6 +15,12 @@ namespace disc {
 /// O(log n + answer) in low dimensions and degrades gracefully toward a
 /// linear scan as m grows (the usual KD-tree behaviour).
 ///
+/// Coordinates live in one flat row-major array (leaf scans stream through
+/// contiguous memory), and leaf distance checks use the same
+/// threshold-early-exit accumulator semantics as the scalar evaluator
+/// (for L2: running d² against ε², one sqrt only on accept) so verdicts
+/// match BruteForceIndex exactly.
+///
 /// Used automatically by MakeNeighborIndex for numeric relations; falls back
 /// to BruteForceIndex otherwise.
 class KdTree : public NeighborIndex {
@@ -22,7 +28,7 @@ class KdTree : public NeighborIndex {
   /// Builds a balanced tree (median splits) over `relation`.
   explicit KdTree(const Relation& relation, LpNorm norm = LpNorm::kL2);
 
-  std::size_t size() const override { return points_.size(); }
+  std::size_t size() const override { return size_; }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
                                    double epsilon) const override;
   std::size_t CountWithin(const Tuple& query, double epsilon,
@@ -44,8 +50,15 @@ class KdTree : public NeighborIndex {
   static constexpr std::size_t kLeafSize = 16;
 
   int Build(std::size_t begin, std::size_t end, std::size_t depth);
-  double PointDistance(const std::vector<double>& query,
-                       std::size_t point) const;
+  /// Coordinate of `point` on `axis` (flat row-major storage).
+  double Coord(std::size_t point, std::size_t axis) const {
+    return coords_[point * dims_ + axis];
+  }
+  /// Distance with early exit: +infinity as soon as the running aggregate
+  /// exceeds `threshold`, the exact distance otherwise — same recurrence as
+  /// DistanceEvaluator::DistanceWithin (bit-identical verdicts).
+  double PointDistanceWithin(const std::vector<double>& query,
+                             std::size_t point, double threshold) const;
   double AxisGap(double diff) const;
 
   void RangeSearch(int node, const std::vector<double>& query, double epsilon,
@@ -56,9 +69,10 @@ class KdTree : public NeighborIndex {
                  std::vector<Neighbor>* heap) const;
 
   std::size_t dims_ = 0;
+  std::size_t size_ = 0;
   LpNorm norm_;
-  std::vector<std::vector<double>> points_;  // row-major coordinates
-  std::vector<std::size_t> order_;           // permutation of rows
+  std::vector<double> coords_;      // flat row-major, point i at [i*m, (i+1)*m)
+  std::vector<std::size_t> order_;  // permutation of rows
   std::vector<Node> nodes_;
   int root_ = -1;
 };
