@@ -216,6 +216,7 @@ struct SaveTimings {
   bool identical = true;
   std::size_t outliers = 0;
   std::size_t saved = 0;
+  SearchStats stats;  // aggregate work of the fast-path batch
 };
 
 bool SameSaveResults(const std::vector<SaveResult>& a,
@@ -283,6 +284,7 @@ SaveTimings BenchSaveAll(const KernelConfig& cfg) {
   t.identical = SameSaveResults(scalar, fast);
   for (const SaveResult& r : fast) {
     if (r.feasible) ++t.saved;
+    t.stats.MergeFrom(r.stats);
   }
   return t;
 }
@@ -387,6 +389,7 @@ int Run(const KernelConfig& cfg) {
 
   JsonWriter json;
   json.BeginObject();
+  json.Key("schema_version").Uint(2);
   json.Key("bench").String("distance_kernels");
   json.Key("quick").Bool(cfg.quick);
   json.Key("n").Uint(workload.size());
@@ -420,6 +423,9 @@ int Run(const KernelConfig& cfg) {
   json.Key("fast_seconds").Number(save.fast_seconds);
   json.Key("speedup").Number(save.speedup);
   json.Key("bit_identical").Bool(save.identical);
+  json.Key("search_stats").BeginObject();
+  AppendSearchStats(&json, save.stats);
+  json.EndObject();
   json.EndObject();
   json.Key("pipeline");
   json.BeginObject();

@@ -7,8 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
+#include "common/json_writer.h"
 #include "common/random.h"
 #include "core/disc_saver.h"
 #include "index/brute_force_index.h"
@@ -129,7 +132,56 @@ void BM_BoundsUpperBound(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundsUpperBound);
 
+/// Writes BENCH_micro_core.json: the search-work counters of one
+/// representative kappa-restricted DISC save (the BM_DiscSave workload),
+/// so the CI perf-smoke job can sanity-check the counter plumbing from a
+/// binary that does not link bench_support. Deterministic by construction
+/// (fixed seeds, single thread); wall_nanos is the only timing field.
+bool WriteMicroCoreJson(const std::string& path) {
+  const std::size_t m = 8;
+  Relation r = MakeInliers(400, m);
+  DistanceEvaluator ev(r.schema());
+  DiscSaver saver(r, ev, {1.5, 5});
+  Tuple outlier(m);
+  for (std::size_t a = 0; a < m; ++a) outlier[a] = Value(0.1);
+  outlier[m - 1] = Value(20.0);
+  SaveOptions opts;
+  opts.kappa = 2;
+  SaveResult res = saver.Save(outlier, opts);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Uint(2);
+  json.Key("bench").String("micro_core");
+  json.Key("inliers").Uint(r.size());
+  json.Key("m").Uint(m);
+  json.Key("kappa").Uint(opts.kappa);
+  json.Key("feasible").Bool(res.feasible);
+  json.Key("search_stats").BeginObject();
+  res.stats.AppendJson(&json);
+  json.EndObject();
+  json.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = json.str() + "\n";
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  return std::fclose(f) == 0 && written == text.size();
+}
+
 }  // namespace
 }  // namespace disc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* json_path = "BENCH_micro_core.json";
+  if (!disc::WriteMicroCoreJson(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

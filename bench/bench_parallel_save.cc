@@ -77,6 +77,7 @@ bool SameResults(const std::vector<SaveResult>& a,
         a[i].cost != b[i].cost ||
         a[i].termination != b[i].termination ||
         a[i].index_queries != b[i].index_queries ||
+        !a[i].stats.SameWork(b[i].stats) ||
         !(a[i].adjusted_attributes == b[i].adjusted_attributes)) {
       return false;
     }
@@ -110,6 +111,7 @@ int Run() {
 
   JsonWriter json;
   json.BeginObject();
+  json.Key("schema_version").Uint(2);
   json.Key("bench").String("parallel_save");
   json.Key("tuples").Uint(s.data.size());
   json.Key("outliers").Uint(outliers.size());
@@ -179,6 +181,21 @@ int Run() {
     json.EndObject();
   }
   json.EndArray();
+
+  // Aggregate search-work counters of the (bit-identical) batch, from the
+  // 1-thread baseline. Schema v2: every work counter deterministic, timing
+  // fields excluded by construction (AppendJson sums wall_nanos only).
+  SearchStats batch_stats;
+  for (const SaveResult& r : baseline) batch_stats.MergeFrom(r.stats);
+  json.Key("search_stats").BeginObject();
+  AppendSearchStats(&json, batch_stats);
+  json.EndObject();
+  std::printf("batch work: %llu nodes expanded, %llu index queries, "
+              "%llu prop3 + %llu prop5 bounds\n",
+              static_cast<unsigned long long>(batch_stats.nodes_expanded),
+              static_cast<unsigned long long>(batch_stats.index_queries),
+              static_cast<unsigned long long>(batch_stats.prop3_bounds),
+              static_cast<unsigned long long>(batch_stats.prop5_bounds));
 
   std::printf("determinism across thread counts: %s\n",
               deterministic ? "OK (bit-identical)" : "MISMATCH");

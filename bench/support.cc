@@ -130,99 +130,8 @@ double Percentile(std::vector<double> values, double p) {
   return values[idx - 1];
 }
 
-void JsonWriter::MaybeComma() {
-  if (after_key_) {
-    after_key_ = false;
-    return;
-  }
-  if (!needs_comma_.empty()) {
-    if (needs_comma_.back()) out_ += ',';
-    needs_comma_.back() = true;
-  }
-}
-
-void JsonWriter::Escaped(const std::string& s) {
-  out_ += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\r': out_ += "\\r"; break;
-      case '\t': out_ += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out_ += StrFormat("\\u%04x", c);
-        } else {
-          out_ += c;
-        }
-    }
-  }
-  out_ += '"';
-}
-
-JsonWriter& JsonWriter::BeginObject() {
-  MaybeComma();
-  out_ += '{';
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndObject() {
-  out_ += '}';
-  needs_comma_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::BeginArray() {
-  MaybeComma();
-  out_ += '[';
-  needs_comma_.push_back(false);
-  return *this;
-}
-
-JsonWriter& JsonWriter::EndArray() {
-  out_ += ']';
-  needs_comma_.pop_back();
-  return *this;
-}
-
-JsonWriter& JsonWriter::Key(const std::string& k) {
-  MaybeComma();
-  Escaped(k);
-  out_ += ':';
-  after_key_ = true;
-  return *this;
-}
-
-JsonWriter& JsonWriter::String(const std::string& v) {
-  MaybeComma();
-  Escaped(v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Number(double v) {
-  MaybeComma();
-  out_ += StrFormat("%.9g", v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Int(long long v) {
-  MaybeComma();
-  out_ += StrFormat("%lld", v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Uint(unsigned long long v) {
-  MaybeComma();
-  out_ += StrFormat("%llu", v);
-  return *this;
-}
-
-JsonWriter& JsonWriter::Bool(bool v) {
-  MaybeComma();
-  out_ += v ? "true" : "false";
-  return *this;
+void AppendSearchStats(JsonWriter* json, const SearchStats& stats) {
+  stats.AppendJson(json);
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {

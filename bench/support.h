@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "clustering/dbscan.h"
+#include "common/json_writer.h"
 #include "cleaning/dorc.h"
 #include "cleaning/eracer.h"
 #include "cleaning/holistic.h"
@@ -82,32 +83,16 @@ std::string Fmt(double v, int decimals = 4);
 /// Returns 0 on an empty sample.
 double Percentile(std::vector<double> values, double p);
 
-/// Minimal streaming JSON writer for machine-readable bench artifacts
-/// (BENCH_*.json). Handles commas and string escaping; the caller is
-/// responsible for well-formed nesting (every Begin* paired with an End*,
-/// Key() before each value inside an object).
-class JsonWriter {
- public:
-  JsonWriter& BeginObject();
-  JsonWriter& EndObject();
-  JsonWriter& BeginArray();
-  JsonWriter& EndArray();
-  JsonWriter& Key(const std::string& k);
-  JsonWriter& String(const std::string& v);
-  JsonWriter& Number(double v);
-  JsonWriter& Int(long long v);
-  JsonWriter& Uint(unsigned long long v);
-  JsonWriter& Bool(bool v);
-  /// The JSON document built so far.
-  const std::string& str() const { return out_; }
+/// The streaming JSON writer for machine-readable bench artifacts
+/// (BENCH_*.json) — now the shared disc::JsonWriter (common/json_writer.h),
+/// also used by the metrics and trace exposition, so every JSON artifact in
+/// the repo renders identically.
+using JsonWriter = ::disc::JsonWriter;
 
- private:
-  void MaybeComma();
-  void Escaped(const std::string& s);
-  std::string out_;
-  std::vector<bool> needs_comma_;
-  bool after_key_ = false;
-};
+/// Appends `stats`' work counters (plus wall_nanos) as keys of the
+/// currently open JSON object — the shared bench schema for search-work
+/// accounting.
+void AppendSearchStats(JsonWriter* json, const SearchStats& stats);
 
 /// Writes `content` to `path`, truncating. Returns false (and prints to
 /// stderr) on failure — benches treat the JSON artifact as best-effort.

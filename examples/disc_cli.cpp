@@ -4,6 +4,7 @@
 //   disc_cli <input.csv> <output.csv> [--epsilon E] [--eta N]
 //            [--kappa K] [--threads T] [--normalize] [--exact]
 //            [--deadline-ms D] [--per-outlier-deadline-ms D]
+//            [--metrics-json PATH] [--trace PATH]
 //
 // Without --epsilon/--eta the constraint is fitted automatically with the
 // Poisson rule of §2.1.2 (p(N(ε) >= η) >= 0.99). --normalize min-max scales
@@ -14,14 +15,21 @@
 // out of time return their best feasible incumbent and the run reports how
 // many outliers degraded (anytime saving — see DESIGN.md).
 // --per-outlier-deadline-ms additionally caps each individual search.
+// --metrics-json PATH attaches a MetricsRegistry to the run and writes its
+// JSON snapshot to PATH on exit (see DESIGN.md §8 for the metric names).
+// --trace PATH streams one JSONL span per outlier search (plus the split
+// phase) to PATH, each span carrying the full SearchStats.
 // Prints a per-outlier report and writes the repaired relation.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/csv.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "constraints/parameter_selection.h"
 #include "core/outlier_saving.h"
 #include "distance/normalization.h"
@@ -32,8 +40,22 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.csv> <output.csv> [--epsilon E] [--eta N]\n"
                "          [--kappa K] [--threads T] [--normalize] [--exact]\n"
-               "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n",
+               "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n"
+               "          [--metrics-json PATH] [--trace PATH]\n",
                argv0);
+}
+
+/// Writes `text` to `path` ("-" or empty = stdout). Returns false on error.
+bool WriteTextTo(const std::string& path, const std::string& text) {
+  if (path.empty() || path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == text.size();
+  return ok;
 }
 
 }  // namespace
@@ -56,8 +78,28 @@ int main(int argc, char** argv) {
   bool use_exact = false;
   long long deadline_ms = 0;
   long long per_outlier_deadline_ms = 0;
+  std::string metrics_json_path;
+  std::string trace_path;
+  bool metrics_requested = false;
+  // Accepts both `--flag PATH` and `--flag=PATH`.
+  auto path_flag = [&](int* i, const char* flag, std::string* out) {
+    const std::size_t flag_len = std::strlen(flag);
+    if (std::strcmp(argv[*i], flag) == 0 && *i + 1 < argc) {
+      *out = argv[++*i];
+      return true;
+    }
+    if (std::strncmp(argv[*i], flag, flag_len) == 0 &&
+        argv[*i][flag_len] == '=') {
+      *out = argv[*i] + flag_len + 1;
+      return true;
+    }
+    return false;
+  };
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
+    if (path_flag(&i, "--metrics-json", &metrics_json_path)) {
+      metrics_requested = true;
+    } else if (path_flag(&i, "--trace", &trace_path)) {
+    } else if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
       epsilon = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--eta") == 0 && i + 1 < argc) {
       eta = static_cast<std::size_t>(std::atoi(argv[++i]));
@@ -118,6 +160,23 @@ int main(int argc, char** argv) {
   options.num_threads = threads;
   options.batch_deadline_ms = deadline_ms;
   options.per_outlier_deadline_ms = per_outlier_deadline_ms;
+
+  // Observability (DESIGN.md §8): the registry attaches globally *before*
+  // the pipeline so the neighbor indexes built inside SaveOutliers resolve
+  // their raw-traffic counters; per-search stats flush into it once per
+  // batch either way.
+  std::unique_ptr<MetricsRegistry> metrics;
+  if (metrics_requested) {
+    metrics = std::make_unique<MetricsRegistry>();
+    AttachGlobalMetrics(metrics.get());
+    options.metrics = metrics.get();
+  }
+  std::unique_ptr<JsonlTraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<JsonlTraceSink>(trace_path);
+    options.trace = trace.get();
+  }
+
   SavedDataset saved = SaveOutliers(working, evaluator, options);
   if (!saved.status.ok()) {
     std::fprintf(stderr, "error saving outliers: %s\n",
@@ -176,5 +235,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote repaired relation to %s\n", output_path.c_str());
-  return 0;
+
+  int exit_code = 0;
+  if (metrics != nullptr) {
+    AttachGlobalMetrics(nullptr);
+    if (WriteTextTo(metrics_json_path, metrics->ToJson())) {
+      if (metrics_json_path != "-" && !metrics_json_path.empty()) {
+        std::printf("wrote metrics snapshot to %s\n",
+                    metrics_json_path.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "error writing metrics to %s\n",
+                   metrics_json_path.c_str());
+      exit_code = 1;
+    }
+  }
+  if (trace != nullptr) {
+    Status trace_status = trace->Close();
+    if (trace_status.ok()) {
+      std::printf("wrote trace to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error writing trace to %s: %s\n",
+                   trace_path.c_str(), trace_status.ToString().c_str());
+      exit_code = 1;
+    }
+  }
+  return exit_code;
 }

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate a JSON (or JSONL) file against a checked-in schema.
+
+Standard library only — CI runners must not need `pip install jsonschema` —
+so this implements exactly the JSON Schema subset the schemas/ directory
+uses: type, const, enum, pattern, required, properties, patternProperties,
+additionalProperties, items, minimum, maximum.
+
+Usage:
+  validate_json.py SCHEMA FILE          # FILE holds one JSON document
+  validate_json.py SCHEMA FILE --jsonl  # every non-empty line is a document
+"""
+
+import json
+import re
+import sys
+
+
+def type_ok(value, expected):
+    """JSON Schema type check; `integer` accepts ints and integral floats."""
+    if isinstance(expected, list):
+        return any(type_ok(value, t) for t in expected)
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return (isinstance(value, int) and not isinstance(value, bool)) or (
+            isinstance(value, float) and value.is_integer()
+        )
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported schema type: {expected!r}")
+
+
+def validate(value, schema, path="$"):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+    if "type" in schema and not type_ok(value, schema["type"]):
+        errors.append(
+            f"{path}: expected type {schema['type']}, got {type(value).__name__}"
+        )
+        return errors  # later keyword checks assume the type matched
+    if isinstance(value, str) and "pattern" in schema:
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        properties = schema.get("properties", {})
+        pattern_properties = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            child_path = f"{path}.{key}"
+            if key in properties:
+                errors.extend(validate(child, properties[key], child_path))
+                continue
+            matched = False
+            for pattern, sub in pattern_properties.items():
+                if re.search(pattern, key):
+                    matched = True
+                    errors.extend(validate(child, sub, child_path))
+            if matched:
+                continue
+            if additional is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(child, additional, child_path))
+    if isinstance(value, list) and "items" in schema:
+        for i, child in enumerate(value):
+            errors.extend(validate(child, schema["items"], f"{path}[{i}]"))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    schema_path, file_path = argv[1], argv[2]
+    jsonl = "--jsonl" in argv[3:]
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(file_path) as f:
+        text = f.read()
+
+    documents = []
+    if jsonl:
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.strip():
+                documents.append((f"line {lineno}", line))
+    else:
+        documents.append((file_path, text))
+    if not documents:
+        print(f"FAIL: {file_path} is empty", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for label, doc in documents:
+        try:
+            value = json.loads(doc)
+        except json.JSONDecodeError as e:
+            print(f"FAIL: {label}: not valid JSON: {e}", file=sys.stderr)
+            failures += 1
+            continue
+        for error in validate(value, schema):
+            print(f"FAIL: {label}: {error}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{file_path}: {failures} schema violation(s)", file=sys.stderr)
+        return 1
+    print(f"{file_path}: OK ({len(documents)} document(s) valid "
+          f"against {schema_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,39 @@
+#ifndef DISC_COMMON_JSON_WRITER_H_
+#define DISC_COMMON_JSON_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace disc {
+
+/// Minimal streaming JSON writer shared by the bench artifacts
+/// (BENCH_*.json), the metrics exposition (disc_cli --metrics-json) and the
+/// JSONL trace sink. Handles commas and string escaping; the caller is
+/// responsible for well-formed nesting (every Begin* paired with an End*,
+/// Key() before each value inside an object).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(const std::string& k);
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Number(double v);
+  JsonWriter& Int(long long v);
+  JsonWriter& Uint(unsigned long long v);
+  JsonWriter& Bool(bool v);
+  /// The JSON document built so far.
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void Escaped(const std::string& s);
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_JSON_WRITER_H_

@@ -1,0 +1,204 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "common/json_writer.h"
+#include "common/stringutil.h"
+
+namespace disc {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_global_metrics{nullptr};
+
+/// One shard pick per thread, computed once: hashing std::this_thread::get_id
+/// on every Add() would dominate the fetch_add itself.
+std::size_t ThisThreadShard(std::size_t shard_count) {
+  static thread_local const std::size_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return hash % shard_count;
+}
+
+/// Formats a double the way the Prometheus text format expects (`+Inf` for
+/// the unbounded bucket, shortest round-trip otherwise is overkill — %g is
+/// what common client libraries emit).
+std::string PromDouble(double v) { return StrFormat("%g", v); }
+
+}  // namespace
+
+std::size_t Counter::ShardIndex() { return ThisThreadShard(kShards); }
+
+Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
+    : name_(std::move(name)), bounds_(std::move(bucket_bounds)),
+      shards_(kShards) {
+  std::sort(bounds_.begin(), bounds_.end());
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size());
+  }
+}
+
+std::size_t Histogram::ShardIndex() { return ThisThreadShard(kShards); }
+
+void Histogram::Observe(double value) {
+  Shard& shard = shards_[ShardIndex()];
+  // First bound >= value; observations beyond the last bound land only in
+  // the implicit +Inf bucket (count minus the cumulative last bound).
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it != bounds_.end()) {
+    std::size_t b = static_cast<std::size_t>(it - bounds_.begin());
+    shard.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double expected = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(expected, expected + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size(), 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < bounds_.size(); ++b) {
+      snap.counts[b] += s.buckets[b].load(std::memory_order_acquire);
+    }
+    snap.count += s.count.load(std::memory_order_acquire);
+    snap.sum += s.sum.load(std::memory_order_acquire);
+  }
+  // Convert per-bucket tallies into cumulative `le` counts.
+  for (std::size_t b = 1; b < snap.counts.size(); ++b) {
+    snap.counts[b] += snap.counts[b - 1];
+  }
+  return snap;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) return nullptr;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    return nullptr;
+  }
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) return nullptr;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(
+                                name, std::move(bucket_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Int(1);
+  json.Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name).Uint(counter->Value());
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name).Int(gauge->Value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->Snap();
+    json.Key(name).BeginObject();
+    json.Key("count").Uint(snap.count);
+    json.Key("sum").Number(snap.sum);
+    json.Key("buckets").BeginArray();
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      json.BeginObject();
+      json.Key("le").Number(snap.bounds[b]);
+      json.Key("count").Uint(snap.counts[b]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + StrFormat("%llu",
+                                  static_cast<unsigned long long>(
+                                      counter->Value())) +
+           "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " +
+           StrFormat("%lld", static_cast<long long>(gauge->Value())) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot snap = histogram->Snap();
+    out += "# TYPE " + name + " histogram\n";
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      out += name + "_bucket{le=\"" + PromDouble(snap.bounds[b]) + "\"} " +
+             StrFormat("%llu",
+                       static_cast<unsigned long long>(snap.counts[b])) +
+             "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           "\n";
+    out += name + "_sum " + StrFormat("%.9g", snap.sum) + "\n";
+    out += name + "_count " +
+           StrFormat("%llu", static_cast<unsigned long long>(snap.count)) +
+           "\n";
+  }
+  return out;
+}
+
+MetricsRegistry* GlobalMetrics() {
+  return g_global_metrics.load(std::memory_order_acquire);
+}
+
+void AttachGlobalMetrics(MetricsRegistry* registry) {
+  g_global_metrics.store(registry, std::memory_order_release);
+}
+
+IndexQueryMetrics IndexQueryMetrics::For(const char* impl) {
+  IndexQueryMetrics metrics;
+  MetricsRegistry* registry = GlobalMetrics();
+  if (registry == nullptr) return metrics;
+  const std::string prefix = std::string("disc_index_") + impl + "_";
+  metrics.range_queries = registry->GetCounter(prefix + "range_queries_total");
+  metrics.count_queries = registry->GetCounter(prefix + "count_queries_total");
+  metrics.knn_queries = registry->GetCounter(prefix + "knn_queries_total");
+  return metrics;
+}
+
+}  // namespace disc

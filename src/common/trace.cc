@@ -1,0 +1,68 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace disc {
+
+std::uint64_t TraceNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+JsonlTraceSink::JsonlTraceSink(std::string path)
+    : path_(std::move(path)), epoch_ns_(TraceNowNs()) {}
+
+JsonlTraceSink::~JsonlTraceSink() { Close(); }
+
+void JsonlTraceSink::Emit(const TraceSpan& span) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("span").String(span.name);
+  // Spans that started before the sink existed clamp to the epoch rather
+  // than wrapping the unsigned subtraction.
+  json.Key("t_ns").Uint(span.start_ns >= epoch_ns_ ? span.start_ns - epoch_ns_
+                                                   : 0);
+  json.Key("dur_ns").Uint(span.duration_ns);
+  for (const auto& [key, value] : span.str_attrs) json.Key(key).String(value);
+  for (const auto& [key, value] : span.int_attrs) json.Key(key).Uint(value);
+  for (const auto& [key, value] : span.num_attrs) json.Key(key).Number(value);
+  json.EndObject();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  buffer_ += json.str();
+  buffer_ += '\n';
+}
+
+bool JsonlTraceSink::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !failed_;
+}
+
+Status JsonlTraceSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return failed_ ? Status::Internal("trace write to " + path_ + " failed")
+                   : Status::OK();
+  }
+  closed_ = true;
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    failed_ = true;
+    return Status::Internal("cannot open trace file " + path_);
+  }
+  std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  std::fclose(f);
+  if (written != buffer_.size()) {
+    failed_ = true;
+    return Status::Internal("short write to trace file " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace disc

@@ -1,0 +1,83 @@
+#ifndef DISC_COMMON_TRACE_H_
+#define DISC_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace disc {
+
+/// One completed span of work on the save-pipeline timeline (DESIGN.md §8).
+/// Timestamps are steady-clock nanoseconds; sinks rebase them onto their own
+/// epoch so a whole run replays as a timeline starting near zero.
+struct TraceSpan {
+  /// Span kind, e.g. "save_all", "split", "save_outlier".
+  std::string name;
+  /// Steady-clock start, nanoseconds since the clock's epoch.
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Attachments, emitted in insertion order.
+  std::vector<std::pair<std::string, std::string>> str_attrs;
+  std::vector<std::pair<std::string, std::uint64_t>> int_attrs;
+  std::vector<std::pair<std::string, double>> num_attrs;
+
+  TraceSpan& Str(std::string key, std::string value) {
+    str_attrs.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  TraceSpan& Int(std::string key, std::uint64_t value) {
+    int_attrs.emplace_back(std::move(key), value);
+    return *this;
+  }
+  TraceSpan& Num(std::string key, double value) {
+    num_attrs.emplace_back(std::move(key), value);
+    return *this;
+  }
+};
+
+/// The current steady clock reading as span-compatible nanoseconds.
+std::uint64_t TraceNowNs();
+
+/// Span consumer. Implementations must accept Emit() from any thread; the
+/// save pipeline itself emits from the merge loop (input order, one thread)
+/// so a run's trace is deterministic in everything except timestamps.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceSpan& span) = 0;
+};
+
+/// JSON-Lines file sink: one object per span, e.g.
+///   {"span":"save_outlier","t_ns":812,"dur_ns":51023,"row":17,
+///    "termination":"completed","nodes_expanded":41,...}
+/// `t_ns` is rebased to the sink's construction time. Lines are buffered and
+/// flushed on Close()/destruction; check ok()/Close() for I/O errors (the
+/// pipeline treats the trace as best-effort and never fails a save on it).
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::string path);
+  ~JsonlTraceSink() override;
+
+  void Emit(const TraceSpan& span) override;
+
+  /// True when the file opened and every write so far succeeded.
+  bool ok() const;
+  /// Flushes and closes; returns the first I/O error, if any. Idempotent.
+  Status Close();
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  std::string buffer_;
+  std::uint64_t epoch_ns_;
+  bool failed_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_TRACE_H_

@@ -63,7 +63,10 @@ double BoundsEngine::GlobalLowerBound(const Tuple& outlier,
   // needed besides the tuple itself.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return 0;
-  if (gauge != nullptr) gauge->queries().Add();
+  if (gauge != nullptr) {
+    ++gauge->stats().index_queries;
+    ++gauge->stats().index_knn_queries;
+  }
   std::vector<Neighbor> nn = index_.KNearest(outlier, needed);
   if (nn.size() < needed) return 0;
   double bound = nn.back().distance - constraint_.epsilon;
@@ -78,7 +81,10 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
   // (η−1 excluding the tuple's self-count).
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return 0;
-  if (gauge != nullptr) gauge->queries().Add();
+  if (gauge != nullptr) {
+    ++gauge->stats().index_queries;
+    ++gauge->stats().prop3_bounds;
+  }
 
   // Collect full-space distances of qualifying inliers; track only the
   // smallest `needed` of them with a max-heap. Band checks pass ε as the
@@ -124,7 +130,10 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
     const SearchDistanceCache* dcache) const {
   const std::size_t arity = evaluator_.arity();
   AttributeSet complement = x.ComplementIn(arity);
-  if (gauge != nullptr) gauge->queries().Add();
+  if (gauge != nullptr) {
+    ++gauge->stats().index_queries;
+    ++gauge->stats().prop5_bounds;
+  }
 
   // Two donor candidates per X:
   //  (a) the Proposition-5 qualified donor — δ_η(t) ≤ ε − Δ(t_o[X], t[X])
@@ -202,7 +211,11 @@ bool BoundsEngine::IsFeasible(const Tuple& candidate,
   // inlier matches suffice.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return true;
-  if (gauge != nullptr) gauge->queries().Add();
+  if (gauge != nullptr) {
+    ++gauge->stats().index_queries;
+    ++gauge->stats().feasibility_checks;
+    ++gauge->stats().index_count_queries;
+  }
   return index_.CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 

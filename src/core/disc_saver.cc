@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/trace.h"
 #include "index/index_factory.h"
 
 namespace disc {
@@ -165,6 +166,7 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
 SaveResult DiscSaver::SaveImpl(
     const Tuple& outlier, const SaveOptions& options, Deadline task_deadline,
     const CancellationToken& batch_cancellation) const {
+  const std::uint64_t start_ns = TraceNowNs();
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
   BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
@@ -179,7 +181,8 @@ SaveResult DiscSaver::SaveImpl(
   // otherwise; bit-identical either way.
   std::optional<SearchDistanceCache> dcache;
   if (enable_fast_path_) {
-    dcache.emplace(inliers_, evaluator_, outlier, columnar_.get());
+    dcache.emplace(inliers_, evaluator_, outlier, columnar_.get(),
+                   &gauge.stats());
     state.dcache = &*dcache;
   }
 
@@ -243,6 +246,11 @@ SaveResult DiscSaver::SaveImpl(
   // (feasible, kappa_exceeded) are final.
   auto finalize = [&](SaveResult* r) {
     r->index_queries = gauge.query_count();
+    r->stats = gauge.stats();
+    r->stats.visited_sets = state.visited.size();
+    r->stats.lb_prunes = state.pruned;
+    r->stats.start_ns = start_ns;
+    r->stats.wall_nanos = TraceNowNs() - start_ns;
     if (gauge.stopped()) {
       r->termination = gauge.reason();
     } else if (r->feasible || r->kappa_exceeded) {

@@ -87,6 +87,11 @@ struct SaveResult {
   /// feasible adjustment touching more attributes exists — the signature of
   /// a natural outlier under §1.2's reading.
   bool kappa_exceeded = false;
+  /// Full per-search work counters (node expansions, typed bound
+  /// computations, feasibility checks, cache traffic, wall time). The
+  /// legacy mirrors above (`visited_sets`, `pruned_sets`, `index_queries`)
+  /// always equal the corresponding stats fields.
+  SearchStats stats;
 };
 
 /// The DISC approximation (Algorithm 1): branch-and-bound over sets X of

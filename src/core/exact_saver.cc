@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/trace.h"
 #include "index/index_factory.h"
 
 namespace disc {
@@ -32,7 +33,11 @@ bool ExactSaver::IsFeasible(const Tuple& candidate, BudgetGauge* gauge) const {
   // inlier matches suffice.
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return true;
-  if (gauge != nullptr) gauge->queries().Add();
+  if (gauge != nullptr) {
+    ++gauge->stats().index_queries;
+    ++gauge->stats().feasibility_checks;
+    ++gauge->stats().index_count_queries;
+  }
   return index_->CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 
@@ -107,6 +112,7 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
 ExactResult ExactSaver::Save(const Tuple& outlier, const ExactOptions& options,
                              Deadline extra_deadline,
                              const CancellationToken& extra_cancellation) const {
+  const std::uint64_t start_ns = TraceNowNs();
   BudgetGauge gauge(&options.budget, extra_deadline, extra_cancellation);
   EnumState state;
   state.gauge = &gauge;
@@ -116,6 +122,9 @@ ExactResult ExactSaver::Save(const Tuple& outlier, const ExactOptions& options,
   ExactResult result;
   result.candidates_checked = state.checked;
   result.index_queries = gauge.query_count();
+  result.stats = gauge.stats();
+  result.stats.start_ns = start_ns;
+  result.stats.wall_nanos = TraceNowNs() - start_ns;
   if (gauge.stopped()) {
     result.termination = gauge.reason();
   } else if (state.candidate_cap_hit) {

@@ -49,6 +49,10 @@ struct ExactResult {
   std::size_t candidates_checked = 0;
   /// Logical neighbor-index queries spent on feasibility checks.
   std::size_t index_queries = 0;
+  /// Full per-search work counters (nodes_expanded counts fully assembled
+  /// candidates here; the legacy mirrors above stay equal to their stats
+  /// fields).
+  SearchStats stats;
 };
 
 /// The straightforward exact algorithm of §2.3: enumerate, per attribute,

@@ -7,11 +7,31 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/search_stats.h"
 #include "index/index_factory.h"
-#include "index/query_counter.h"
 
 namespace disc {
+
+const char* OutlierDispositionName(OutlierDisposition d) {
+  switch (d) {
+    case OutlierDisposition::kSaved:
+      return "saved";
+    case OutlierDisposition::kNaturalOutlier:
+      return "natural_outlier";
+    case OutlierDisposition::kInfeasible:
+      return "infeasible";
+  }
+  return "unknown";
+}
+
+SearchStats SavedDataset::stats() const {
+  SearchStats total = split_stats;
+  for (const OutlierRecord& rec : records) total.MergeFrom(rec.stats);
+  return total;
+}
 
 std::size_t SavedDataset::CountDisposition(OutlierDisposition d) const {
   std::size_t count = 0;
@@ -79,6 +99,61 @@ double SavedDataset::MeanAdjustedAttributes() const {
   return saved == 0 ? 0 : sum / static_cast<double>(saved);
 }
 
+namespace {
+
+/// Once-per-batch flush of the already-merged pipeline stats into the
+/// registry (the only place this pipeline touches atomics; the searches
+/// themselves count into plain per-search structs). Null registry = no-op.
+void FlushBatchMetrics(MetricsRegistry* metrics, const SavedDataset& out) {
+  if (metrics == nullptr) return;
+  SearchStats search_total;
+  for (const OutlierRecord& rec : out.records) {
+    search_total.MergeFrom(rec.stats);
+  }
+  search_total.FlushTo(metrics);
+  if (Counter* c = metrics->GetCounter("disc_save_batches_total")) c->Add(1);
+  if (Counter* c = metrics->GetCounter("disc_save_outliers_total")) {
+    if (!out.records.empty()) c->Add(out.records.size());
+  }
+  if (Counter* c = metrics->GetCounter("disc_split_index_queries_total")) {
+    if (out.split_index_queries > 0) c->Add(out.split_index_queries);
+  }
+  constexpr OutlierDisposition kDispositions[] = {
+      OutlierDisposition::kSaved, OutlierDisposition::kNaturalOutlier,
+      OutlierDisposition::kInfeasible};
+  for (OutlierDisposition d : kDispositions) {
+    const std::size_t n = out.CountDisposition(d);
+    if (n == 0) continue;
+    if (Counter* c = metrics->GetCounter(
+            std::string("disc_save_disposition_") + OutlierDispositionName(d) +
+            "_total")) {
+      c->Add(n);
+    }
+  }
+  constexpr SaveTermination kTerminations[] = {
+      SaveTermination::kCompleted,   SaveTermination::kVisitBudget,
+      SaveTermination::kQueryBudget, SaveTermination::kDeadline,
+      SaveTermination::kCancelled,   SaveTermination::kInfeasible};
+  for (SaveTermination t : kTerminations) {
+    const std::size_t n = out.CountTermination(t);
+    if (n == 0) continue;
+    if (Counter* c = metrics->GetCounter(
+            std::string("disc_save_termination_") + SaveTerminationName(t) +
+            "_total")) {
+      c->Add(n);
+    }
+  }
+  if (Histogram* h = metrics->GetHistogram(
+          "disc_save_search_wall_seconds",
+          {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})) {
+    for (const OutlierRecord& rec : out.records) {
+      h->Observe(static_cast<double>(rec.stats.wall_nanos) * 1e-9);
+    }
+  }
+}
+
+}  // namespace
+
 SavedDataset SaveOutliers(const Relation& data,
                           const DistanceEvaluator& evaluator,
                           const OutlierSavingOptions& options) {
@@ -99,18 +174,34 @@ SavedDataset SaveOutliers(const Relation& data,
   if (!out.status.ok()) return out;
 
   // Split into inliers r and outliers s against the full dataset. The
-  // counting decorator meters the split phase so callers can see how the
+  // stats decorator meters the split phase so callers can see how the
   // query budget divides between detection and saving.
+  const std::uint64_t split_start_ns = TraceNowNs();
   std::unique_ptr<NeighborIndex> full_index =
       MakeNeighborIndex(data, evaluator, options.constraint.epsilon);
-  QueryCounter split_queries;
-  CountingNeighborIndex counted_index(*full_index, &split_queries);
+  StatsNeighborIndex counted_index(*full_index, &out.split_stats);
   InlierOutlierSplit split =
       SplitInliersOutliers(data, counted_index, options.constraint);
-  out.split_index_queries = split_queries.count();
+  out.split_stats.start_ns = split_start_ns;
+  out.split_stats.wall_nanos = TraceNowNs() - split_start_ns;
+  out.split_index_queries =
+      static_cast<std::size_t>(out.split_stats.index_queries);
   out.inlier_rows = split.inlier_rows;
   out.outlier_rows = split.outlier_rows;
-  if (split.outlier_rows.empty()) return out;
+  if (options.trace != nullptr) {
+    TraceSpan span;
+    span.name = "split";
+    span.start_ns = out.split_stats.start_ns;
+    span.duration_ns = out.split_stats.wall_nanos;
+    span.Int("inliers", out.inlier_rows.size())
+        .Int("outliers", out.outlier_rows.size());
+    out.split_stats.AttachTo(&span);
+    options.trace->Emit(span);
+  }
+  if (split.outlier_rows.empty()) {
+    FlushBatchMetrics(options.metrics, out);
+    return out;
+  }
 
   Relation inliers = data.Select(split.inlier_rows);
 
@@ -203,6 +294,7 @@ SavedDataset SaveOutliers(const Relation& data,
         feasible = res.feasible;
         rec.termination = res.termination;
         rec.index_queries = res.index_queries;
+        rec.stats = res.stats;
         rec.adjusted = res.adjusted;
         rec.cost = res.cost;
         rec.adjusted_attributes = res.adjusted_attributes;
@@ -213,6 +305,7 @@ SavedDataset SaveOutliers(const Relation& data,
       kappa_exceeded = res.kappa_exceeded;
       rec.termination = res.termination;
       rec.index_queries = res.index_queries;
+      rec.stats = res.stats;
       rec.adjusted = std::move(res.adjusted);
       rec.cost = res.cost;
       rec.adjusted_attributes = res.adjusted_attributes;
@@ -240,8 +333,22 @@ SavedDataset SaveOutliers(const Relation& data,
       rec.cost = 0;
       rec.adjusted_attributes = AttributeSet();
     }
+    if (options.trace != nullptr) {
+      TraceSpan span;
+      span.name = "save_outlier";
+      span.start_ns = rec.stats.start_ns;
+      span.duration_ns = rec.stats.wall_nanos;
+      span.Int("row", rec.row)
+          .Str("disposition", OutlierDispositionName(rec.disposition))
+          .Str("termination", SaveTerminationName(rec.termination))
+          .Num("cost", rec.cost)
+          .Int("adjusted_attributes", rec.adjusted_attributes.size());
+      rec.stats.AttachTo(&span);
+      options.trace->Emit(span);
+    }
     out.records.push_back(std::move(rec));
   }
+  FlushBatchMetrics(options.metrics, out);
   return out;
 }
 

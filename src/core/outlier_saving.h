@@ -15,6 +15,9 @@
 
 namespace disc {
 
+class MetricsRegistry;
+class TraceSink;
+
 /// Dataset-level outlier-saving options (paper §2.2 / §1.2).
 struct OutlierSavingOptions {
   /// The distance constraint (ε, η).
@@ -58,6 +61,16 @@ struct OutlierSavingOptions {
   /// scans and node expansions; already-running searches return their
   /// incumbent, queued ones drain-and-skip.
   CancellationToken cancellation;
+  /// Optional metrics registry (null = metrics disabled, the default).
+  /// Counters are flushed once per batch from the already-merged per-search
+  /// stats — attaching a registry adds no work to the search hot paths. The
+  /// registry must outlive the call. See DESIGN.md §8 for the metric names.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional trace sink (null = tracing disabled, the default). Receives
+  /// one "split" span plus one "save_outlier" span per outlier, emitted
+  /// from the sequential merge loop in input order, each carrying the full
+  /// SearchStats as attributes. Must outlive the call.
+  TraceSink* trace = nullptr;
 };
 
 /// Why an outlier ended up saved or not.
@@ -66,6 +79,10 @@ enum class OutlierDisposition {
   kNaturalOutlier,  ///< feasible but too many attributes — left unchanged
   kInfeasible,      ///< no feasible adjustment exists / was found
 };
+
+/// Lower-case identifier for logs/JSON/metrics ("saved", "natural_outlier",
+/// "infeasible").
+const char* OutlierDispositionName(OutlierDisposition d);
 
 /// Per-outlier record of what happened.
 struct OutlierRecord {
@@ -83,6 +100,10 @@ struct OutlierRecord {
   double lower_bound = 0;
   /// Logical neighbor-index queries this outlier's search spent.
   std::size_t index_queries = 0;
+  /// Full per-search work counters (`index_queries` above always equals
+  /// `stats.index_queries`). Bit-identical across thread counts except for
+  /// the timing fields — see SearchStats::SameWork.
+  SearchStats stats;
 };
 
 /// Result of saving all outliers of a dataset.
@@ -100,8 +121,16 @@ struct SavedDataset {
   std::vector<std::size_t> inlier_rows;
   /// One record per outlier row, in the same order as `outlier_rows`.
   std::vector<OutlierRecord> records;
-  /// Neighbor-index queries spent on the inlier/outlier split phase.
+  /// Neighbor-index queries spent on the inlier/outlier split phase
+  /// (always equals `split_stats.index_queries`).
   std::size_t split_index_queries = 0;
+  /// Work counters of the split phase (index traffic plus wall time).
+  SearchStats split_stats;
+
+  /// Aggregate work of the whole pipeline: `split_stats` plus every
+  /// record's per-search stats, merged in input order (deterministic, and
+  /// identical across thread counts up to the timing fields).
+  SearchStats stats() const;
 
   /// Number of records with the given disposition.
   std::size_t CountDisposition(OutlierDisposition d) const;

@@ -67,6 +67,7 @@ bool BudgetGauge::Stop(SaveTermination why) {
 
 bool BudgetGauge::OnNodeExpanded(std::size_t visited_sets) {
   std::size_t node_index = nodes_++;
+  ++stats_.nodes_expanded;
   if (stopped_) return false;
   if (budget_ != nullptr && budget_->on_node_expanded) {
     budget_->on_node_expanded(node_index);
@@ -81,7 +82,7 @@ bool BudgetGauge::OnNodeExpanded(std::size_t visited_sets) {
     return Stop(SaveTermination::kVisitBudget);
   }
   if (budget_ != nullptr && budget_->max_index_queries != 0 &&
-      queries_.count() > budget_->max_index_queries) {
+      stats_.index_queries > budget_->max_index_queries) {
     return Stop(SaveTermination::kQueryBudget);
   }
   return true;

@@ -9,7 +9,7 @@
 #include "common/cancellation.h"
 #include "common/deadline.h"
 #include "common/status.h"
-#include "index/query_counter.h"
+#include "core/search_stats.h"
 
 namespace disc {
 
@@ -132,11 +132,17 @@ class BudgetGauge {
   /// polynomial and strictly cost-reducing.
   bool ContinueRefinement();
 
-  /// Counter fed by the bound scans and feasibility checks (one logical
-  /// index query each). Wire it into a CountingNeighborIndex to meter raw
-  /// index calls with the same budget.
-  QueryCounter& queries() { return queries_; }
-  std::size_t query_count() const { return queries_.count(); }
+  /// The per-search work counters this gauge owns. The bound scans and
+  /// feasibility checks record one logical index query each (the unit
+  /// metered by SearchBudget::max_index_queries) plus their typed counts;
+  /// wrap an index in StatsNeighborIndex over the same struct to meter raw
+  /// index calls with the same budget. Single-threaded by design: one gauge
+  /// (and thus one stats struct) per search.
+  SearchStats& stats() { return stats_; }
+  const SearchStats& stats() const { return stats_; }
+  std::size_t query_count() const {
+    return static_cast<std::size_t>(stats_.index_queries);
+  }
 
   /// Node expansions so far.
   std::size_t nodes_expanded() const { return nodes_; }
@@ -152,7 +158,7 @@ class BudgetGauge {
   const SearchBudget* budget_;  ///< may be null (unlimited)
   Deadline deadline_;           ///< effective: min(budget, batch slice)
   CancellationToken extra_cancellation_;
-  QueryCounter queries_;
+  SearchStats stats_;
   std::size_t nodes_ = 0;
   std::size_t scan_polls_ = 0;
   bool stopped_ = false;

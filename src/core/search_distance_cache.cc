@@ -9,10 +9,12 @@ namespace disc {
 SearchDistanceCache::SearchDistanceCache(const Relation& relation,
                                          const DistanceEvaluator& evaluator,
                                          const Tuple& outlier,
-                                         const ColumnarView* view)
+                                         const ColumnarView* view,
+                                         SearchStats* stats)
     : relation_(relation),
       evaluator_(evaluator),
       outlier_(outlier),
+      stats_(stats),
       arity_(evaluator.arity()),
       attr_rows_(evaluator.arity()) {
   if (view != nullptr) kernel_.emplace(*view, outlier);
@@ -30,6 +32,7 @@ SearchDistanceCache::SearchDistanceCache(const Relation& relation,
 const double* SearchDistanceCache::AttributeRow(std::size_t a) const {
   std::vector<double>& row = attr_rows_[a];
   if (row.empty() && !full_.empty()) {
+    if (stats_ != nullptr) ++stats_->dcache_misses;
     row.resize(full_.size());
     if (kernel_.has_value()) {
       kernel_->FillAttributeDistances(a, row.data());

@@ -7,6 +7,7 @@
 
 #include "common/relation.h"
 #include "common/tuple.h"
+#include "core/search_stats.h"
 #include "distance/columnar.h"
 #include "distance/evaluator.h"
 
@@ -39,10 +40,13 @@ class SearchDistanceCache {
   /// Builds the cache for one outlier search. `view` may be null (scalar
   /// fallback); when non-null it must have been built over `relation` with
   /// `evaluator`. All references must outlive the cache; `outlier` must not
-  /// be mutated while the cache is live.
+  /// be mutated while the cache is live. `stats` (optional) receives one
+  /// dcache_miss per lazily filled attribute row and one dcache_hit per
+  /// row request served from the memo.
   SearchDistanceCache(const Relation& relation,
                       const DistanceEvaluator& evaluator, const Tuple& outlier,
-                      const ColumnarView* view = nullptr);
+                      const ColumnarView* view = nullptr,
+                      SearchStats* stats = nullptr);
 
   /// Number of inlier rows n.
   std::size_t rows() const { return full_.size(); }
@@ -65,8 +69,13 @@ class SearchDistanceCache {
   /// filled on first touch. For scans that touch every row (the bound
   /// loops), resolving the subset's row pointers once and accumulating
   /// inline beats a DistanceOnWithin call per row; the per-row arithmetic
-  /// is identical (same values, same canonical attribute order).
-  const double* attribute_row(std::size_t a) const { return AttributeRow(a); }
+  /// is identical (same values, same canonical attribute order). Hit/miss
+  /// is metered at this resolution granularity (one event per row request),
+  /// never inside the per-attribute accumulation loops.
+  const double* attribute_row(std::size_t a) const {
+    if (stats_ != nullptr && !attr_rows_[a].empty()) ++stats_->dcache_hits;
+    return AttributeRow(a);
+  }
 
  private:
   /// The memoized row for attribute `a`, filling it on first touch.
@@ -75,6 +84,7 @@ class SearchDistanceCache {
   const Relation& relation_;
   const DistanceEvaluator& evaluator_;
   const Tuple& outlier_;
+  SearchStats* stats_;  ///< optional; owned by the same single search
   std::size_t arity_;
   std::optional<FlatKernel> kernel_;
   std::vector<double> full_;                           ///< eager, n entries

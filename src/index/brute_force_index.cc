@@ -19,6 +19,7 @@ inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
 
 std::vector<Neighbor> BruteForceIndex::RangeQuery(const Tuple& query,
                                                   double epsilon) const {
+  if (metrics_.range_queries != nullptr) metrics_.range_queries->Add();
   std::vector<Neighbor> out;
   if (columnar_ != nullptr) {
     // Batch scan: the row loop lives inside the kernel (one tight loop per
@@ -43,6 +44,7 @@ std::vector<Neighbor> BruteForceIndex::RangeQuery(const Tuple& query,
 
 std::size_t BruteForceIndex::CountWithin(const Tuple& query, double epsilon,
                                          std::size_t cap) const {
+  if (metrics_.count_queries != nullptr) metrics_.count_queries->Add();
   std::size_t count = 0;
   if (columnar_ != nullptr) {
     FlatKernel kernel(*columnar_, query);
@@ -75,6 +77,7 @@ std::vector<Neighbor> BruteForceIndex::KNearest(const Tuple& query,
   // early-exit threshold: a candidate strictly beyond it cannot enter (even
   // the row tie-break needs distance equality, and DistanceWithin's exceed
   // test is strict), so the selected set matches a full sort exactly.
+  if (metrics_.knn_queries != nullptr) metrics_.knn_queries->Add();
   std::vector<Neighbor> heap;
   if (k == 0) return heap;
   heap.reserve(std::min(k, relation_.size()));

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/relation.h"
 #include "distance/columnar.h"
 #include "distance/evaluator.h"
@@ -26,7 +27,9 @@ class BruteForceIndex : public NeighborIndex {
   /// scalar reference path on data that would qualify for the columnar one.
   BruteForceIndex(const Relation& relation, const DistanceEvaluator& evaluator,
                   bool enable_fast_path = true)
-      : relation_(relation), evaluator_(evaluator) {
+      : relation_(relation),
+        evaluator_(evaluator),
+        metrics_(IndexQueryMetrics::For("brute_force")) {
     if (enable_fast_path) columnar_ = ColumnarView::Build(relation, evaluator);
   }
 
@@ -45,6 +48,9 @@ class BruteForceIndex : public NeighborIndex {
  private:
   const Relation& relation_;
   const DistanceEvaluator& evaluator_;
+  /// Process-wide raw-traffic counters, resolved at construction from the
+  /// global registry; all-null (guarded no-op increments) when detached.
+  IndexQueryMetrics metrics_;
   std::unique_ptr<ColumnarView> columnar_;
 };
 

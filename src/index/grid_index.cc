@@ -10,7 +10,8 @@ GridIndex::GridIndex(const Relation& relation, double cell_size, LpNorm norm)
     : dims_(relation.arity()),
       size_(relation.size()),
       cell_size_(cell_size),
-      norm_(norm) {
+      norm_(norm),
+      metrics_(IndexQueryMetrics::For("grid")) {
   coords_.resize(size_ * dims_);
   for (std::size_t i = 0; i < size_; ++i) {
     const Tuple& t = relation[i];
@@ -99,6 +100,7 @@ void GridIndex::VisitNearbyCells(const std::vector<double>& query,
 
 std::vector<Neighbor> GridIndex::RangeQuery(const Tuple& query,
                                             double epsilon) const {
+  if (metrics_.range_queries != nullptr) metrics_.range_queries->Add();
   std::vector<Neighbor> out;
   std::vector<double> q = Coords(query);
   int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
@@ -116,6 +118,7 @@ std::vector<Neighbor> GridIndex::RangeQuery(const Tuple& query,
 
 std::size_t GridIndex::CountWithin(const Tuple& query, double epsilon,
                                    std::size_t cap) const {
+  if (metrics_.count_queries != nullptr) metrics_.count_queries->Add();
   std::vector<double> q = Coords(query);
   int radius = static_cast<int>(std::ceil(epsilon / cell_size_));
   std::size_t count = 0;
@@ -133,6 +136,7 @@ std::vector<Neighbor> GridIndex::KNearest(const Tuple& query,
                                           std::size_t k) const {
   // Grow the search radius ring by ring until k are found and the next ring
   // cannot improve. Falls back to a full scan in the worst case.
+  if (metrics_.knn_queries != nullptr) metrics_.knn_queries->Add();
   if (k == 0 || size_ == 0) return {};
   std::vector<double> q = Coords(query);
   auto cmp = [](const Neighbor& a, const Neighbor& b) {

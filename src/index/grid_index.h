@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/relation.h"
 #include "distance/lp_norm.h"
 #include "index/neighbor_index.h"
@@ -53,6 +54,12 @@ class GridIndex : public NeighborIndex {
   std::size_t size_ = 0;
   double cell_size_ = 1;
   LpNorm norm_;
+  /// Process-wide raw-traffic counters, resolved at construction from the
+  /// global registry; all-null (guarded no-op increments) when detached.
+  /// KNearest's expanding-ring probes call RangeQuery internally; that
+  /// internal traffic is counted too (these meter raw index calls, unlike
+  /// the logical SearchStats unit).
+  IndexQueryMetrics metrics_;
   std::vector<double> coords_;  // flat row-major, point i at [i*m, (i+1)*m)
   std::unordered_map<CellKey, std::vector<std::size_t>> cells_;
 };

@@ -6,7 +6,8 @@
 
 namespace disc {
 
-KdTree::KdTree(const Relation& relation, LpNorm norm) : norm_(norm) {
+KdTree::KdTree(const Relation& relation, LpNorm norm)
+    : norm_(norm), metrics_(IndexQueryMetrics::For("kd_tree")) {
   dims_ = relation.arity();
   size_ = relation.size();
   coords_.resize(size_ * dims_);
@@ -168,6 +169,7 @@ void KdTree::KnnSearch(int node_id, const std::vector<double>& query,
 
 std::vector<Neighbor> KdTree::RangeQuery(const Tuple& query,
                                          double epsilon) const {
+  if (metrics_.range_queries != nullptr) metrics_.range_queries->Add();
   std::vector<Neighbor> out;
   if (root_ < 0) return out;
   std::vector<double> q(dims_);
@@ -182,6 +184,7 @@ std::vector<Neighbor> KdTree::RangeQuery(const Tuple& query,
 
 std::size_t KdTree::CountWithin(const Tuple& query, double epsilon,
                                 std::size_t cap) const {
+  if (metrics_.count_queries != nullptr) metrics_.count_queries->Add();
   if (root_ < 0) return 0;
   std::vector<double> q(dims_);
   for (std::size_t a = 0; a < dims_; ++a) q[a] = query[a].num();
@@ -192,6 +195,7 @@ std::size_t KdTree::CountWithin(const Tuple& query, double epsilon,
 
 std::vector<Neighbor> KdTree::KNearest(const Tuple& query,
                                        std::size_t k) const {
+  if (metrics_.knn_queries != nullptr) metrics_.knn_queries->Add();
   std::vector<Neighbor> heap;
   if (root_ < 0 || k == 0) return heap;
   std::vector<double> q(dims_);

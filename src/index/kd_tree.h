@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/relation.h"
 #include "distance/lp_norm.h"
 #include "index/neighbor_index.h"
@@ -71,6 +72,9 @@ class KdTree : public NeighborIndex {
   std::size_t dims_ = 0;
   std::size_t size_ = 0;
   LpNorm norm_;
+  /// Process-wide raw-traffic counters, resolved at construction from the
+  /// global registry; all-null (guarded no-op increments) when detached.
+  IndexQueryMetrics metrics_;
   std::vector<double> coords_;      // flat row-major, point i at [i*m, (i+1)*m)
   std::vector<std::size_t> order_;  // permutation of rows
   std::vector<Node> nodes_;

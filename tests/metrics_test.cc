@@ -1,0 +1,198 @@
+// MetricsRegistry, Counter/Gauge/Histogram primitives, the global-registry
+// attachment and both expositions (DESIGN.md §8). The concurrency tests
+// double as the TSan regression for the sharded relaxed-atomic counters: the
+// TSan CI job runs this binary alongside the parallel-save suite.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace disc {
+namespace {
+
+TEST(Counter, AddAccumulatesAcrossShards) {
+  Counter c("disc_test_events_total");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  EXPECT_EQ(c.name(), "disc_test_events_total");
+}
+
+TEST(Counter, ConcurrentAddsAreExactAfterJoin) {
+  // The TSan regression: many threads on one counter, relaxed adds into
+  // per-thread shards, acquire-summed after the joins synchronize.
+  Counter c("disc_test_concurrent_total");
+  const std::size_t kThreads = 8;
+  const std::size_t kAddsPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::size_t i = 0; i < kAddsPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g("disc_test_depth");
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(Histogram, CumulativeBucketsAndSum) {
+  Histogram h("disc_test_seconds", {0.1, 1.0, 10.0});
+  h.Observe(0.05);   // <= 0.1
+  h.Observe(0.5);    // <= 1.0
+  h.Observe(0.7);    // <= 1.0
+  h.Observe(5.0);    // <= 10.0
+  h.Observe(100.0);  // +Inf only
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.05 + 0.5 + 0.7 + 5.0 + 100.0);
+  ASSERT_EQ(snap.counts.size(), 3u);
+  EXPECT_EQ(snap.counts[0], 1u);  // le 0.1
+  EXPECT_EQ(snap.counts[1], 3u);  // le 1.0 (cumulative)
+  EXPECT_EQ(snap.counts[2], 4u);  // le 10.0; +Inf remainder = count - 4
+}
+
+TEST(Histogram, ConcurrentObservationsAreExactAfterJoin) {
+  Histogram h("disc_test_concurrent_seconds", {1.0});
+  const std::size_t kThreads = 8;
+  const std::size_t kObsPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::size_t i = 0; i < kObsPerThread; ++i) h.Observe(0.5);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, kThreads * kObsPerThread);
+  EXPECT_EQ(snap.counts[0], kThreads * kObsPerThread);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 * kThreads * kObsPerThread);
+}
+
+TEST(MetricsRegistry, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("disc_a_total");
+  Counter* b = registry.GetCounter("disc_a_total");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  Gauge* g = registry.GetGauge("disc_g");
+  EXPECT_EQ(g, registry.GetGauge("disc_g"));
+  Histogram* h = registry.GetHistogram("disc_h_seconds", {1.0});
+  EXPECT_EQ(h, registry.GetHistogram("disc_h_seconds", {2.0}));
+}
+
+TEST(MetricsRegistry, TypeMismatchYieldsNullNotCrash) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("disc_name"), nullptr);
+  EXPECT_EQ(registry.GetGauge("disc_name"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("disc_name", {1.0}), nullptr);
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationAndRecording) {
+  // Races registration (mutex-guarded) against recording (lock-free) —
+  // the mixed workload the TSan job checks.
+  MetricsRegistry registry;
+  const std::size_t kThreads = 8;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      const std::string name =
+          "disc_shared_" + std::to_string(t % 2) + "_total";
+      for (std::size_t i = 0; i < 2000; ++i) {
+        registry.GetCounter(name)->Add();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::uint64_t total = registry.GetCounter("disc_shared_0_total")->Value() +
+                        registry.GetCounter("disc_shared_1_total")->Value();
+  EXPECT_EQ(total, kThreads * 2000u);
+}
+
+TEST(MetricsRegistry, JsonExpositionIsDeterministicAndSorted) {
+  // Identical recorded work must render byte-identical JSON, regardless of
+  // registration order (std::map iteration is name-sorted).
+  MetricsRegistry a;
+  a.GetCounter("disc_zz_total")->Add(2);
+  a.GetCounter("disc_aa_total")->Add(1);
+  a.GetGauge("disc_depth")->Set(3);
+  a.GetHistogram("disc_wall_seconds", {1.0, 10.0})->Observe(0.5);
+
+  MetricsRegistry b;
+  b.GetHistogram("disc_wall_seconds", {1.0, 10.0})->Observe(0.5);
+  b.GetGauge("disc_depth")->Set(3);
+  b.GetCounter("disc_aa_total")->Add(1);
+  b.GetCounter("disc_zz_total")->Add(2);
+
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  const std::string json = a.ToJson();
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disc_aa_total\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disc_zz_total\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disc_depth\":3"), std::string::npos) << json;
+  EXPECT_LT(json.find("disc_aa_total"), json.find("disc_zz_total"));
+}
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("disc_events_total")->Add(3);
+  registry.GetGauge("disc_depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("disc_wall_seconds", {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(50.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE disc_events_total counter\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("disc_events_total 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE disc_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("disc_depth -2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("disc_wall_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("disc_wall_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("disc_wall_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(GlobalMetricsAttachment, IndexHandlesResolveOnlyWhileAttached) {
+  // Detached (the default): every handle stays null and recording sites
+  // degrade to guarded no-ops — the zero-overhead contract.
+  ASSERT_EQ(GlobalMetrics(), nullptr);
+  IndexQueryMetrics off = IndexQueryMetrics::For("kd_tree");
+  EXPECT_EQ(off.range_queries, nullptr);
+  EXPECT_EQ(off.count_queries, nullptr);
+  EXPECT_EQ(off.knn_queries, nullptr);
+
+  MetricsRegistry registry;
+  AttachGlobalMetrics(&registry);
+  IndexQueryMetrics on = IndexQueryMetrics::For("kd_tree");
+  AttachGlobalMetrics(nullptr);
+
+  ASSERT_NE(on.range_queries, nullptr);
+  ASSERT_NE(on.count_queries, nullptr);
+  ASSERT_NE(on.knn_queries, nullptr);
+  on.range_queries->Add(2);
+  EXPECT_EQ(
+      registry.GetCounter("disc_index_kd_tree_range_queries_total")->Value(),
+      2u);
+  // Handles remain valid after detach — they point into the registry, whose
+  // lifetime the caller owns.
+  on.knn_queries->Add();
+  EXPECT_EQ(
+      registry.GetCounter("disc_index_kd_tree_knn_queries_total")->Value(),
+      1u);
+}
+
+}  // namespace
+}  // namespace disc

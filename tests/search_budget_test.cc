@@ -1,5 +1,5 @@
 // Unit tests for the deadline/cancellation/budget primitives: Deadline,
-// CancellationToken/Source, QueryCounter + CountingNeighborIndex, and the
+// CancellationToken/Source, SearchStats + StatsNeighborIndex, and the
 // BudgetGauge that enforces a SearchBudget inside the savers.
 
 #include "core/search_budget.h"
@@ -14,8 +14,8 @@
 #include "common/cancellation.h"
 #include "common/deadline.h"
 #include "common/status.h"
+#include "core/search_stats.h"
 #include "index/brute_force_index.h"
-#include "index/query_counter.h"
 
 namespace disc {
 namespace {
@@ -105,19 +105,9 @@ TEST(Cancellation, CancelFromAnotherThreadIsObserved) {
   EXPECT_TRUE(token.cancelled());
 }
 
-// --- QueryCounter / CountingNeighborIndex ---
+// --- StatsNeighborIndex ---
 
-TEST(QueryCounter, AddAndReset) {
-  QueryCounter c;
-  EXPECT_EQ(c.count(), 0u);
-  c.Add();
-  c.Add(4);
-  EXPECT_EQ(c.count(), 5u);
-  c.Reset();
-  EXPECT_EQ(c.count(), 0u);
-}
-
-TEST(CountingNeighborIndex, CountsEveryQueryKind) {
+TEST(StatsNeighborIndex, CountsEveryQueryKind) {
   Relation rel(Schema::Numeric(2));
   rel.AppendUnchecked(Tuple::Numeric({0, 0}));
   rel.AppendUnchecked(Tuple::Numeric({1, 0}));
@@ -125,22 +115,25 @@ TEST(CountingNeighborIndex, CountsEveryQueryKind) {
   DistanceEvaluator ev(rel.schema());
   BruteForceIndex base(rel, ev);
 
-  QueryCounter counter;
-  CountingNeighborIndex counted(base, &counter);
+  SearchStats stats;
+  StatsNeighborIndex counted(base, &stats);
   EXPECT_EQ(counted.size(), base.size());
-  EXPECT_EQ(counter.count(), 0u);  // size() is not a query
+  EXPECT_EQ(stats.index_queries, 0u);  // size() is not a query
 
   Tuple q = Tuple::Numeric({0.1, 0.1});
   std::vector<Neighbor> range = counted.RangeQuery(q, 2.0);
-  EXPECT_EQ(counter.count(), 1u);
+  EXPECT_EQ(stats.index_queries, 1u);
+  EXPECT_EQ(stats.index_range_queries, 1u);
   EXPECT_EQ(range.size(), base.RangeQuery(q, 2.0).size());
 
   std::size_t within = counted.CountWithin(q, 2.0, 0);
-  EXPECT_EQ(counter.count(), 2u);
+  EXPECT_EQ(stats.index_queries, 2u);
+  EXPECT_EQ(stats.index_count_queries, 1u);
   EXPECT_EQ(within, base.CountWithin(q, 2.0, 0));
 
   std::vector<Neighbor> knn = counted.KNearest(q, 2);
-  EXPECT_EQ(counter.count(), 3u);
+  EXPECT_EQ(stats.index_queries, 3u);
+  EXPECT_EQ(stats.index_knn_queries, 1u);
   ASSERT_EQ(knn.size(), 2u);
 }
 
@@ -205,7 +198,8 @@ TEST(BudgetGauge, QueryBudgetTrips) {
   SearchBudget budget;
   budget.max_index_queries = 2;
   BudgetGauge gauge(&budget);
-  gauge.queries().Add(3);
+  gauge.stats().index_queries += 3;
+  EXPECT_EQ(gauge.query_count(), 3u);
   EXPECT_FALSE(gauge.OnNodeExpanded(1));
   EXPECT_EQ(gauge.reason(), SaveTermination::kQueryBudget);
   EXPECT_TRUE(gauge.ContinueRefinement());  // soft stop
