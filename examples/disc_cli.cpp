@@ -5,6 +5,8 @@
 //            [--kappa K] [--threads T] [--normalize] [--exact]
 //            [--deadline-ms D] [--per-outlier-deadline-ms D]
 //            [--metrics-json PATH] [--trace PATH]
+//            [--serve[=PORT]] [--log-level LEVEL] [--quiet]
+//   disc_cli --serve-idle[=PORT] [--log-level LEVEL] [--quiet]
 //
 // Without --epsilon/--eta the constraint is fitted automatically with the
 // Poisson rule of §2.1.2 (p(N(ε) >= η) >= 0.99). --normalize min-max scales
@@ -18,21 +20,43 @@
 // --metrics-json PATH attaches a MetricsRegistry to the run and writes its
 // JSON snapshot to PATH on exit (see DESIGN.md §8 for the metric names).
 // --trace PATH streams one JSONL span per outlier search (plus the split
-// phase) to PATH, each span carrying the full SearchStats.
+// phase and one "search" span per worker) to PATH.
+//
+// Live observability plane (DESIGN.md §8):
+// --serve[=PORT] starts the embedded HTTP server on 127.0.0.1 (PORT omitted
+// or 0 = ephemeral, printed at startup) before the pipeline runs, serving
+// /metrics, /metrics.json, /healthz and /statusz concurrently with the
+// save. The process then keeps serving until SIGINT/SIGTERM; the signal
+// cancels any in-flight batch cooperatively, stops the server, and flushes
+// metrics/trace outputs before exiting 0. --serve-idle[=PORT] serves
+// without requiring a pipeline (input/output become optional).
+// --log-level LEVEL (debug|info|warn|error) filters the structured JSON
+// logs; --quiet silences them on stderr (they still feed the in-memory
+// ring exposed at /statusz?logs=N).
 // Prints a per-outlier report and writes the repaired relation.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/cancellation.h"
 #include "common/csv.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "constraints/parameter_selection.h"
 #include "core/outlier_saving.h"
 #include "distance/normalization.h"
+#include "obs/endpoints.h"
+#include "obs/http_server.h"
+#include "obs/progress.h"
 
 namespace {
 
@@ -41,8 +65,10 @@ void PrintUsage(const char* argv0) {
                "usage: %s <input.csv> <output.csv> [--epsilon E] [--eta N]\n"
                "          [--kappa K] [--threads T] [--normalize] [--exact]\n"
                "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n"
-               "          [--metrics-json PATH] [--trace PATH]\n",
-               argv0);
+               "          [--metrics-json PATH] [--trace PATH]\n"
+               "          [--serve[=PORT]] [--log-level LEVEL] [--quiet]\n"
+               "       %s --serve-idle[=PORT] [--log-level LEVEL] [--quiet]\n",
+               argv0, argv0);
 }
 
 /// Writes `text` to `path` ("-" or empty = stdout). Returns false on error.
@@ -58,17 +84,23 @@ bool WriteTextTo(const std::string& path, const std::string& text) {
   return ok;
 }
 
+// Signal → shutdown hand-off. The handler does only async-signal-safe work:
+// two lock-free atomic stores. g_cancel is set (and never changed again)
+// before the handlers are installed, so the handler can't observe a
+// half-built source; RequestCancel() is a single release store on the
+// shared flag.
+std::atomic<bool> g_shutdown{false};
+disc::CancellationSource* g_cancel = nullptr;
+
+void HandleShutdownSignal(int /*signum*/) {
+  g_shutdown.store(true, std::memory_order_release);
+  if (g_cancel != nullptr) g_cancel->RequestCancel();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace disc;
-
-  if (argc < 3) {
-    PrintUsage(argv[0]);
-    return 2;
-  }
-  std::string input_path = argv[1];
-  std::string output_path = argv[2];
 
   double epsilon = 0;
   std::size_t eta = 0;
@@ -81,6 +113,11 @@ int main(int argc, char** argv) {
   std::string metrics_json_path;
   std::string trace_path;
   bool metrics_requested = false;
+  bool serve = false;
+  bool serve_idle = false;
+  int serve_port = 0;
+  std::string log_level_name;
+  std::vector<std::string> positional;
   // Accepts both `--flag PATH` and `--flag=PATH`.
   auto path_flag = [&](int* i, const char* flag, std::string* out) {
     const std::size_t flag_len = std::strlen(flag);
@@ -95,7 +132,7 @@ int main(int argc, char** argv) {
     }
     return false;
   };
-  for (int i = 3; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (path_flag(&i, "--metrics-json", &metrics_json_path)) {
       metrics_requested = true;
     } else if (path_flag(&i, "--trace", &trace_path)) {
@@ -116,138 +153,234 @@ int main(int argc, char** argv) {
       normalize = true;
     } else if (std::strcmp(argv[i], "--exact") == 0) {
       use_exact = true;
-    } else {
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      SetLogToStderr(false);
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve = true;
+      serve_port = std::atoi(argv[i] + 8);
+    } else if (std::strcmp(argv[i], "--serve-idle") == 0) {
+      serve = true;
+      serve_idle = true;
+    } else if (std::strncmp(argv[i], "--serve-idle=", 13) == 0) {
+      serve = true;
+      serve_idle = true;
+      serve_port = std::atoi(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--log-level") == 0 && i + 1 < argc) {
+      log_level_name = argv[++i];
+    } else if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      log_level_name = argv[i] + 12;
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       PrintUsage(argv[0]);
       return 2;
+    } else {
+      positional.push_back(argv[i]);
     }
   }
-
-  Result<Relation> loaded = ReadCsv(input_path);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error reading %s: %s\n", input_path.c_str(),
-                 loaded.status().ToString().c_str());
-    return 1;
+  if (!log_level_name.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level_name, &level)) {
+      std::fprintf(stderr,
+                   "invalid --log-level: %s (want debug|info|warn|error)\n",
+                   log_level_name.c_str());
+      return 2;
+    }
+    SetMinLogLevel(level);
   }
-  Relation raw = std::move(loaded).value();
-  std::printf("loaded %zu tuples x %zu attributes from %s\n", raw.size(),
-              raw.arity(), input_path.c_str());
-
-  Normalizer normalizer = Normalizer::Fit(raw);
-  Relation working = normalize ? normalizer.Apply(raw) : raw;
-  DistanceEvaluator evaluator(working.schema());
-
-  DistanceConstraint constraint{epsilon, eta};
-  if (epsilon <= 0 || eta == 0) {
-    ParameterSelection sel = SelectParametersPoisson(working, evaluator);
-    if (epsilon <= 0) constraint.epsilon = sel.constraint.epsilon;
-    if (eta == 0) constraint.eta = sel.constraint.eta;
-    std::printf(
-        "fitted constraint via Poisson rule: eps=%.4f eta=%zu "
-        "(lambda=%.2f, confidence=%.3f)\n",
-        constraint.epsilon, constraint.eta, sel.lambda_epsilon,
-        sel.confidence);
-  } else {
-    std::printf("using constraint: eps=%.4f eta=%zu\n", constraint.epsilon,
-                constraint.eta);
+  if (serve_port < 0 || serve_port > 65535) {
+    std::fprintf(stderr, "invalid --serve port: %d\n", serve_port);
+    return 2;
+  }
+  const bool run_pipeline = positional.size() == 2;
+  if (!run_pipeline && !(serve_idle && positional.empty())) {
+    PrintUsage(argv[0]);
+    return 2;
   }
 
-  OutlierSavingOptions options;
-  options.constraint = constraint;
-  options.save.kappa = kappa;
-  options.use_exact = use_exact;
-  options.exact_max_candidates = 200000;
-  options.num_threads = threads;
-  options.batch_deadline_ms = deadline_ms;
-  options.per_outlier_deadline_ms = per_outlier_deadline_ms;
-
-  // Observability (DESIGN.md §8): the registry attaches globally *before*
-  // the pipeline so the neighbor indexes built inside SaveOutliers resolve
-  // their raw-traffic counters; per-search stats flush into it once per
-  // batch either way.
+  // Observability plane (DESIGN.md §8). The registries attach globally
+  // *before* the pipeline so the neighbor indexes built inside SaveOutliers
+  // resolve their raw-traffic counters and SaveAll registers its progress
+  // tracker; per-search stats flush into the metrics registry once per
+  // batch either way. The server starts before the pipeline so scrapes
+  // observe the run live.
   std::unique_ptr<MetricsRegistry> metrics;
-  if (metrics_requested) {
+  if (metrics_requested || serve) {
     metrics = std::make_unique<MetricsRegistry>();
     AttachGlobalMetrics(metrics.get());
-    options.metrics = metrics.get();
   }
+  std::unique_ptr<ProgressRegistry> progress;
+  std::unique_ptr<HttpServer> server;
+  CancellationSource cancel;
+  if (serve) {
+    progress = std::make_unique<ProgressRegistry>();
+    AttachGlobalProgress(progress.get());
+    HttpServer::Options server_options;
+    server_options.port = static_cast<std::uint16_t>(serve_port);
+    server = std::make_unique<HttpServer>(server_options);
+    RegisterObsEndpoints(server.get());
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error starting observability server: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving /metrics /metrics.json /healthz /statusz on "
+                "http://127.0.0.1:%u\n",
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+    // Install the graceful-shutdown path only in serve mode: without the
+    // server a Ctrl-C should keep its default kill-the-process meaning.
+    g_cancel = &cancel;
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+  }
+
   std::unique_ptr<JsonlTraceSink> trace;
   if (!trace_path.empty()) {
     trace = std::make_unique<JsonlTraceSink>(trace_path);
-    options.trace = trace.get();
   }
-
-  SavedDataset saved = SaveOutliers(working, evaluator, options);
-  if (!saved.status.ok()) {
-    std::fprintf(stderr, "error saving outliers: %s\n",
-                 saved.status.ToString().c_str());
-    return 1;
-  }
-
-  std::printf("outliers: %zu flagged / %zu tuples; %zu saved, %zu natural, "
-              "%zu infeasible; mean cost %.4f, mean #attrs %.2f\n",
-              saved.outlier_rows.size(), working.size(),
-              saved.CountDisposition(OutlierDisposition::kSaved),
-              saved.CountDisposition(OutlierDisposition::kNaturalOutlier),
-              saved.CountDisposition(OutlierDisposition::kInfeasible),
-              saved.MeanAdjustmentCost(), saved.MeanAdjustedAttributes());
-
-  // Degradation summary: which searches were truncated and why. Every
-  // applied adjustment is fully feasible regardless — a truncated search
-  // just may have settled for a costlier repair (anytime contract).
-  if (saved.degraded()) {
-    std::printf(
-        "degraded: %s\n  completed %zu, deadline %zu, cancelled %zu, "
-        "visit-budget %zu, query-budget %zu, infeasible %zu\n",
-        saved.DegradationStatus().ToString().c_str(),
-        saved.CountTermination(SaveTermination::kCompleted),
-        saved.CountTermination(SaveTermination::kDeadline),
-        saved.CountTermination(SaveTermination::kCancelled),
-        saved.CountTermination(SaveTermination::kVisitBudget),
-        saved.CountTermination(SaveTermination::kQueryBudget),
-        saved.CountTermination(SaveTermination::kInfeasible));
-  } else if (deadline_ms > 0 || per_outlier_deadline_ms > 0) {
-    std::printf("no degradation: all %zu searches finished in budget\n",
-                saved.records.size());
-  }
-
-  Relation repaired =
-      normalize ? normalizer.Invert(saved.repaired) : saved.repaired;
-
-  // Per-outlier report (first 20 rows).
-  int shown = 0;
-  for (const OutlierRecord& rec : saved.records) {
-    if (rec.disposition != OutlierDisposition::kSaved || shown >= 20) continue;
-    std::printf("  row %zu:", rec.row);
-    for (std::size_t a : rec.adjusted_attributes.ToIndices()) {
-      std::printf(" %s %s->%s", raw.schema().name(a).c_str(),
-                  raw[rec.row][a].ToString().c_str(),
-                  repaired[rec.row][a].ToString().c_str());
-    }
-    std::printf("  (cost %.4f)\n", rec.cost);
-    ++shown;
-  }
-
-  Status write_status = WriteCsv(repaired, output_path);
-  if (!write_status.ok()) {
-    std::fprintf(stderr, "error writing %s: %s\n", output_path.c_str(),
-                 write_status.ToString().c_str());
-    return 1;
-  }
-  std::printf("wrote repaired relation to %s\n", output_path.c_str());
 
   int exit_code = 0;
+  if (run_pipeline) {
+    const std::string& input_path = positional[0];
+    const std::string& output_path = positional[1];
+
+    Result<Relation> loaded = ReadCsv(input_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", input_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    Relation raw = std::move(loaded).value();
+    std::printf("loaded %zu tuples x %zu attributes from %s\n", raw.size(),
+                raw.arity(), input_path.c_str());
+
+    Normalizer normalizer = Normalizer::Fit(raw);
+    Relation working = normalize ? normalizer.Apply(raw) : raw;
+    DistanceEvaluator evaluator(working.schema());
+
+    DistanceConstraint constraint{epsilon, eta};
+    if (epsilon <= 0 || eta == 0) {
+      ParameterSelection sel = SelectParametersPoisson(working, evaluator);
+      if (epsilon <= 0) constraint.epsilon = sel.constraint.epsilon;
+      if (eta == 0) constraint.eta = sel.constraint.eta;
+      std::printf(
+          "fitted constraint via Poisson rule: eps=%.4f eta=%zu "
+          "(lambda=%.2f, confidence=%.3f)\n",
+          constraint.epsilon, constraint.eta, sel.lambda_epsilon,
+          sel.confidence);
+    } else {
+      std::printf("using constraint: eps=%.4f eta=%zu\n", constraint.epsilon,
+                  constraint.eta);
+    }
+
+    OutlierSavingOptions options;
+    options.constraint = constraint;
+    options.save.kappa = kappa;
+    options.use_exact = use_exact;
+    options.exact_max_candidates = 200000;
+    options.num_threads = threads;
+    options.batch_deadline_ms = deadline_ms;
+    options.per_outlier_deadline_ms = per_outlier_deadline_ms;
+    options.cancellation = cancel.token();
+    options.metrics = metrics.get();
+    options.trace = trace.get();
+
+    SavedDataset saved = SaveOutliers(working, evaluator, options);
+    if (!saved.status.ok()) {
+      std::fprintf(stderr, "error saving outliers: %s\n",
+                   saved.status.ToString().c_str());
+      return 1;
+    }
+
+    std::printf("outliers: %zu flagged / %zu tuples; %zu saved, %zu natural, "
+                "%zu infeasible; mean cost %.4f, mean #attrs %.2f\n",
+                saved.outlier_rows.size(), working.size(),
+                saved.CountDisposition(OutlierDisposition::kSaved),
+                saved.CountDisposition(OutlierDisposition::kNaturalOutlier),
+                saved.CountDisposition(OutlierDisposition::kInfeasible),
+                saved.MeanAdjustmentCost(), saved.MeanAdjustedAttributes());
+
+    // Degradation summary: which searches were truncated and why. Every
+    // applied adjustment is fully feasible regardless — a truncated search
+    // just may have settled for a costlier repair (anytime contract).
+    if (saved.degraded()) {
+      std::printf(
+          "degraded: %s\n  completed %zu, deadline %zu, cancelled %zu, "
+          "visit-budget %zu, query-budget %zu, infeasible %zu\n",
+          saved.DegradationStatus().ToString().c_str(),
+          saved.CountTermination(SaveTermination::kCompleted),
+          saved.CountTermination(SaveTermination::kDeadline),
+          saved.CountTermination(SaveTermination::kCancelled),
+          saved.CountTermination(SaveTermination::kVisitBudget),
+          saved.CountTermination(SaveTermination::kQueryBudget),
+          saved.CountTermination(SaveTermination::kInfeasible));
+    } else if (deadline_ms > 0 || per_outlier_deadline_ms > 0) {
+      std::printf("no degradation: all %zu searches finished in budget\n",
+                  saved.records.size());
+    }
+
+    Relation repaired =
+        normalize ? normalizer.Invert(saved.repaired) : saved.repaired;
+
+    // Per-outlier report (first 20 rows).
+    int shown = 0;
+    for (const OutlierRecord& rec : saved.records) {
+      if (rec.disposition != OutlierDisposition::kSaved || shown >= 20)
+        continue;
+      std::printf("  row %zu:", rec.row);
+      for (std::size_t a : rec.adjusted_attributes.ToIndices()) {
+        std::printf(" %s %s->%s", raw.schema().name(a).c_str(),
+                    raw[rec.row][a].ToString().c_str(),
+                    repaired[rec.row][a].ToString().c_str());
+      }
+      std::printf("  (cost %.4f)\n", rec.cost);
+      ++shown;
+    }
+
+    Status write_status = WriteCsv(repaired, output_path);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", output_path.c_str(),
+                   write_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote repaired relation to %s\n", output_path.c_str());
+  }
+
+  if (serve) {
+    // Keep serving until SIGINT/SIGTERM: a scraper should be able to read
+    // the final state of a finished run, and --serve-idle exists purely to
+    // expose the plane. The shutdown ordering below mirrors
+    // HttpServer::Stop's contract: stop accepting scrapes first, then
+    // detach the global registries (record sites become no-ops), then
+    // flush the durable outputs.
+    std::printf(run_pipeline
+                    ? "pipeline done; serving until SIGINT/SIGTERM\n"
+                    : "idle; serving until SIGINT/SIGTERM\n");
+    std::fflush(stdout);
+    while (!g_shutdown.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("shutdown signal received; stopping server\n");
+    server->Stop();
+    AttachGlobalProgress(nullptr);
+  }
+
   if (metrics != nullptr) {
     AttachGlobalMetrics(nullptr);
-    if (WriteTextTo(metrics_json_path, metrics->ToJson())) {
-      if (metrics_json_path != "-" && !metrics_json_path.empty()) {
-        std::printf("wrote metrics snapshot to %s\n",
-                    metrics_json_path.c_str());
+    if (metrics_requested) {
+      if (WriteTextTo(metrics_json_path, metrics->ToJson())) {
+        if (metrics_json_path != "-" && !metrics_json_path.empty()) {
+          std::printf("wrote metrics snapshot to %s\n",
+                      metrics_json_path.c_str());
+        }
+      } else {
+        std::fprintf(stderr, "error writing metrics to %s\n",
+                     metrics_json_path.c_str());
+        exit_code = 1;
       }
-    } else {
-      std::fprintf(stderr, "error writing metrics to %s\n",
-                   metrics_json_path.c_str());
-      exit_code = 1;
     }
   }
   if (trace != nullptr) {

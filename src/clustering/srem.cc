@@ -5,6 +5,7 @@
 #include <limits>
 #include <numbers>
 
+#include "common/log.h"
 #include "common/random.h"
 
 namespace disc {
@@ -112,6 +113,10 @@ SremResult Srem(const Relation& relation, const SremParams& params) {
   result.labels.assign(n, kNoise);
   if (n == 0 || params.k == 0) return result;
   const std::size_t k = std::min(params.k, n);
+  if (k != params.k) {
+    DISC_LOG(WARN).Uint("k", params.k).Uint("n", n)
+        << "SREM: more components requested than points; clamping k to n";
+  }
 
   // Stability-by-restart: fit from several perturbed initializations and
   // keep the converged model with the best likelihood.

@@ -99,4 +99,10 @@ JsonWriter& JsonWriter::Bool(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace disc

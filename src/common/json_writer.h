@@ -23,6 +23,10 @@ class JsonWriter {
   JsonWriter& Int(long long v);
   JsonWriter& Uint(unsigned long long v);
   JsonWriter& Bool(bool v);
+  /// Splices `json` — which must already be a well-formed JSON value — as
+  /// the next value, with comma handling. For embedding pre-rendered
+  /// documents (e.g. structured log lines into /statusz).
+  JsonWriter& Raw(const std::string& json);
   /// The JSON document built so far.
   const std::string& str() const { return out_; }
 

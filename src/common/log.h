@@ -1,0 +1,132 @@
+#ifndef DISC_COMMON_LOG_H_
+#define DISC_COMMON_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace disc {
+
+/// Leveled structured logging (DESIGN.md §8, "Live observability plane").
+///
+/// Every record is emitted as exactly one JSON object per line through the
+/// shared JsonWriter escaping rules, e.g.
+///   {"ts_ms":1754352000123,"level":"warn","tid":7,"src":"datasets.cc:276",
+///    "msg":"unknown dataset name","name":"letters"}
+/// so log output is machine-parseable end to end (the CI observability job
+/// and `/statusz?logs=N` both consume it as JSONL).
+///
+/// Design goals, matching the metrics layer:
+///  1. Cheap when filtered: `DISC_LOG(DEBUG)` below the runtime level costs
+///     one relaxed atomic load; no stream, no allocation.
+///  2. Thread-safe: records are fully formatted on the calling thread and
+///     handed to the sink as one string; the default sink (stderr + ring
+///     buffer) serializes the final write under one mutex, so lines never
+///     interleave.
+///  3. Always inspectable: independent of the sink, the last kLogRingCapacity
+///     lines are retained in a process-global ring buffer whose tail is
+///     served at `/statusz?logs=N` — a live process carries its own recent
+///     history.
+///
+/// Library code must log through this interface instead of writing to
+/// stderr directly (CI greps `src/` for raw stderr writes and fails on
+/// any hit).
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lower-case identifier ("debug", "info", "warn", "error").
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive). Returns false
+/// (and leaves `out` untouched) for anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Runtime level filter: records below `level` are dropped at the callsite.
+/// Default kInfo. Thread-safe (relaxed atomic).
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// True iff a record at `level` would currently be emitted.
+inline bool LogEnabled(LogLevel level) { return level >= MinLogLevel(); }
+
+/// Master switch for the stderr sink (the ring buffer stays on). disc_cli
+/// turns this off under `--quiet`; tests use it to keep output clean.
+void SetLogToStderr(bool enabled);
+
+/// Replaces the output sink with `sink` (called with one complete JSON line,
+/// no trailing newline). Null restores the default stderr sink. The ring
+/// buffer is fed either way. Not synchronized against in-flight records:
+/// install sinks at startup or between quiesced phases, as tests do.
+void SetLogSink(std::function<void(const std::string& json_line)> sink);
+
+/// The most recent `max_lines` log lines (oldest first). Thread-safe.
+std::vector<std::string> RecentLogs(std::size_t max_lines);
+
+/// Number of records emitted since process start (post-filter). Cheap;
+/// exposed on /statusz so scrapes can detect log churn between polls.
+std::uint64_t LogLinesEmitted();
+
+/// Capacity of the in-process ring buffer behind RecentLogs().
+inline constexpr std::size_t kLogRingCapacity = 256;
+
+/// One in-flight log record. Built on the calling thread, emitted (JSON
+/// formatting + sink hand-off) by the destructor at the end of the full
+/// expression — `DISC_LOG(INFO).Str("k", v) << "message";` emits once.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* file, int line);
+  ~LogRecord();
+
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  /// Structured key/value fields, appended to the JSON object after the
+  /// fixed keys. Keys must not collide with "ts_ms"/"level"/"tid"/"src"/
+  /// "msg" (such a collision would produce duplicate JSON keys).
+  LogRecord& Str(std::string_view key, std::string_view value);
+  LogRecord& Int(std::string_view key, long long value);
+  LogRecord& Uint(std::string_view key, unsigned long long value);
+  LogRecord& Num(std::string_view key, double value);
+  LogRecord& Bool(std::string_view key, bool value);
+
+  /// Free-text message, streamed; lands in the "msg" field.
+  template <typename T>
+  LogRecord& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream message_;
+  /// (key, pre-rendered JSON value) pairs, in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// `DISC_LOG(INFO) << "..."` / `DISC_LOG(WARN).Str("k", v) << "..."`.
+/// The level check happens before the LogRecord is constructed, so a
+/// filtered statement never evaluates its message operands.
+#define DISC_LOG_LEVEL_DEBUG ::disc::LogLevel::kDebug
+#define DISC_LOG_LEVEL_INFO ::disc::LogLevel::kInfo
+#define DISC_LOG_LEVEL_WARN ::disc::LogLevel::kWarn
+#define DISC_LOG_LEVEL_ERROR ::disc::LogLevel::kError
+#define DISC_LOG(severity)                                                  \
+  for (bool disc_log_emit =                                                 \
+           ::disc::LogEnabled(DISC_LOG_LEVEL_##severity);                   \
+       disc_log_emit; disc_log_emit = false)                                \
+  ::disc::LogRecord(DISC_LOG_LEVEL_##severity, __FILE__, __LINE__)
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_LOG_H_

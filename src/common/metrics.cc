@@ -28,6 +28,33 @@ std::string PromDouble(double v) { return StrFormat("%g", v); }
 
 }  // namespace
 
+std::string PromEscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromEscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::size_t Counter::ShardIndex() { return ThisThreadShard(kShards); }
 
 Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
@@ -75,17 +102,25 @@ Histogram::Snapshot Histogram::Snap() const {
   return snap;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+void MetricsRegistry::RememberHelp(const std::string& name,
+                                   const std::string& help) {
+  if (!help.empty() && help_.count(name) == 0) help_[name] = help;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0) return nullptr;
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
   }
+  RememberHelp(name, help);
   return it->second.get();
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
     return nullptr;
@@ -94,11 +129,13 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
   }
+  RememberHelp(name, help);
   return it->second.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> bucket_bounds) {
+                                         std::vector<double> bucket_bounds,
+                                         const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (counters_.count(name) != 0 || gauges_.count(name) != 0) return nullptr;
   auto it = histograms_.find(name);
@@ -108,6 +145,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                 name, std::move(bucket_bounds)))
              .first;
   }
+  RememberHelp(name, help);
   return it->second.get();
 }
 
@@ -150,7 +188,14 @@ std::string MetricsRegistry::ToJson() const {
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  const auto help_line = [this, &out](const std::string& name) {
+    auto it = help_.find(name);
+    if (it != help_.end()) {
+      out += "# HELP " + name + " " + PromEscapeHelp(it->second) + "\n";
+    }
+  };
   for (const auto& [name, counter] : counters_) {
+    help_line(name);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + StrFormat("%llu",
                                   static_cast<unsigned long long>(
@@ -158,15 +203,18 @@ std::string MetricsRegistry::ToPrometheusText() const {
            "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
+    help_line(name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " +
            StrFormat("%lld", static_cast<long long>(gauge->Value())) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     Histogram::Snapshot snap = histogram->Snap();
+    help_line(name);
     out += "# TYPE " + name + " histogram\n";
     for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
-      out += name + "_bucket{le=\"" + PromDouble(snap.bounds[b]) + "\"} " +
+      out += name + "_bucket{le=\"" +
+             PromEscapeLabelValue(PromDouble(snap.bounds[b])) + "\"} " +
              StrFormat("%llu",
                        static_cast<unsigned long long>(snap.counts[b])) +
              "\n";

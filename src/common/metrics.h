@@ -136,30 +136,44 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  /// `help` (optional) becomes the `# HELP` line of the Prometheus
+  /// exposition; the first non-empty help text for a name wins.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
   /// `bucket_bounds` must be ascending; used only on first registration.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bucket_bounds);
+                          std::vector<double> bucket_bounds,
+                          const std::string& help = "");
 
   /// JSON exposition: one object with name-sorted "counters", "gauges" and
   /// "histograms" sections plus a schema_version. Deterministic for
   /// identical recorded work.
   std::string ToJson() const;
 
-  /// Prometheus text exposition (text format 0.0.4): `# TYPE` lines plus
-  /// samples; histogram buckets as `name_bucket{le="..."}` with the
-  /// conventional `_sum`/`_count` series.
+  /// Prometheus text exposition (text format 0.0.4): `# HELP` (when help
+  /// text was registered) and `# TYPE` lines plus samples; histogram
+  /// buckets as `name_bucket{le="..."}` with the conventional
+  /// `_sum`/`_count` series. Help text and label values are escaped per
+  /// the text-format spec (see PromEscapeHelp / PromEscapeLabelValue).
   std::string ToPrometheusText() const;
 
  private:
+  void RememberHelp(const std::string& name, const std::string& help);
+
   mutable std::mutex mu_;
   /// std::map: iteration is name-sorted, which makes snapshots
   /// deterministic without a sort at exposition time.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;  ///< name → # HELP text
 };
+
+/// Escaping rules of the Prometheus text format 0.0.4. HELP text escapes
+/// backslash and newline; label values additionally escape double quotes.
+/// Exposed for direct testing (tests/metrics_test.cc).
+std::string PromEscapeHelp(const std::string& s);
+std::string PromEscapeLabelValue(const std::string& s);
 
 /// The process-global registry, null until attached. Instrumented
 /// construction sites (neighbor indexes, the save pipeline) resolve their

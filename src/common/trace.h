@@ -42,9 +42,13 @@ struct TraceSpan {
 /// The current steady clock reading as span-compatible nanoseconds.
 std::uint64_t TraceNowNs();
 
-/// Span consumer. Implementations must accept Emit() from any thread; the
-/// save pipeline itself emits from the merge loop (input order, one thread)
-/// so a run's trace is deterministic in everything except timestamps.
+/// Span consumer. Implementations must accept Emit() from any thread,
+/// concurrently: the pipeline's merge loop emits "split"/"save_outlier"
+/// spans in input order from one thread, while DiscSaver workers emit
+/// "search" spans directly as each search finishes. Worker spans may
+/// interleave in any order between runs; every line is self-contained
+/// (the "ordinal" attribute keys it to its input position), so consumers
+/// must not rely on line order across span kinds.
 class TraceSink {
  public:
   virtual ~TraceSink() = default;

@@ -12,6 +12,7 @@
 
 #include "common/trace.h"
 #include "index/index_factory.h"
+#include "obs/progress.h"
 
 namespace disc {
 
@@ -322,7 +323,8 @@ SaveResult DiscSaver::SaveImpl(
 std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
                                            const SaveOptions& options,
                                            ThreadPool* pool,
-                                           const BatchBudget& batch) const {
+                                           const BatchBudget& batch,
+                                           TraceSink* trace) const {
   const std::size_t n = outliers.size();
   std::vector<SaveResult> results(n);
   if (n == 0) return results;
@@ -331,6 +333,14 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   const std::size_t workers =
       parallel ? std::min<std::size_t>(pool->size(), n) : 1;
 
+  // Live progress: registered once per batch when a global registry is
+  // attached, written once per outlier from whichever thread finishes it.
+  // A null registry costs one acquire load here and nothing per outlier.
+  std::shared_ptr<BatchProgressTracker> progress;
+  if (ProgressRegistry* registry = GlobalProgress()) {
+    progress = registry->StartBatch("save_all", n, batch.deadline);
+  }
+
   // Fair sub-deadlines: each task, when it *starts*, takes the remaining
   // batch wall clock × worker parallelism ÷ outliers left. Early tasks
   // that finish under their slice donate the unspent time to later ones
@@ -338,44 +348,62 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   // that would start past the deadline is drained-and-skipped.
   std::atomic<std::size_t> remaining{n};
 
-  auto run_one = [&](const Tuple& outlier) -> SaveResult {
+  auto run_one = [&](const Tuple& outlier, std::size_t ordinal) -> SaveResult {
+    SaveResult result;
     if (batch.cancellation.cancelled()) {
       remaining.fetch_sub(1, std::memory_order_relaxed);
-      return SkippedResult(outlier, SaveTermination::kCancelled);
-    }
-    if (batch.deadline.expired()) {
+      result = SkippedResult(outlier, SaveTermination::kCancelled);
+    } else if (batch.deadline.expired()) {
       remaining.fetch_sub(1, std::memory_order_relaxed);
-      return SkippedResult(outlier, SaveTermination::kDeadline);
-    }
-    Deadline task_deadline = batch.deadline;
-    if (!batch.deadline.is_infinite()) {
-      const std::size_t left = std::max<std::size_t>(
-          std::size_t{1}, remaining.load(std::memory_order_relaxed));
-      const auto rem = batch.deadline.remaining();
-      // Slice = rem × min(workers, left) ÷ left, with a clamp that skips
-      // the multiply for absurdly long deadlines (overflow safety).
-      auto slice = rem;
-      if (rem < std::chrono::hours(1)) {
-        const auto par =
-            static_cast<std::int64_t>(std::min<std::size_t>(workers, left));
-        slice = rem * par / static_cast<std::int64_t>(left);
+      result = SkippedResult(outlier, SaveTermination::kDeadline);
+    } else {
+      Deadline task_deadline = batch.deadline;
+      if (!batch.deadline.is_infinite()) {
+        const std::size_t left = std::max<std::size_t>(
+            std::size_t{1}, remaining.load(std::memory_order_relaxed));
+        const auto rem = batch.deadline.remaining();
+        // Slice = rem × min(workers, left) ÷ left, with a clamp that skips
+        // the multiply for absurdly long deadlines (overflow safety).
+        auto slice = rem;
+        if (rem < std::chrono::hours(1)) {
+          const auto par =
+              static_cast<std::int64_t>(std::min<std::size_t>(workers, left));
+          slice = rem * par / static_cast<std::int64_t>(left);
+        }
+        task_deadline = Deadline::Min(batch.deadline, Deadline::After(slice));
       }
-      task_deadline = Deadline::Min(batch.deadline, Deadline::After(slice));
+      if (batch.per_outlier_limit.count() > 0) {
+        task_deadline = Deadline::Min(
+            task_deadline, Deadline::After(batch.per_outlier_limit));
+      }
+      result = SaveImpl(outlier, options, task_deadline, batch.cancellation);
+      remaining.fetch_sub(1, std::memory_order_relaxed);
     }
-    if (batch.per_outlier_limit.count() > 0) {
-      task_deadline = Deadline::Min(task_deadline,
-                                    Deadline::After(batch.per_outlier_limit));
+    if (progress != nullptr) {
+      progress->RecordOutlier(result.termination, result.stats.wall_nanos);
     }
-    SaveResult result =
-        SaveImpl(outlier, options, task_deadline, batch.cancellation);
-    remaining.fetch_sub(1, std::memory_order_relaxed);
+    if (trace != nullptr) {
+      // Emitted from the worker thread the moment the search ends, so a
+      // live tail of the trace shows per-search progress. Line order across
+      // workers is nondeterministic; `ordinal` keys each span back to its
+      // input position.
+      TraceSpan span;
+      span.name = "search";
+      span.start_ns = result.stats.start_ns;
+      span.duration_ns = result.stats.wall_nanos;
+      span.Int("ordinal", ordinal)
+          .Str("termination", SaveTerminationName(result.termination));
+      result.stats.AttachTo(&span);
+      trace->Emit(span);
+    }
     return result;
   };
 
   if (!parallel) {
     for (std::size_t i = 0; i < n; ++i) {
-      results[i] = run_one(outliers[i]);
+      results[i] = run_one(outliers[i], i);
     }
+    if (progress != nullptr) progress->MarkDone();
     return results;
   }
 
@@ -389,13 +417,15 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   // pool's drain.
   std::vector<std::future<SaveResult>> futures;
   futures.reserve(n);
-  for (const Tuple& outlier : outliers) {
-    futures.push_back(
-        pool->Submit([&run_one, &outlier] { return run_one(outlier); }));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& outlier = outliers[i];
+    futures.push_back(pool->Submit(
+        [&run_one, &outlier, i] { return run_one(outlier, i); }));
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     results[i] = futures[i].get();
   }
+  if (progress != nullptr) progress->MarkDone();
   return results;
 }
 

@@ -20,6 +20,8 @@
 
 namespace disc {
 
+class TraceSink;
+
 /// Widest relation the savers support. Adjusted-attribute bookkeeping
 /// (ChangedAttributes, the B&B search over attribute sets X) uses
 /// AttributeSet bitmasks, so schemas beyond this arity must be rejected with
@@ -148,10 +150,21 @@ class DiscSaver {
   /// kCancelled, so pool shutdown is never blocked. A batch with an
   /// unlimited budget is bit-identical to one saved without this
   /// parameter.
+  ///
+  /// Observability: when a global ProgressRegistry is attached
+  /// (AttachGlobalProgress), the batch registers a "save_all" tracker and
+  /// each worker records its outlier as it finishes, so /statusz sees live
+  /// counts. With a non-null `trace`, each worker emits one "search" span
+  /// (carrying the ordinal and the full SearchStats) directly from its own
+  /// thread as the search completes — the sink must be thread-safe
+  /// (JsonlTraceSink is); span order across workers is nondeterministic but
+  /// each line is self-contained. Neither hook touches the search itself:
+  /// results stay bit-identical with or without them.
   std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
                                   const SaveOptions& options = {},
                                   ThreadPool* pool = nullptr,
-                                  const BatchBudget& batch = {}) const;
+                                  const BatchBudget& batch = {},
+                                  TraceSink* trace = nullptr) const;
 
   /// The bounds engine (exposed for tests and diagnostics).
   const BoundsEngine& bounds() const { return *bounds_; }

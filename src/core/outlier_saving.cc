@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/search_stats.h"
 #include "index/index_factory.h"
+#include "obs/progress.h"
 
 namespace disc {
 
@@ -168,10 +170,24 @@ SavedDataset SaveOutliers(const Relation& data,
   SavedDataset out;
   out.repaired = data;
 
+  DISC_LOG(INFO)
+      .Uint("rows", data.size())
+      .Uint("arity", data.arity())
+      .Num("epsilon", options.constraint.epsilon)
+      .Uint("eta", options.constraint.eta)
+      .Uint("threads", options.num_threads)
+      .Bool("exact", options.use_exact)
+      .Int("deadline_ms", options.batch_deadline_ms)
+      << "outlier saving pipeline started";
+
   // Wider schemas would silently overflow the AttributeSet bookkeeping of
   // the search; reject them up front.
   out.status = ValidateSaveArity(data.arity());
-  if (!out.status.ok()) return out;
+  if (!out.status.ok()) {
+    DISC_LOG(ERROR).Str("status", out.status.ToString())
+        << "outlier saving rejected its input";
+    return out;
+  }
 
   // Split into inliers r and outliers s against the full dataset. The
   // stats decorator meters the split phase so callers can see how the
@@ -198,6 +214,11 @@ SavedDataset SaveOutliers(const Relation& data,
     out.split_stats.AttachTo(&span);
     options.trace->Emit(span);
   }
+  DISC_LOG(INFO)
+      .Uint("inliers", out.inlier_rows.size())
+      .Uint("outliers", out.outlier_rows.size())
+      .Uint("index_queries", out.split_index_queries)
+      << "inlier/outlier split done";
   if (split.outlier_rows.empty()) {
     FlushBatchMetrics(options.metrics, out);
     return out;
@@ -251,11 +272,23 @@ SavedDataset SaveOutliers(const Relation& data,
     if (threads > 1 && outlier_tuples.size() > 1) {
       pool = std::make_unique<ThreadPool>(threads);
     }
-    disc_results =
-        disc_saver.SaveAll(outlier_tuples, effective.save, pool.get(), batch);
+    disc_results = disc_saver.SaveAll(outlier_tuples, effective.save,
+                                      pool.get(), batch, options.trace);
   }
 
   const std::size_t total_outliers = split.outlier_rows.size();
+
+  // The exact path saves sequentially in the merge loop below, so it gets
+  // its own tracker here (the DISC path registers "save_all" inside
+  // SaveAll); /statusz then always has a live batch to show.
+  std::shared_ptr<BatchProgressTracker> exact_progress;
+  if (effective.use_exact) {
+    if (ProgressRegistry* registry = GlobalProgress()) {
+      exact_progress =
+          registry->StartBatch("save_exact", total_outliers, batch.deadline);
+    }
+  }
+
   out.records.reserve(total_outliers);
   for (std::size_t i = 0; i < total_outliers; ++i) {
     const std::size_t row = split.outlier_rows[i];
@@ -311,6 +344,9 @@ SavedDataset SaveOutliers(const Relation& data,
       rec.adjusted_attributes = res.adjusted_attributes;
       rec.lower_bound = res.lower_bound;
     }
+    if (exact_progress != nullptr) {
+      exact_progress->RecordOutlier(rec.termination, rec.stats.wall_nanos);
+    }
 
     if (feasible && effective.natural_attribute_threshold != 0 &&
         rec.adjusted_attributes.size() >
@@ -348,7 +384,16 @@ SavedDataset SaveOutliers(const Relation& data,
     }
     out.records.push_back(std::move(rec));
   }
+  if (exact_progress != nullptr) exact_progress->MarkDone();
   FlushBatchMetrics(options.metrics, out);
+  DISC_LOG(INFO)
+      .Uint("saved", out.CountDisposition(OutlierDisposition::kSaved))
+      .Uint("natural",
+            out.CountDisposition(OutlierDisposition::kNaturalOutlier))
+      .Uint("infeasible",
+            out.CountDisposition(OutlierDisposition::kInfeasible))
+      .Bool("degraded", out.degraded())
+      << "outlier saving pipeline finished";
   return out;
 }
 

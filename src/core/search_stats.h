@@ -91,6 +91,7 @@ class StatsNeighborIndex : public NeighborIndex {
   StatsNeighborIndex(const NeighborIndex& base, SearchStats* stats)
       : base_(base), stats_(stats) {}
 
+  const char* Name() const override { return base_.Name(); }
   std::size_t size() const override { return base_.size(); }
 
   std::vector<Neighbor> RangeQuery(const Tuple& query,

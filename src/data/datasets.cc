@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "common/log.h"
 #include "common/random.h"
 #include "data/generators.h"
 #include "distance/evaluator.h"
@@ -275,6 +276,9 @@ PaperDataset MakePaperDataset(const std::string& name, std::uint64_t seed,
   Shape shape = ShapeFor(name);
   if (shape.tuples == 0) {
     // Unknown name: return an empty dataset with the name set.
+    DISC_LOG(WARN).Str("name", name)
+        << "unknown paper dataset name; returning an empty dataset (see "
+           "PaperDatasetNames() for the known ones)";
     PaperDataset ds;
     ds.name = name;
     return ds;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/log.h"
+
 namespace disc {
 
 namespace {
@@ -58,12 +60,26 @@ double Choose2(std::int64_t n) {
   return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
 }
 
+/// True when the two labelings are comparable. A size mismatch is a
+/// caller bug (labelings of different datasets); the metrics return their
+/// zero value for it, but silently — hence the diagnostic here.
+bool ComparableLabelings(const std::vector<int>& predicted,
+                         const std::vector<int>& truth, const char* metric) {
+  if (predicted.size() == truth.size()) return !predicted.empty();
+  DISC_LOG(WARN)
+      .Str("metric", metric)
+      .Uint("predicted", predicted.size())
+      .Uint("truth", truth.size())
+      << "clustering metric called with mismatched label vectors";
+  return false;
+}
+
 }  // namespace
 
 PairCountingScores PairCounting(const std::vector<int>& predicted,
                                 const std::vector<int>& truth) {
   PairCountingScores s;
-  if (predicted.size() != truth.size() || predicted.empty()) return s;
+  if (!ComparableLabelings(predicted, truth, "pair_counting")) return s;
   std::vector<int> p = SingletonizeNoise(predicted);
   std::vector<int> t = SingletonizeNoise(truth);
   Contingency c = BuildContingency(p, t);
@@ -86,7 +102,7 @@ PairCountingScores PairCounting(const std::vector<int>& predicted,
 }
 
 double Nmi(const std::vector<int>& predicted, const std::vector<int>& truth) {
-  if (predicted.size() != truth.size() || predicted.empty()) return 0;
+  if (!ComparableLabelings(predicted, truth, "nmi")) return 0;
   std::vector<int> p = SingletonizeNoise(predicted);
   std::vector<int> t = SingletonizeNoise(truth);
   Contingency c = BuildContingency(p, t);
@@ -123,7 +139,7 @@ double Nmi(const std::vector<int>& predicted, const std::vector<int>& truth) {
 }
 
 double Ari(const std::vector<int>& predicted, const std::vector<int>& truth) {
-  if (predicted.size() != truth.size() || predicted.empty()) return 0;
+  if (!ComparableLabelings(predicted, truth, "ari")) return 0;
   std::vector<int> p = SingletonizeNoise(predicted);
   std::vector<int> t = SingletonizeNoise(truth);
   Contingency c = BuildContingency(p, t);

@@ -33,6 +33,7 @@ class BruteForceIndex : public NeighborIndex {
     if (enable_fast_path) columnar_ = ColumnarView::Build(relation, evaluator);
   }
 
+  const char* Name() const override { return "brute_force"; }
   std::size_t size() const override { return relation_.size(); }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
                                    double epsilon) const override;

@@ -26,6 +26,7 @@ class GridIndex : public NeighborIndex {
   /// Grids stay efficient only in very low dimension.
   static constexpr std::size_t kMaxGridDims = 4;
 
+  const char* Name() const override { return "grid"; }
   std::size_t size() const override { return size_; }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
                                    double epsilon) const override;

@@ -1,10 +1,25 @@
 #include "index/index_factory.h"
 
+#include "common/log.h"
 #include "index/brute_force_index.h"
 #include "index/grid_index.h"
 #include "index/kd_tree.h"
 
 namespace disc {
+
+namespace {
+
+std::unique_ptr<NeighborIndex> LogChoice(std::unique_ptr<NeighborIndex> index,
+                                         const Relation& relation) {
+  DISC_LOG(DEBUG)
+      .Str("impl", index->Name())
+      .Uint("rows", relation.size())
+      .Uint("arity", relation.arity())
+      << "neighbor index built";
+  return index;
+}
+
+}  // namespace
 
 std::unique_ptr<NeighborIndex> MakeNeighborIndex(
     const Relation& relation, const DistanceEvaluator& evaluator,
@@ -16,13 +31,16 @@ std::unique_ptr<NeighborIndex> MakeNeighborIndex(
   if (force_brute_force || !relation.schema().all_numeric() ||
       relation.arity() == 0 || relation.arity() > 63 ||
       !evaluator.AllUnitAbsoluteDifference()) {
-    return std::make_unique<BruteForceIndex>(relation, evaluator);
+    return LogChoice(std::make_unique<BruteForceIndex>(relation, evaluator),
+                     relation);
   }
   if (epsilon_hint > 0 && relation.arity() <= GridIndex::kMaxGridDims) {
-    return std::make_unique<GridIndex>(relation, epsilon_hint,
-                                       evaluator.norm());
+    return LogChoice(std::make_unique<GridIndex>(relation, epsilon_hint,
+                                                 evaluator.norm()),
+                     relation);
   }
-  return std::make_unique<KdTree>(relation, evaluator.norm());
+  return LogChoice(std::make_unique<KdTree>(relation, evaluator.norm()),
+                   relation);
 }
 
 }  // namespace disc

@@ -29,6 +29,7 @@ class KdTree : public NeighborIndex {
   /// Builds a balanced tree (median splits) over `relation`.
   explicit KdTree(const Relation& relation, LpNorm norm = LpNorm::kL2);
 
+  const char* Name() const override { return "kd_tree"; }
   std::size_t size() const override { return size_; }
   std::vector<Neighbor> RangeQuery(const Tuple& query,
                                    double epsilon) const override;

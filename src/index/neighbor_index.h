@@ -29,6 +29,11 @@ class NeighborIndex {
  public:
   virtual ~NeighborIndex() = default;
 
+  /// Short implementation identifier ("brute_force", "kd_tree", "grid"),
+  /// matching the `disc_index_<impl>_*` metric names. Used by diagnostics
+  /// (index-construction logs); decorators forward to the wrapped index.
+  virtual const char* Name() const { return "neighbor_index"; }
+
   /// Number of indexed tuples.
   virtual std::size_t size() const = 0;
 

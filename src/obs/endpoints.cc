@@ -1,0 +1,90 @@
+#include "obs/endpoints.h"
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json_writer.h"
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "obs/progress.h"
+
+#ifndef DISC_VERSION
+#define DISC_VERSION "0.0.0-dev"
+#endif
+
+namespace disc {
+
+namespace {
+
+HttpResponse NoRegistry() {
+  return HttpResponse::Json(
+      "{\"error\":\"no metrics registry attached\",\"status\":503}\n", 503);
+}
+
+HttpResponse HandleMetrics(const HttpRequest&) {
+  MetricsRegistry* registry = GlobalMetrics();
+  if (registry == nullptr) return NoRegistry();
+  return HttpResponse::Text(registry->ToPrometheusText());
+}
+
+HttpResponse HandleMetricsJson(const HttpRequest&) {
+  MetricsRegistry* registry = GlobalMetrics();
+  if (registry == nullptr) return NoRegistry();
+  return HttpResponse::Json(registry->ToJson());
+}
+
+}  // namespace
+
+const char* DiscVersion() { return DISC_VERSION; }
+
+void RegisterObsEndpoints(HttpServer* server) {
+  const std::uint64_t start_ns = TraceNowNs();
+
+  server->Handle("/metrics", HandleMetrics);
+  server->Handle("/metrics.json", HandleMetricsJson);
+
+  server->Handle("/healthz", [start_ns](const HttpRequest&) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("status").String("ok");
+    json.Key("version").String(DiscVersion());
+    json.Key("uptime_seconds")
+        .Number(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
+    json.Key("pid").Int(static_cast<long long>(::getpid()));
+    json.EndObject();
+    return HttpResponse::Json(json.str() + "\n");
+  });
+
+  server->Handle("/statusz", [start_ns](const HttpRequest& request) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("schema_version").Int(1);
+    json.Key("uptime_seconds")
+        .Number(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
+    json.Key("metrics_attached").Bool(GlobalMetrics() != nullptr);
+    ProgressRegistry* progress = GlobalProgress();
+    json.Key("progress_attached").Bool(progress != nullptr);
+    json.Key("batches_started")
+        .Uint(progress != nullptr ? progress->batches_started() : 0);
+    json.Key("batches").BeginArray();
+    if (progress != nullptr) {
+      for (const auto& snap : progress->Snapshots()) snap.AppendJson(&json);
+    }
+    json.EndArray();
+    json.Key("log_lines_emitted").Uint(LogLinesEmitted());
+    const std::size_t log_tail = request.QueryUint("logs", 0);
+    if (log_tail > 0) {
+      json.Key("logs").BeginArray();
+      // Each ring entry is one already-rendered JSON object; splice as-is.
+      for (const std::string& line : RecentLogs(log_tail)) json.Raw(line);
+      json.EndArray();
+    }
+    json.EndObject();
+    return HttpResponse::Json(json.str() + "\n");
+  });
+}
+
+}  // namespace disc

@@ -1,0 +1,30 @@
+#ifndef DISC_OBS_ENDPOINTS_H_
+#define DISC_OBS_ENDPOINTS_H_
+
+#include "obs/http_server.h"
+
+namespace disc {
+
+/// Registers the four observability endpoints on `server` (call before
+/// Start()):
+///
+///   GET /metrics       Prometheus text 0.0.4 from the global registry
+///   GET /metrics.json  JSON exposition (schemas/metrics.schema.json)
+///   GET /healthz       liveness + build info (version, uptime, pid)
+///   GET /statusz       live snapshot of in-flight save batches
+///                      (schemas/statusz.schema.json); `?logs=N` appends
+///                      the newest N structured log lines from the ring
+///
+/// Handlers resolve GlobalMetrics()/GlobalProgress() per request, so they
+/// serve whatever the process attached; /metrics and /metrics.json answer
+/// 503 while no metrics registry is attached (the health and status
+/// endpoints always answer 200). All handlers are thread-safe and
+/// allocation-bounded — safe to scrape while a SaveAll batch is running.
+void RegisterObsEndpoints(HttpServer* server);
+
+/// The version string baked into /healthz (DISC_VERSION, set by CMake).
+const char* DiscVersion();
+
+}  // namespace disc
+
+#endif  // DISC_OBS_ENDPOINTS_H_

@@ -1,0 +1,261 @@
+// HttpServer + observability endpoints, exercised over real loopback
+// sockets: routing, error statuses, request-size caps, and scraping
+// concurrently with an active SaveOutliers batch.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "core/outlier_saving.h"
+#include "data/generators.h"
+#include "distance/evaluator.h"
+#include "obs/endpoints.h"
+#include "obs/http_server.h"
+#include "obs/progress.h"
+
+namespace disc {
+namespace {
+
+/// Minimal blocking HTTP client: sends `raw` to 127.0.0.1:`port`, reads
+/// until the server closes (Connection: close), returns the full response.
+std::string RawRequest(std::uint16_t port, const std::string& raw) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(std::uint16_t port, const std::string& target) {
+  return RawRequest(port, "GET " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+/// Status code of a raw response ("HTTP/1.1 200 OK..." -> 200), 0 on junk.
+int StatusCode(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) return 0;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string Body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// A started server with the observability endpoints registered on an
+/// ephemeral port. Stops (and detaches nothing) on destruction.
+std::unique_ptr<HttpServer> StartObsServer() {
+  HttpServer::Options options;  // 127.0.0.1, port 0 = ephemeral
+  auto server = std::make_unique<HttpServer>(std::move(options));
+  RegisterObsEndpoints(server.get());
+  Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  EXPECT_GT(server->port(), 0);
+  return server;
+}
+
+TEST(HttpServer, HealthzAlwaysOkWithBuildInfo) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  const std::string response = Get(server->port(), "/healthz");
+  EXPECT_EQ(StatusCode(response), 200) << response;
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"version\":\"" + std::string(DiscVersion()) + "\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos) << body;
+}
+
+TEST(HttpServer, MetricsAnswers503WithoutRegistryAnd200WithOne) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  ASSERT_EQ(GlobalMetrics(), nullptr);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/metrics")), 503);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/metrics.json")), 503);
+
+  MetricsRegistry registry;
+  registry.GetCounter("disc_events_total", "test events")->Add(7);
+  AttachGlobalMetrics(&registry);
+  const std::string text = Get(server->port(), "/metrics");
+  const std::string json = Get(server->port(), "/metrics.json");
+  AttachGlobalMetrics(nullptr);
+
+  EXPECT_EQ(StatusCode(text), 200) << text;
+  EXPECT_NE(text.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(text.find("# HELP disc_events_total test events\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE disc_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("disc_events_total 7\n"), std::string::npos);
+  EXPECT_EQ(StatusCode(json), 200) << json;
+  EXPECT_NE(Body(json).find("\"disc_events_total\":7"), std::string::npos);
+}
+
+TEST(HttpServer, StatuszSnapshotsProgressAndLogs) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  ProgressRegistry progress;
+  auto tracker = progress.StartBatch("save_all", 4, Deadline::Infinite());
+  tracker->RecordOutlier(SaveTermination::kCompleted, 1000);
+  tracker->RecordOutlier(SaveTermination::kDeadline, 2000);
+  AttachGlobalProgress(&progress);
+  const std::string response = Get(server->port(), "/statusz");
+  const std::string with_logs = Get(server->port(), "/statusz?logs=5");
+  AttachGlobalProgress(nullptr);
+
+  EXPECT_EQ(StatusCode(response), 200) << response;
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"progress_attached\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"label\":\"save_all\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"total\":4"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"completed\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"degraded\":1"), std::string::npos) << body;
+  // Without ?logs=N no log array is embedded; with it the key appears.
+  EXPECT_EQ(body.find("\"logs\":"), std::string::npos) << body;
+  EXPECT_NE(Body(with_logs).find("\"log_lines_emitted\":"),
+            std::string::npos);
+}
+
+TEST(HttpServer, UnknownPathIs404AndNonGetIs405) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  EXPECT_EQ(StatusCode(Get(server->port(), "/nope")), 404);
+  EXPECT_EQ(StatusCode(RawRequest(server->port(),
+                                  "POST /healthz HTTP/1.1\r\n"
+                                  "Host: localhost\r\n\r\n")),
+            405);
+}
+
+TEST(HttpServer, HeadRequestReturnsHeadersWithoutBody) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  const std::string response = RawRequest(
+      server->port(), "HEAD /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  EXPECT_EQ(StatusCode(response), 200) << response;
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+  EXPECT_EQ(Body(response), "") << response;
+}
+
+TEST(HttpServer, OversizedRequestLineIs414) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  // A request line that never ends within max_request_bytes (default 8192).
+  const std::string huge = "GET /" + std::string(10000, 'a');
+  EXPECT_EQ(StatusCode(RawRequest(server->port(), huge)), 414);
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  EXPECT_EQ(StatusCode(RawRequest(server->port(), "nonsense\r\n\r\n")), 400);
+}
+
+TEST(HttpServer, StopIsIdempotentAndPortRefusesAfterStop) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  const std::uint16_t port = server->port();
+  EXPECT_EQ(StatusCode(Get(port, "/healthz")), 200);
+  server->Stop();
+  server->Stop();  // idempotent
+  EXPECT_FALSE(server->running());
+  EXPECT_EQ(RawRequest(port, "GET /healthz HTTP/1.1\r\n\r\n"), "");
+}
+
+TEST(HttpServer, ConcurrentScrapesDuringActiveSaveAll) {
+  // A live scrape must observe a consistent snapshot while the pipeline
+  // mutates the registries from worker threads — this is the acceptance
+  // scenario behind `disc_cli --serve`.
+  std::vector<ClusterSpec> specs = {
+      {{0, 0, 0, 0}, 0.5, 150},
+      {{10, 10, 0, 0}, 0.5, 150},
+  };
+  LabeledRelation mixture = GenerateGaussianMixture(specs, /*seed=*/7);
+  Rng rng(11);
+  for (std::size_t row = 2; row < mixture.data.size(); row += 7) {
+    std::size_t a = static_cast<std::size_t>(rng.UniformInt(0, 3));
+    mixture.data[row][a] =
+        Value(mixture.data[row][a].num() + 25.0 + rng.Uniform() * 5.0);
+  }
+  Relation data = std::move(mixture.data);
+  DistanceEvaluator evaluator(data.schema());
+
+  MetricsRegistry metrics;
+  ProgressRegistry progress;
+  AttachGlobalMetrics(&metrics);
+  AttachGlobalProgress(&progress);
+  std::unique_ptr<HttpServer> server = StartObsServer();
+
+  OutlierSavingOptions options;
+  options.constraint = {1.6, 5};
+  options.save.kappa = 2;
+  options.num_threads = 4;
+  options.metrics = &metrics;
+
+  std::atomic<bool> pipeline_done{false};
+  SavedDataset saved;
+  std::thread pipeline([&] {
+    // A few back-to-back batches keep workers busy while scrapes land.
+    for (int round = 0; round < 5; ++round) {
+      saved = SaveOutliers(data, evaluator, options);
+    }
+    pipeline_done.store(true, std::memory_order_release);
+  });
+
+  std::size_t scrapes = 0;
+  while (!pipeline_done.load(std::memory_order_acquire) || scrapes < 4) {
+    for (const char* target :
+         {"/metrics", "/metrics.json", "/healthz", "/statusz?logs=10"}) {
+      const std::string response = Get(server->port(), target);
+      EXPECT_EQ(StatusCode(response), 200) << target << "\n" << response;
+    }
+    ++scrapes;
+  }
+  pipeline.join();
+  server->Stop();
+  AttachGlobalProgress(nullptr);
+  AttachGlobalMetrics(nullptr);
+
+  ASSERT_TRUE(saved.status.ok());
+  EXPECT_GT(saved.records.size(), 0u);
+  EXPECT_GE(scrapes, 4u);
+  // The batches ran while attached, so /statusz had live trackers to show.
+  EXPECT_EQ(progress.batches_started(), 5u);
+  // And the scrapes themselves were metered.
+  EXPECT_GE(metrics.GetCounter("disc_http_requests_total")->Value(),
+            4u * scrapes);
+}
+
+}  // namespace
+}  // namespace disc

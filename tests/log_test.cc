@@ -1,0 +1,140 @@
+// Structured logging: level filtering, JSON line shape, the in-memory ring
+// behind /statusz?logs=N, and custom sinks.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+
+namespace disc {
+namespace {
+
+/// Captures emitted lines in a vector and restores the default sink (and
+/// level/stderr settings) on destruction, so tests cannot leak state.
+class LogCapture {
+ public:
+  LogCapture() {
+    SetLogToStderr(false);
+    SetLogSink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  ~LogCapture() {
+    SetLogSink(nullptr);
+    SetLogToStderr(true);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(LogLevel, ParseAcceptsNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("chatty", &level));
+  EXPECT_EQ(std::string(LogLevelName(LogLevel::kWarn)), "warn");
+}
+
+TEST(Log, MinLevelFiltersBelowAndEmitsAtOrAbove) {
+  LogCapture capture;
+  SetMinLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  DISC_LOG(INFO) << "filtered out";
+  DISC_LOG(WARN) << "kept";
+  DISC_LOG(ERROR) << "also kept";
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("\"level\":\"error\""),
+            std::string::npos);
+  EXPECT_EQ(capture.lines()[0].find("filtered out"), std::string::npos);
+}
+
+TEST(Log, LineIsOneJsonObjectWithStandardAndCustomFields) {
+  LogCapture capture;
+  DISC_LOG(WARN)
+      .Str("name", "va\"lue")
+      .Int("delta", -3)
+      .Uint("rows", 42)
+      .Num("ratio", 0.5)
+      .Bool("flag", true)
+      << "message with " << 2 << " parts";
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tid\":"), std::string::npos) << line;
+  // src carries basename:line, never the build-machine absolute path.
+  EXPECT_NE(line.find("\"src\":\"log_test.cc:"), std::string::npos) << line;
+  EXPECT_EQ(line.find("/root"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"msg\":\"message with 2 parts\""), std::string::npos)
+      << line;
+  // Custom fields, with string values JSON-escaped.
+  EXPECT_NE(line.find("\"name\":\"va\\\"lue\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"delta\":-3"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"rows\":42"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos) << line;
+}
+
+TEST(Log, RecentLogsReturnsNewestTailOldestFirst) {
+  LogCapture capture;
+  const std::uint64_t before = LogLinesEmitted();
+  for (int i = 0; i < 10; ++i) {
+    DISC_LOG(INFO).Int("i", i) << "line";
+  }
+  EXPECT_EQ(LogLinesEmitted(), before + 10);
+  std::vector<std::string> tail = RecentLogs(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_NE(tail[0].find("\"i\":7"), std::string::npos) << tail[0];
+  EXPECT_NE(tail[1].find("\"i\":8"), std::string::npos) << tail[1];
+  EXPECT_NE(tail[2].find("\"i\":9"), std::string::npos) << tail[2];
+}
+
+TEST(Log, RingSaturatesAtCapacityAndKeepsNewest) {
+  LogCapture capture;
+  for (std::size_t i = 0; i < kLogRingCapacity + 5; ++i) {
+    DISC_LOG(INFO).Uint("seq", i) << "ring";
+  }
+  std::vector<std::string> all = RecentLogs(kLogRingCapacity * 2);
+  ASSERT_EQ(all.size(), kLogRingCapacity);
+  // The 5 oldest lines were overwritten; the newest survives at the end.
+  EXPECT_NE(all.front().find("\"seq\":5"), std::string::npos) << all.front();
+  EXPECT_NE(all.back()
+                .find("\"seq\":" + std::to_string(kLogRingCapacity + 4)),
+            std::string::npos)
+      << all.back();
+}
+
+TEST(Log, DisabledLevelsSkipFieldEvaluationSideEffects) {
+  LogCapture capture;
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  DISC_LOG(DEBUG).Int("x", expensive()) << "never";
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(capture.lines().size(), 0u);
+  DISC_LOG(ERROR).Int("x", expensive()) << "emitted";
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(capture.lines().size(), 1u);
+}
+
+}  // namespace
+}  // namespace disc

@@ -165,6 +165,57 @@ TEST(MetricsRegistry, PrometheusExposition) {
   EXPECT_NE(text.find("disc_wall_seconds_count 2\n"), std::string::npos);
 }
 
+TEST(PrometheusEscaping, HelpEscapesBackslashAndNewline) {
+  EXPECT_EQ(PromEscapeHelp("plain help"), "plain help");
+  EXPECT_EQ(PromEscapeHelp("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeHelp("line1\nline2"), "line1\\nline2");
+  // Help text keeps double quotes verbatim — only label values escape them.
+  EXPECT_EQ(PromEscapeHelp("say \"hi\""), "say \"hi\"");
+}
+
+TEST(PrometheusEscaping, LabelValueAdditionallyEscapesQuotes) {
+  EXPECT_EQ(PromEscapeLabelValue("0.1"), "0.1");
+  EXPECT_EQ(PromEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(PromEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  // Backslash escapes first: an input already containing \" must not be
+  // double-processed into \\\" -> each source char handled exactly once.
+  EXPECT_EQ(PromEscapeLabelValue("\\\""), "\\\\\\\"");
+}
+
+TEST(PrometheusEscaping, HelpLinesRenderEscapedInExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("disc_tricky_total", "first \"line\"\nsecond\\line")
+      ->Add(1);
+  registry.GetGauge("disc_plain", "a plain gauge")->Set(4);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP disc_tricky_total first \"line\"\\nsecond"
+                      "\\\\line\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP disc_plain a plain gauge\n"), std::string::npos)
+      << text;
+  // The HELP line precedes the TYPE line of the same metric (text-format
+  // convention) and the raw newline never leaks into the exposition.
+  EXPECT_LT(text.find("# HELP disc_tricky_total"),
+            text.find("# TYPE disc_tricky_total"));
+  EXPECT_EQ(text.find("first \"line\"\nsecond"), std::string::npos) << text;
+}
+
+TEST(PrometheusEscaping, FirstNonEmptyHelpWinsAndEmptyHelpOmitsLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("disc_nohelp_total")->Add(1);
+  registry.GetCounter("disc_help_total", "original help")->Add(1);
+  // Later registrations never overwrite the recorded help.
+  registry.GetCounter("disc_help_total", "revised help");
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_EQ(text.find("# HELP disc_nohelp_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("# HELP disc_help_total original help\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("revised help"), std::string::npos) << text;
+}
+
 TEST(GlobalMetricsAttachment, IndexHandlesResolveOnlyWhileAttached) {
   // Detached (the default): every handle stays null and recording sites
   // degrade to guarded no-ops — the zero-overhead contract.

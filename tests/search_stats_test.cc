@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -247,6 +248,22 @@ std::uint64_t JsonUint(const std::string& line, const std::string& key) {
   return std::strtoull(line.c_str() + at + needle.size(), nullptr, 10);
 }
 
+/// Splits the trace file into lines grouped by span kind, preserving order.
+void SpansByKind(const std::string& path,
+                 std::map<std::string, std::vector<std::string>>* by_kind) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string needle = "\"span\":\"";
+    const std::size_t at = line.find(needle);
+    ASSERT_NE(at, std::string::npos) << line;
+    const std::size_t start = at + needle.size();
+    (*by_kind)[line.substr(start, line.find('"', start) - start)]
+        .push_back(line);
+  }
+}
+
 TEST(SearchStatsPipeline, TraceAccountsForEverySearch) {
   Relation data = MakeNoisyDataset(/*seed=*/97);
   const std::string path = ::testing::TempDir() + "/disc_trace_test.jsonl";
@@ -255,25 +272,39 @@ TEST(SearchStatsPipeline, TraceAccountsForEverySearch) {
   ASSERT_TRUE(saved.status.ok());
   ASSERT_TRUE(sink.Close().ok());
 
-  std::vector<std::string> lines;
-  {
-    std::ifstream in(path);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty()) lines.push_back(line);
-    }
-  }
-  // One split span plus one save_outlier span per record, in order.
-  ASSERT_EQ(lines.size(), 1 + saved.records.size()) << Slurp(path);
-  EXPECT_NE(lines[0].find("\"span\":\"split\""), std::string::npos);
-  EXPECT_EQ(JsonUint(lines[0], "index_queries"),
+  std::map<std::string, std::vector<std::string>> by_kind;
+  SpansByKind(path, &by_kind);
+  const std::size_t n = saved.records.size();
+  // One split span, one worker-emitted search span per outlier, one
+  // save_outlier span per record from the merge loop — nothing else.
+  ASSERT_EQ(by_kind["split"].size(), 1u) << Slurp(path);
+  ASSERT_EQ(by_kind["search"].size(), n) << Slurp(path);
+  ASSERT_EQ(by_kind["save_outlier"].size(), n) << Slurp(path);
+  ASSERT_EQ(by_kind.size(), 3u) << Slurp(path);
+  EXPECT_EQ(JsonUint(by_kind["split"][0], "index_queries"),
             saved.split_stats.index_queries);
 
+  // Worker search spans arrive in completion order; each must key back to
+  // its record via `ordinal` and carry that record's exact work counters.
+  std::vector<bool> seen(n, false);
+  for (const std::string& line : by_kind["search"]) {
+    const std::size_t ordinal =
+        static_cast<std::size_t>(JsonUint(line, "ordinal"));
+    ASSERT_LT(ordinal, n) << line;
+    EXPECT_FALSE(seen[ordinal]) << "duplicate ordinal: " << line;
+    seen[ordinal] = true;
+    EXPECT_EQ(JsonUint(line, "nodes_expanded"),
+              saved.records[ordinal].stats.nodes_expanded)
+        << line;
+    EXPECT_EQ(JsonUint(line, "index_queries"),
+              saved.records[ordinal].stats.index_queries)
+        << line;
+  }
+
   SearchStats from_trace;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    EXPECT_NE(line.find("\"span\":\"save_outlier\""), std::string::npos);
-    const OutlierRecord& rec = saved.records[i - 1];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string& line = by_kind["save_outlier"][i];
+    const OutlierRecord& rec = saved.records[i];
     EXPECT_EQ(JsonUint(line, "row"), rec.row);
     EXPECT_EQ(JsonUint(line, "nodes_expanded"), rec.stats.nodes_expanded);
     EXPECT_EQ(JsonUint(line, "index_queries"), rec.stats.index_queries);
@@ -291,6 +322,27 @@ TEST(SearchStatsPipeline, TraceAccountsForEverySearch) {
   EXPECT_EQ(from_trace.index_queries + saved.split_stats.index_queries,
             total.index_queries);
   std::remove(path.c_str());
+}
+
+TEST(SearchStatsPipeline, SearchSpanCountMatchesOutliersAtEveryThreadCount) {
+  Relation data = MakeNoisyDataset(/*seed=*/97);
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    const std::string path = ::testing::TempDir() + "/disc_trace_parity_" +
+                             std::to_string(threads) + ".jsonl";
+    JsonlTraceSink sink(path);
+    SavedDataset saved = RunPipeline(data, threads, nullptr, &sink);
+    ASSERT_TRUE(saved.status.ok());
+    ASSERT_TRUE(sink.Close().ok());
+    std::map<std::string, std::vector<std::string>> by_kind;
+    SpansByKind(path, &by_kind);
+    // Span-count parity: exactly one search span per outlier, no matter how
+    // the batch was scheduled across workers.
+    EXPECT_EQ(by_kind["search"].size(), saved.records.size())
+        << "at " << threads << " threads";
+    EXPECT_EQ(by_kind["save_outlier"].size(), saved.records.size())
+        << "at " << threads << " threads";
+    std::remove(path.c_str());
+  }
 }
 
 TEST(SearchStatsPipeline, StatsAggregateEqualsSplitPlusRecords) {
