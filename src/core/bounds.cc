@@ -2,13 +2,26 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "distance/lp_norm.h"
 
 namespace disc {
 
 namespace {
+
+/// Rows per nested chunk for the parallel bound scans, and the poll stride
+/// for the thread-safe hard-stop probe inside a chunk (matching the
+/// sequential KeepScanning stride).
+constexpr std::size_t kNestedScanGrain = 8192;
+constexpr std::size_t kNestedPollStride = 64;
+
+/// True when chunking an n-row bound scan over `pool` pays for itself.
+inline bool UseNestedScan(const WorkStealingPool* pool, std::size_t n) {
+  return pool != nullptr && pool->size() > 1 && n >= 2 * kNestedScanGrain;
+}
 
 /// The memoized attribute rows of a SearchDistanceCache for one subset X,
 /// resolved once per bound call so the O(n) row scans below touch flat
@@ -75,7 +88,8 @@ double BoundsEngine::GlobalLowerBound(const Tuple& outlier,
 
 double BoundsEngine::LowerBoundForX(const Tuple& outlier,
                                     const AttributeSet& x, BudgetGauge* gauge,
-                                    const SearchDistanceCache* dcache) const {
+                                    const SearchDistanceCache* dcache,
+                                    WorkStealingPool* nested) const {
   // Candidates are inliers with Δ(t_o[X], t[X]) ≤ ε (the shaded band in
   // Figure 3); among them we need the η-th nearest in full-space distance
   // (η−1 excluding the tuple's self-count).
@@ -94,10 +108,78 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
   heap.reserve(needed);
   SubsetRows band;
   if (dcache != nullptr) {
+    // Resolved on the calling thread: AttributeRow's lazy fill mutates
+    // under const and must never run inside a chunk.
     band = ResolveSubsetRows(*dcache, x, evaluator_.arity());
   }
   const LpNorm norm = evaluator_.norm();
-  for (std::size_t row = 0; row < relation_.size(); ++row) {
+  const std::size_t n = relation_.size();
+
+  if (UseNestedScan(nested, n)) {
+    // Chunked scan. Each chunk keeps its own `needed`-smallest heap; the
+    // merge takes the needed-th smallest of the concatenation, which equals
+    // the sequential heap front: a chunk only ever discards distances that
+    // already have `needed` smaller ones within the chunk, so the global
+    // k-smallest multiset survives intact. The "< needed qualifiers → +inf"
+    // verdict survives too — kept sizes sum below `needed` iff the total
+    // qualifier count is below `needed`.
+    const std::size_t chunks =
+        (n + kNestedScanGrain - 1) / kNestedScanGrain;
+    std::vector<std::vector<double>> chunk_heaps(chunks);
+    std::atomic<bool> aborted{false};
+    nested->ParallelFor(
+        0, n, kNestedScanGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          std::vector<double>& local = chunk_heaps[chunk];
+          local.reserve(needed);
+          std::size_t polls = 0;
+          for (std::size_t row = begin; row < end; ++row) {
+            if (gauge != nullptr && (++polls % kNestedPollStride) == 0) {
+              if (aborted.load(std::memory_order_relaxed)) return;
+              if (gauge->HardStopRequested()) {
+                aborted.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+            double dx =
+                dcache != nullptr
+                    ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
+                    : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
+                                                  constraint_.epsilon);
+            if (dx > constraint_.epsilon) continue;
+            double d = dcache != nullptr
+                           ? dcache->FullDistance(row)
+                           : evaluator_.Distance(outlier, relation_[row]);
+            if (local.size() < needed) {
+              local.push_back(d);
+              std::push_heap(local.begin(), local.end());
+            } else if (d < local.front()) {
+              std::pop_heap(local.begin(), local.end());
+              local.back() = d;
+              std::push_heap(local.begin(), local.end());
+            }
+          }
+        });
+    if (aborted.load(std::memory_order_relaxed)) {
+      gauge->RecordHardStop();
+      return 0;  // same safe value as an abandoned sequential scan
+    }
+    std::vector<double> all;
+    all.reserve(chunks * needed);
+    for (const std::vector<double>& local : chunk_heaps) {
+      all.insert(all.end(), local.begin(), local.end());
+    }
+    if (all.size() < needed) {
+      return std::numeric_limits<double>::infinity();
+    }
+    std::nth_element(all.begin(),
+                     all.begin() + static_cast<std::ptrdiff_t>(needed - 1),
+                     all.end());
+    double bound = all[needed - 1] - constraint_.epsilon;
+    return bound > 0 ? bound : 0;
+  }
+
+  for (std::size_t row = 0; row < n; ++row) {
     // An abandoned scan returns the uninformative bound 0: nothing is
     // pruned on its account, and the caller unwinds via gauge->stopped().
     if (gauge != nullptr && !gauge->KeepScanning()) return 0;
@@ -127,7 +209,7 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
 
 std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
     const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge,
-    const SearchDistanceCache* dcache) const {
+    const SearchDistanceCache* dcache, WorkStealingPool* nested) const {
   const std::size_t arity = evaluator_.arity();
   AttributeSet complement = x.ComplementIn(arity);
   if (gauge != nullptr) {
@@ -152,32 +234,105 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
     splice_rows = ResolveSubsetRows(*dcache, complement, arity);
   }
   const LpNorm norm = evaluator_.norm();
-  for (std::size_t row = 0; row < relation_.size(); ++row) {
-    // No partial donor scan may produce a bound: abandoning returns "no
-    // upper bound" so the incumbent is never replaced by a half-searched
-    // splice (anytime-soundness — see DESIGN.md).
-    if (gauge != nullptr && !gauge->KeepScanning()) return std::nullopt;
-    double dx = dcache != nullptr
+  const std::size_t n = relation_.size();
+
+  if (UseNestedScan(nested, n)) {
+    // Chunked donor scan. Each chunk tracks its own (qualified, any) minima
+    // with a chunk-local cost cap; accepted splice costs are always exact
+    // (partial Lp sums are monotone, so a cost below the cap never trips
+    // the early exit), so each chunk's minima equal a sequential scan of
+    // its rows. Merging in ascending chunk order with strict < then picks
+    // the globally minimal cost at its lowest row — exactly the sequential
+    // first-minimum. The splice + feasibility tail below stays sequential.
+    struct ChunkBest {
+      double qualified = std::numeric_limits<double>::infinity();
+      std::size_t qualified_row = static_cast<std::size_t>(-1);
+      double any = std::numeric_limits<double>::infinity();
+      std::size_t any_row = static_cast<std::size_t>(-1);
+    };
+    const std::size_t chunks =
+        (n + kNestedScanGrain - 1) / kNestedScanGrain;
+    std::vector<ChunkBest> bests(chunks);
+    std::atomic<bool> aborted{false};
+    nested->ParallelFor(
+        0, n, kNestedScanGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          ChunkBest& best = bests[chunk];
+          std::size_t polls = 0;
+          for (std::size_t row = begin; row < end; ++row) {
+            if (gauge != nullptr && (++polls % kNestedPollStride) == 0) {
+              if (aborted.load(std::memory_order_relaxed)) return;
+              if (gauge->HardStopRequested()) {
+                aborted.store(true, std::memory_order_relaxed);
+                return;
+              }
+            }
+            double dx =
+                dcache != nullptr
                     ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
                     : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
                                                   constraint_.epsilon);
-    if (dx > constraint_.epsilon) continue;
-    // A splice cost beyond both incumbents can update neither, so the
-    // larger incumbent is a sound early-exit threshold (accepted values are
-    // exact, rejected ones come back as +infinity and fail both `<`).
-    double cost_cap = std::max(best_any, best_qualified);
-    double cost = dcache != nullptr
-                      ? SubsetDistanceWithin(splice_rows, norm, row, cost_cap)
-                      : evaluator_.DistanceOnWithin(complement, outlier,
-                                                    relation_[row], cost_cap);
-    if (cost < best_any) {
-      best_any = cost;
-      best_any_row = row;
+            if (dx > constraint_.epsilon) continue;
+            double cost_cap = std::max(best.any, best.qualified);
+            double cost =
+                dcache != nullptr
+                    ? SubsetDistanceWithin(splice_rows, norm, row, cost_cap)
+                    : evaluator_.DistanceOnWithin(complement, outlier,
+                                                  relation_[row], cost_cap);
+            if (cost < best.any) {
+              best.any = cost;
+              best.any_row = row;
+            }
+            if (cache_.delta(row) <= constraint_.epsilon - dx &&
+                cost < best.qualified) {
+              best.qualified = cost;
+              best.qualified_row = row;
+            }
+          }
+        });
+    if (aborted.load(std::memory_order_relaxed)) {
+      gauge->RecordHardStop();
+      return std::nullopt;  // never a bound from a partial donor scan
     }
-    if (cache_.delta(row) <= constraint_.epsilon - dx &&
-        cost < best_qualified) {
-      best_qualified = cost;
-      best_qualified_row = row;
+    for (const ChunkBest& best : bests) {
+      if (best.any < best_any) {
+        best_any = best.any;
+        best_any_row = best.any_row;
+      }
+      if (best.qualified < best_qualified) {
+        best_qualified = best.qualified;
+        best_qualified_row = best.qualified_row;
+      }
+    }
+  } else {
+    for (std::size_t row = 0; row < n; ++row) {
+      // No partial donor scan may produce a bound: abandoning returns "no
+      // upper bound" so the incumbent is never replaced by a half-searched
+      // splice (anytime-soundness — see DESIGN.md).
+      if (gauge != nullptr && !gauge->KeepScanning()) return std::nullopt;
+      double dx =
+          dcache != nullptr
+              ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
+              : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
+                                            constraint_.epsilon);
+      if (dx > constraint_.epsilon) continue;
+      // A splice cost beyond both incumbents can update neither, so the
+      // larger incumbent is a sound early-exit threshold (accepted values
+      // are exact, rejected ones come back as +infinity and fail both `<`).
+      double cost_cap = std::max(best_any, best_qualified);
+      double cost = dcache != nullptr
+                        ? SubsetDistanceWithin(splice_rows, norm, row, cost_cap)
+                        : evaluator_.DistanceOnWithin(complement, outlier,
+                                                      relation_[row], cost_cap);
+      if (cost < best_any) {
+        best_any = cost;
+        best_any_row = row;
+      }
+      if (cache_.delta(row) <= constraint_.epsilon - dx &&
+          cost < best_qualified) {
+        best_qualified = cost;
+        best_qualified_row = row;
+      }
     }
   }
   if (best_any_row == static_cast<std::size_t>(-1)) return std::nullopt;

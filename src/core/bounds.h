@@ -16,6 +16,8 @@
 
 namespace disc {
 
+class WorkStealingPool;
+
 /// Bound computations of §3.1 / §3.2, shared by the DISC approximation and
 /// by tests that sandwich the exact optimum.
 ///
@@ -30,6 +32,16 @@ namespace disc {
 /// uninformative lower bound (0), no upper bound, or "not feasible" — never
 /// a partial result; callers detect the stop via gauge->stopped() and
 /// unwind with their incumbent. Without a gauge, behaviour is unchanged.
+///
+/// The O(n) scans of LowerBoundForX / UpperBoundForX optionally chunk
+/// across a WorkStealingPool (`nested` parameter): chunk boundaries are a
+/// pure function of (n, grain), each chunk reduces into its own slot, and
+/// the merges below are order-insensitive reconstructions of the
+/// sequential reduction (k-smallest multiset for Prop 3; ascending-chunk
+/// strict-< minimum for Prop 5), so results stay bit-identical to the
+/// sequential scan for any worker count. Parallel chunks poll the gauge's
+/// thread-safe HardStopRequested() instead of KeepScanning(); on a stop
+/// the owner records the reason and returns the same safe value.
 class BoundsEngine {
  public:
   /// `relation` is the inlier set r; `cache` holds δ_η(t) per inlier
@@ -54,10 +66,13 @@ class BoundsEngine {
   /// `dcache`, when supplied, must be the per-search cache built for this
   /// `outlier` over this relation; the full-space distances and memoized
   /// attribute rows then replace the per-X recomputation. Results are
-  /// bit-identical with or without it.
+  /// bit-identical with or without it. `nested`, when supplied, chunks the
+  /// row scan across idle pool workers (see the class comment); any lazy
+  /// dcache rows for X are resolved on the calling thread first.
   double LowerBoundForX(const Tuple& outlier, const AttributeSet& x,
                         BudgetGauge* gauge = nullptr,
-                        const SearchDistanceCache* dcache = nullptr) const;
+                        const SearchDistanceCache* dcache = nullptr,
+                        WorkStealingPool* nested = nullptr) const;
 
   /// Upper bound of Proposition 5. Finds t_2 ∈ r_ε(t_o[X]) with
   /// δ_η(t_2) ≤ ε − Δ(t_o[X], t_2[X]) minimizing Δ(t_o[R\X], t_2[R\X]), and
@@ -70,7 +85,8 @@ class BoundsEngine {
   };
   std::optional<UpperBound> UpperBoundForX(
       const Tuple& outlier, const AttributeSet& x, BudgetGauge* gauge = nullptr,
-      const SearchDistanceCache* dcache = nullptr) const;
+      const SearchDistanceCache* dcache = nullptr,
+      WorkStealingPool* nested = nullptr) const;
 
   /// Feasibility check: does `candidate` have ≥ η ε-neighbors in r?
   bool IsFeasible(const Tuple& candidate, BudgetGauge* gauge = nullptr) const;

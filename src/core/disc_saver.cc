@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <future>
 #include <limits>
+#include <numeric>
 #include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/trace.h"
 #include "index/index_factory.h"
 #include "obs/progress.h"
@@ -79,6 +80,8 @@ struct DiscSaver::SearchState {
   /// memoized per-attribute rows), shared by every bound computation of this
   /// search. Null when the fast path is disabled.
   const SearchDistanceCache* dcache = nullptr;
+  /// Pool serving the chunked bound scans of this search (null = inline).
+  WorkStealingPool* nested = nullptr;
 };
 
 void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
@@ -98,7 +101,8 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   // keeps X fixed costs at least LB(X); supersets of X only cost more, so
   // the whole subtree is cut when LB(X) >= incumbent.
   if (options.use_lower_bound_pruning) {
-    double lb = bounds_->LowerBoundForX(outlier, x, gauge, state->dcache);
+    double lb = bounds_->LowerBoundForX(outlier, x, gauge, state->dcache,
+                                        state->nested);
     if (gauge->stopped()) return;
     if (lb >= state->best_cost) {
       ++state->pruned;
@@ -111,7 +115,7 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   // donor scan yields no bound, so a stopped gauge can never sneak a
   // half-searched splice into the incumbent.
   std::optional<BoundsEngine::UpperBound> ub =
-      bounds_->UpperBoundForX(outlier, x, gauge, state->dcache);
+      bounds_->UpperBoundForX(outlier, x, gauge, state->dcache, state->nested);
   if (gauge->stopped()) return;
   if (ub.has_value() && ub->cost < state->best_cost) {
     state->best_cost = ub->cost;
@@ -164,15 +168,29 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
   return SaveImpl(outlier, options, Deadline::Infinite(), CancellationToken());
 }
 
-SaveResult DiscSaver::SaveImpl(
-    const Tuple& outlier, const SaveOptions& options, Deadline task_deadline,
-    const CancellationToken& batch_cancellation) const {
+double DiscSaver::EstimateSearchCost(const Tuple& outlier) const {
+  std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
+  if (needed == 0) return 0;
+  std::vector<Neighbor> nn = index_->KNearest(outlier, needed);
+  if (nn.size() < needed) {
+    // Fewer than η−1 inliers in total: the search degenerates anyway;
+    // schedule it first so its (cheap) infeasibility verdict lands early.
+    return std::numeric_limits<double>::infinity();
+  }
+  return nn.back().distance;
+}
+
+SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
+                               Deadline task_deadline,
+                               const CancellationToken& batch_cancellation,
+                               WorkStealingPool* nested) const {
   const std::uint64_t start_ns = TraceNowNs();
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
   BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
   SearchState state;
   state.gauge = &gauge;
+  state.nested = nested;
 
   // Per-search distance cache: Δ(t_o, t) to every inlier is invariant
   // across all B&B nodes of this search, so compute the vector once here
@@ -183,7 +201,7 @@ SaveResult DiscSaver::SaveImpl(
   std::optional<SearchDistanceCache> dcache;
   if (enable_fast_path_) {
     dcache.emplace(inliers_, evaluator_, outlier, columnar_.get(),
-                   &gauge.stats());
+                   &gauge.stats(), nested);
     state.dcache = &*dcache;
   }
 
@@ -195,8 +213,8 @@ SaveResult DiscSaver::SaveImpl(
   // letting the often-cheaper substitution into it would both over-prune
   // and mask the low-attribute adjustment the caller asked for. The
   // substitution is reconsidered after revert refinement below.
-  std::optional<BoundsEngine::UpperBound> global_seed =
-      bounds_->UpperBoundForX(outlier, AttributeSet(), &gauge, state.dcache);
+  std::optional<BoundsEngine::UpperBound> global_seed = bounds_->UpperBoundForX(
+      outlier, AttributeSet(), &gauge, state.dcache, nested);
   if (!restricted && global_seed.has_value()) {
     state.best_cost = global_seed->cost;
     state.best_adjusted = global_seed->adjusted;
@@ -322,7 +340,7 @@ SaveResult DiscSaver::SaveImpl(
 
 std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
                                            const SaveOptions& options,
-                                           ThreadPool* pool,
+                                           WorkStealingPool* pool,
                                            const BatchBudget& batch,
                                            TraceSink* trace) const {
   const std::size_t n = outliers.size();
@@ -332,6 +350,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   const bool parallel = pool != nullptr && pool->size() > 1 && n > 1;
   const std::size_t workers =
       parallel ? std::min<std::size_t>(pool->size(), n) : 1;
+  WorkStealingPool* nested = parallel ? pool : nullptr;
 
   // Live progress: registered once per batch when a global registry is
   // attached, written once per outlier from whichever thread finishes it.
@@ -376,7 +395,8 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
         task_deadline = Deadline::Min(
             task_deadline, Deadline::After(batch.per_outlier_limit));
       }
-      result = SaveImpl(outlier, options, task_deadline, batch.cancellation);
+      result =
+          SaveImpl(outlier, options, task_deadline, batch.cancellation, nested);
       remaining.fetch_sub(1, std::memory_order_relaxed);
     }
     if (progress != nullptr) {
@@ -407,23 +427,68 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
     return results;
   }
 
-  // One task per outlier: the searches vary wildly in cost (pruning depends
-  // on how deep in a cluster the donor tuples sit), so fine-grained tasks
-  // load-balance better than fixed chunks. The pool's bounded queue supplies
-  // backpressure for very large batches. Results land in input order, which
-  // together with the unchanged per-outlier search order makes the output
-  // bit-identical to the sequential path — including under a batch budget,
-  // where skipped tasks produce their records without ever blocking the
-  // pool's drain.
-  std::vector<std::future<SaveResult>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Tuple& outlier = outliers[i];
-    futures.push_back(pool->Submit(
-        [&run_one, &outlier, i] { return run_one(outlier, i); }));
+  // Cost-ordered work stealing. The searches vary wildly in cost (pruning
+  // depends on how deep in a cluster the donor tuples sit); a FIFO schedule
+  // routinely strands the most expensive search at the tail of the batch,
+  // serializing its whole runtime behind everything else. Estimating each
+  // search's difficulty first and dispatching hardest-first bounds that
+  // tail by the longest single search — and the estimates are cheap enough
+  // (one kNN query each, ~the cost of one bound scan) to amortize across
+  // the batch. The estimate pass runs on the same pool, in input order.
+  MetricsRegistry* metrics = GlobalMetrics();
+  const WorkStealingPool::SchedStats before = pool->stats();
+  Gauge* depth_gauge =
+      metrics != nullptr
+          ? metrics->GetGauge("disc_sched_queue_depth",
+                              "Batch save tasks queued but not yet started "
+                              "on the work-stealing pool")
+          : nullptr;
+
+  std::vector<double> estimates(n, 0.0);
+  {
+    std::vector<std::size_t> input_order(n);
+    std::iota(input_order.begin(), input_order.end(), std::size_t{0});
+    pool->RunBatch(input_order, [&](std::size_t i) {
+      estimates[i] = EstimateSearchCost(outliers[i]);
+    });
   }
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    results[i] = futures[i].get();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return estimates[a] > estimates[b];
+                   });
+
+  // One task per outlier, hardest first; results land in their input slot,
+  // which together with the unchanged per-outlier search order makes the
+  // output bit-identical to the sequential path — including under a batch
+  // budget, where skipped tasks produce their records without ever
+  // blocking the pool's drain.
+  pool->RunBatch(order, [&](std::size_t i) {
+    results[i] = run_one(outliers[i], i);
+    if (depth_gauge != nullptr) {
+      depth_gauge->Set(static_cast<std::int64_t>(pool->queue_depth()));
+    }
+  });
+  if (depth_gauge != nullptr) depth_gauge->Set(0);
+  if (metrics != nullptr) {
+    const WorkStealingPool::SchedStats after = pool->stats();
+    if (Counter* c = metrics->GetCounter(
+            "disc_sched_tasks_total",
+            "Work-stealing pool tasks executed (cost estimates and "
+            "per-outlier searches)")) {
+      c->Add(after.tasks - before.tasks);
+    }
+    if (Counter* c =
+            metrics->GetCounter("disc_sched_steals_total",
+                                "Tasks taken from another worker's deque")) {
+      c->Add(after.steals - before.steals);
+    }
+    if (Counter* c = metrics->GetCounter(
+            "disc_sched_nested_chunks_total",
+            "Nested bound-scan chunks executed by pool workers")) {
+      c->Add(after.nested_chunks - before.nested_chunks);
+    }
   }
   if (progress != nullptr) progress->MarkDone();
   return results;

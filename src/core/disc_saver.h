@@ -102,7 +102,7 @@ struct SaveResult {
 /// beat it.
 ///
 /// Typical use: build once per (inlier set, constraint), then Save() each
-/// outlier — or SaveAll() a batch, optionally across a ThreadPool.
+/// outlier — or SaveAll() a batch, optionally across a WorkStealingPool.
 ///
 /// Thread-safety: after construction, Save()/SaveAll() are const and touch
 /// only immutable shared state (the inlier relation, evaluator,
@@ -131,14 +131,27 @@ class DiscSaver {
   SaveResult Save(const Tuple& outlier, const SaveOptions& options = {}) const;
 
   /// Saves a batch of outliers, one independent Save() per tuple. With a
-  /// non-null `pool` of more than one worker the searches run concurrently,
-  /// one task per outlier, against the shared read-only index state.
+  /// non-null `pool` of more than one worker the searches run concurrently
+  /// against the shared read-only index state, scheduled cost-ordered:
+  /// each outlier's search cost is estimated up front (its η−1-NN distance
+  /// — how far it sits from the inlier mass predicts how much bound work
+  /// the B&B search needs), the estimates are sorted descending, and the
+  /// pool's work-stealing deques start the hardest searches first while
+  /// idle workers steal the cheap ones from the back. Late stragglers
+  /// additionally fan their O(n) bound scans out across idle workers
+  /// (nested parallelism — see BoundsEngine and WorkStealingPool).
   ///
-  /// Determinism: each per-outlier search is sequential and identical to a
-  /// plain Save() call, and results are merged by input order, so the
-  /// returned vector is bit-identical for every thread count (including
-  /// pool == nullptr). `outliers` and `options` must stay alive and
-  /// unmodified until SaveAll returns.
+  /// Determinism: the schedule orders only *execution*; every per-outlier
+  /// search performs identical work to a plain Save() call (the nested
+  /// chunk merges are bit-identical by construction, and the cost
+  /// estimates run outside the per-search SearchStats), and results are
+  /// merged by input order — so the returned vector, including the
+  /// attached stats (SearchStats::SameWork), is bit-identical for every
+  /// thread count (including pool == nullptr). The estimate queries do
+  /// bump the process-wide disc_index_* metrics; that telemetry is the
+  /// only observable difference between the parallel and sequential
+  /// paths. `outliers` and `options` must stay alive and unmodified until
+  /// SaveAll returns.
   ///
   /// Batch budget: `batch.deadline` bounds the whole batch. Each task
   /// computes a fair slice of the remaining time when it starts (remaining
@@ -159,10 +172,12 @@ class DiscSaver {
   /// thread as the search completes — the sink must be thread-safe
   /// (JsonlTraceSink is); span order across workers is nondeterministic but
   /// each line is self-contained. Neither hook touches the search itself:
-  /// results stay bit-identical with or without them.
+  /// results stay bit-identical with or without them. Scheduler telemetry
+  /// (task/steal/nested-chunk deltas, live queue depth) flows into the
+  /// global MetricsRegistry as disc_sched_* when one is attached.
   std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
                                   const SaveOptions& options = {},
-                                  ThreadPool* pool = nullptr,
+                                  WorkStealingPool* pool = nullptr,
                                   const BatchBudget& batch = {},
                                   TraceSink* trace = nullptr) const;
 
@@ -171,9 +186,17 @@ class DiscSaver {
 
  private:
   struct SearchState;
+  /// `nested`, when non-null, serves the chunked bound scans of this search
+  /// (results bit-identical with or without it).
   SaveResult SaveImpl(const Tuple& outlier, const SaveOptions& options,
                       Deadline task_deadline,
-                      const CancellationToken& batch_cancellation) const;
+                      const CancellationToken& batch_cancellation,
+                      WorkStealingPool* nested = nullptr) const;
+  /// Scheduling cost estimate for one outlier: its η−1-NN distance in r.
+  /// Cheap (one grid-accelerated kNN query), correlates with how much of
+  /// the space the B&B search must cover, and runs outside any BudgetGauge
+  /// so per-search stats stay schedule-independent.
+  double EstimateSearchCost(const Tuple& outlier) const;
   void Explore(const Tuple& outlier, AttributeSet x, const SaveOptions& options,
                SearchState* state) const;
   void RevertRefine(const Tuple& outlier, Tuple* adjusted,

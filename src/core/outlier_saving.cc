@@ -255,7 +255,8 @@ SavedDataset SaveOutliers(const Relation& data,
   batch.cancellation = options.cancellation;
 
   // Batch-save the DISC path. Each outlier's search is independent against
-  // the fixed inlier set, so the batch fans out across a thread pool; the
+  // the fixed inlier set, so the batch fans out across a work-stealing pool
+  // (cost-ordered, hardest searches first — see DiscSaver::SaveAll); the
   // merge below walks `split.outlier_rows` in input order either way, so
   // the records are bit-identical for every thread count.
   std::vector<SaveResult> disc_results;
@@ -266,11 +267,11 @@ SavedDataset SaveOutliers(const Relation& data,
       outlier_tuples.push_back(data[row]);
     }
     std::size_t threads = effective.num_threads == 0
-                              ? ThreadPool::DefaultThreadCount()
+                              ? WorkStealingPool::DefaultThreadCount()
                               : effective.num_threads;
-    std::unique_ptr<ThreadPool> pool;
+    std::unique_ptr<WorkStealingPool> pool;
     if (threads > 1 && outlier_tuples.size() > 1) {
-      pool = std::make_unique<ThreadPool>(threads);
+      pool = std::make_unique<WorkStealingPool>(threads);
     }
     disc_results = disc_saver.SaveAll(outlier_tuples, effective.save,
                                       pool.get(), batch, options.trace);

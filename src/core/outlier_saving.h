@@ -155,7 +155,8 @@ struct SavedDataset {
 /// (Algorithm 1, or the exact algorithm when `use_exact`). Outliers are
 /// saved independently — each is adjusted w.r.t. the fixed inlier set, so
 /// the order of processing does not matter; with `num_threads` > 1 the
-/// per-outlier searches run on a ThreadPool with bit-identical results.
+/// per-outlier searches run on a WorkStealingPool with bit-identical
+/// results.
 /// Check `SavedDataset::status` first: a schema wider than
 /// kMaxSaveableAttributes is rejected rather than silently truncated.
 ///

@@ -132,6 +132,18 @@ class BudgetGauge {
   /// polynomial and strictly cost-reducing.
   bool ContinueRefinement();
 
+  /// Thread-safe hard-stop probe for *parallel* scan chunks: reads only the
+  /// cancellation atomics and the steady clock, touching none of the gauge's
+  /// mutable state. Chunk workers poll this; the owning thread then calls
+  /// RecordHardStop() after the chunks join to fold the verdict into the
+  /// single-threaded stop state.
+  bool HardStopRequested() const;
+
+  /// Records a hard stop observed by HardStopRequested() on the owner
+  /// thread. Cancellation wins over deadline (same precedence as
+  /// KeepScanning). No-op if already stopped.
+  void RecordHardStop();
+
   /// The per-search work counters this gauge owns. The bound scans and
   /// feasibility checks record one logical index query each (the unit
   /// metered by SearchBudget::max_index_queries) plus their typed counts;

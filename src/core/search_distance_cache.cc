@@ -2,15 +2,25 @@
 
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "distance/lp_norm.h"
 
 namespace disc {
+
+namespace {
+
+/// Rows per chunk when the eager full-distance fill runs on a pool. Matches
+/// the bound-scan grain: each chunk is tens of microseconds of arithmetic.
+constexpr std::size_t kFillGrain = 8192;
+
+}  // namespace
 
 SearchDistanceCache::SearchDistanceCache(const Relation& relation,
                                          const DistanceEvaluator& evaluator,
                                          const Tuple& outlier,
                                          const ColumnarView* view,
-                                         SearchStats* stats)
+                                         SearchStats* stats,
+                                         WorkStealingPool* pool)
     : relation_(relation),
       evaluator_(evaluator),
       outlier_(outlier),
@@ -20,8 +30,28 @@ SearchDistanceCache::SearchDistanceCache(const Relation& relation,
   if (view != nullptr) kernel_.emplace(*view, outlier);
   const std::size_t n = relation.size();
   full_.resize(n);
+  const bool parallel =
+      pool != nullptr && pool->size() > 1 && n >= 2 * kFillGrain;
   if (kernel_.has_value()) {
-    for (std::size_t i = 0; i < n; ++i) full_[i] = kernel_->Distance(i);
+    if (parallel) {
+      // Each entry is an independent write; chunked or sequential fills
+      // produce the identical vector.
+      pool->ParallelFor(0, n, kFillGrain,
+                        [&](std::size_t begin, std::size_t end, std::size_t) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            full_[i] = kernel_->Distance(i);
+                          }
+                        });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) full_[i] = kernel_->Distance(i);
+    }
+  } else if (parallel) {
+    pool->ParallelFor(0, n, kFillGrain,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          full_[i] = evaluator_.Distance(outlier_, relation_[i]);
+                        }
+                      });
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       full_[i] = evaluator_.Distance(outlier_, relation_[i]);

@@ -42,11 +42,16 @@ class SearchDistanceCache {
   /// `evaluator`. All references must outlive the cache; `outlier` must not
   /// be mutated while the cache is live. `stats` (optional) receives one
   /// dcache_miss per lazily filled attribute row and one dcache_hit per
-  /// row request served from the memo.
+  /// row request served from the memo. `pool` (optional) parallelizes the
+  /// eager full-distance fill — each row's entry is independent, so chunked
+  /// writes produce the identical vector; the lazy attribute rows stay
+  /// single-threaded (they mutate under const and must only ever be touched
+  /// by the owning search thread).
   SearchDistanceCache(const Relation& relation,
                       const DistanceEvaluator& evaluator, const Tuple& outlier,
                       const ColumnarView* view = nullptr,
-                      SearchStats* stats = nullptr);
+                      SearchStats* stats = nullptr,
+                      WorkStealingPool* pool = nullptr);
 
   /// Number of inlier rows n.
   std::size_t rows() const { return full_.size(); }

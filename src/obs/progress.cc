@@ -79,6 +79,7 @@ BatchProgressTracker::Snapshot BatchProgressTracker::Snap() const {
     snap.infeasible += s.infeasible.load(std::memory_order_acquire);
   }
   snap.finished = snap.completed + snap.degraded;
+  snap.queued = snap.finished < snap.total ? snap.total - snap.finished : 0;
   snap.done = done();
   snap.elapsed_seconds =
       static_cast<double>(TraceNowNs() - start_ns_) * 1e-9;
@@ -116,6 +117,7 @@ void BatchProgressTracker::Snapshot::AppendJson(JsonWriter* json) const {
   json->Key("degraded").Uint(degraded);
   json->Key("infeasible").Uint(infeasible);
   json->Key("finished").Uint(finished);
+  json->Key("queued").Uint(queued);
   json->Key("done").Bool(done);
   json->Key("elapsed_seconds").Number(elapsed_seconds);
   json->Key("has_deadline").Bool(has_deadline);

@@ -63,6 +63,9 @@ class BatchProgressTracker {
     std::size_t infeasible = 0;
     /// completed + degraded (== total once the batch is done).
     std::size_t finished = 0;
+    /// total − finished: outliers still queued or in flight on the pool —
+    /// the live queue-depth view of the batch.
+    std::size_t queued = 0;
     bool done = false;
     double elapsed_seconds = 0;
     bool has_deadline = false;

@@ -261,8 +261,8 @@ TEST(AnytimeSave, PreCancelledBatchDrainsAndSkipsEverything) {
 
   // Sequential and pooled paths must both drain-and-skip: every record
   // present, nothing adjusted, pool shutdown unblocked.
-  ThreadPool pool(4);
-  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+  WorkStealingPool pool(4);
+  for (WorkStealingPool* p : {static_cast<WorkStealingPool*>(nullptr), &pool}) {
     std::vector<SaveResult> results = saver.SaveAll(outliers, {}, p, batch);
     ASSERT_EQ(results.size(), outliers.size());
     for (std::size_t i = 0; i < results.size(); ++i) {

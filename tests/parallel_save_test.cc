@@ -109,7 +109,7 @@ TEST(ParallelSave, SaveAllMatchesIndividualSaves) {
   SaveOptions options;
   options.kappa = 2;
 
-  ThreadPool pool(4);
+  WorkStealingPool pool(4);
   std::vector<SaveResult> batch = saver.SaveAll(outliers, options, &pool);
   ASSERT_EQ(batch.size(), outliers.size());
   for (std::size_t i = 0; i < outliers.size(); ++i) {
@@ -136,7 +136,7 @@ TEST(ParallelSave, SaveAllWithoutPoolIsSequentialPath) {
 
   DiscSaver saver(inliers, evaluator, constraint);
   std::vector<SaveResult> no_pool = saver.SaveAll(outliers);
-  ThreadPool pool(2);
+  WorkStealingPool pool(2);
   std::vector<SaveResult> with_pool = saver.SaveAll(outliers, {}, &pool);
   ASSERT_EQ(no_pool.size(), with_pool.size());
   for (std::size_t i = 0; i < no_pool.size(); ++i) {
