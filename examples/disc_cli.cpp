@@ -5,6 +5,9 @@
 //            [--kappa K] [--threads T] [--normalize] [--exact]
 //            [--deadline-ms D] [--per-outlier-deadline-ms D]
 //            [--metrics-json PATH] [--trace PATH]
+//            [--journal PATH] [--resume] [--retries N]
+//            [--fault-spec SPEC] [--fault-seed N]
+//            [--strict-csv] [--max-input-bytes N]
 //            [--serve[=PORT]] [--log-level LEVEL] [--quiet]
 //   disc_cli --serve-idle[=PORT] [--log-level LEVEL] [--quiet]
 //
@@ -21,6 +24,19 @@
 // JSON snapshot to PATH on exit (see DESIGN.md §8 for the metric names).
 // --trace PATH streams one JSONL span per outlier search (plus the split
 // phase and one "search" span per worker) to PATH.
+//
+// Crash safety & chaos testing (DESIGN.md §11):
+// --journal PATH appends every definitively finished outlier to a JSONL
+// save journal; --resume restores journaled verdicts from a previous
+// interrupted run of the same batch (the merged output is bit-identical
+// to an uninterrupted run). --retries N re-runs transiently failed
+// searches up to N attempts with exponential backoff.
+// --fault-spec SPEC arms the deterministic fault injector (grammar in
+// common/fault.h, e.g. "search.node:cancel:nth=100"); --fault-seed N
+// seeds its probability triggers. Injected kCancel faults cancel the
+// batch cooperatively, like Ctrl-C.
+// --strict-csv rejects mixed numeric/non-numeric CSV columns instead of
+// demoting them to strings; --max-input-bytes N caps the input file size.
 //
 // Live observability plane (DESIGN.md §8):
 // --serve[=PORT] starts the embedded HTTP server on 127.0.0.1 (PORT omitted
@@ -48,6 +64,7 @@
 
 #include "common/cancellation.h"
 #include "common/csv.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -66,6 +83,9 @@ void PrintUsage(const char* argv0) {
                "          [--kappa K] [--threads T] [--normalize] [--exact]\n"
                "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n"
                "          [--metrics-json PATH] [--trace PATH]\n"
+               "          [--journal PATH] [--resume] [--retries N]\n"
+               "          [--fault-spec SPEC] [--fault-seed N]\n"
+               "          [--strict-csv] [--max-input-bytes N]\n"
                "          [--serve[=PORT]] [--log-level LEVEL] [--quiet]\n"
                "       %s --serve-idle[=PORT] [--log-level LEVEL] [--quiet]\n",
                argv0, argv0);
@@ -112,6 +132,13 @@ int main(int argc, char** argv) {
   long long per_outlier_deadline_ms = 0;
   std::string metrics_json_path;
   std::string trace_path;
+  std::string journal_path;
+  bool resume = false;
+  std::size_t retries = 0;
+  std::string fault_spec;
+  long long fault_seed = 0;
+  bool strict_csv = false;
+  long long max_input_bytes = 0;
   bool metrics_requested = false;
   bool serve = false;
   bool serve_idle = false;
@@ -136,6 +163,19 @@ int main(int argc, char** argv) {
     if (path_flag(&i, "--metrics-json", &metrics_json_path)) {
       metrics_requested = true;
     } else if (path_flag(&i, "--trace", &trace_path)) {
+    } else if (path_flag(&i, "--journal", &journal_path)) {
+    } else if (path_flag(&i, "--fault-spec", &fault_spec)) {
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--strict-csv") == 0) {
+      strict_csv = true;
+    } else if (std::strcmp(argv[i], "--max-input-bytes") == 0 &&
+               i + 1 < argc) {
+      max_input_bytes = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--epsilon") == 0 && i + 1 < argc) {
       epsilon = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--eta") == 0 && i + 1 < argc) {
@@ -199,6 +239,27 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Fault injection (DESIGN.md §11): configure-then-attach. Armed before
+  // the observability plane and the pipeline so every fault site in the
+  // process resolves against it. Injected kCancel faults mirror into the
+  // batch cancellation source, so they cancel the run exactly like Ctrl-C.
+  CancellationSource cancel;
+  std::unique_ptr<FaultInjector> fault_injector;
+  if (!fault_spec.empty()) {
+    fault_injector =
+        std::make_unique<FaultInjector>(static_cast<std::uint64_t>(fault_seed));
+    Status armed = fault_injector->AddFromString(fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "invalid --fault-spec: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+    fault_injector->MirrorCancelTo(cancel);
+    AttachGlobalFaultInjector(fault_injector.get());
+    std::printf("fault injection armed: %s (seed %lld)\n", fault_spec.c_str(),
+                fault_seed);
+  }
+
   // Observability plane (DESIGN.md §8). The registries attach globally
   // *before* the pipeline so the neighbor indexes built inside SaveOutliers
   // resolve their raw-traffic counters and SaveAll registers its progress
@@ -212,7 +273,6 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<ProgressRegistry> progress;
   std::unique_ptr<HttpServer> server;
-  CancellationSource cancel;
   if (serve) {
     progress = std::make_unique<ProgressRegistry>();
     AttachGlobalProgress(progress.get());
@@ -247,13 +307,23 @@ int main(int argc, char** argv) {
     const std::string& input_path = positional[0];
     const std::string& output_path = positional[1];
 
-    Result<Relation> loaded = ReadCsv(input_path);
+    CsvOptions csv_options;
+    csv_options.strict_numeric = strict_csv;
+    if (max_input_bytes > 0) {
+      csv_options.max_bytes = static_cast<std::size_t>(max_input_bytes);
+    }
+    Result<Relation> loaded = ReadCsv(input_path, csv_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error reading %s: %s\n", input_path.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
     Relation raw = std::move(loaded).value();
+    if (raw.size() == 0) {
+      std::fprintf(stderr, "error: %s has a header but no data rows\n",
+                   input_path.c_str());
+      return 1;
+    }
     std::printf("loaded %zu tuples x %zu attributes from %s\n", raw.size(),
                 raw.arity(), input_path.c_str());
 
@@ -287,6 +357,9 @@ int main(int argc, char** argv) {
     options.cancellation = cancel.token();
     options.metrics = metrics.get();
     options.trace = trace.get();
+    options.journal_path = journal_path;
+    options.resume_from_journal = resume;
+    if (retries > 0) options.retry.max_attempts = retries + 1;
 
     SavedDataset saved = SaveOutliers(working, evaluator, options);
     if (!saved.status.ok()) {
@@ -309,13 +382,14 @@ int main(int argc, char** argv) {
     if (saved.degraded()) {
       std::printf(
           "degraded: %s\n  completed %zu, deadline %zu, cancelled %zu, "
-          "visit-budget %zu, query-budget %zu, infeasible %zu\n",
+          "visit-budget %zu, query-budget %zu, faulted %zu, infeasible %zu\n",
           saved.DegradationStatus().ToString().c_str(),
           saved.CountTermination(SaveTermination::kCompleted),
           saved.CountTermination(SaveTermination::kDeadline),
           saved.CountTermination(SaveTermination::kCancelled),
           saved.CountTermination(SaveTermination::kVisitBudget),
           saved.CountTermination(SaveTermination::kQueryBudget),
+          saved.CountTermination(SaveTermination::kFault),
           saved.CountTermination(SaveTermination::kInfeasible));
     } else if (deadline_ms > 0 || per_outlier_deadline_ms > 0) {
       std::printf("no degradation: all %zu searches finished in budget\n",
@@ -382,6 +456,13 @@ int main(int argc, char** argv) {
         exit_code = 1;
       }
     }
+  }
+  if (fault_injector != nullptr) {
+    AttachGlobalFaultInjector(nullptr);
+    std::printf("fault injection: %llu fires (%s)\n",
+                static_cast<unsigned long long>(fault_injector->total_fires()),
+                fault_injector->cancel_fired() ? "cancel fired"
+                                               : "no cancel fired");
   }
   if (trace != nullptr) {
     Status trace_status = trace->Close();

@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -9,15 +10,24 @@ namespace disc {
 
 namespace {
 
-std::vector<std::vector<std::string>> SplitRows(const std::string& text,
-                                                char sep) {
-  std::vector<std::vector<std::string>> rows;
+/// One non-blank input row plus its 1-based physical line number, so
+/// malformed-input errors can point at the actual line in the file (blank
+/// lines are skipped, so the row index alone would be off).
+struct CsvRow {
+  std::size_t line = 0;
+  std::vector<std::string> cells;
+};
+
+std::vector<CsvRow> SplitRows(const std::string& text, char sep) {
+  std::vector<CsvRow> rows;
   std::istringstream in(text);
   std::string line;
+  std::size_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
-    rows.push_back(Split(line, sep));
+    rows.push_back(CsvRow{lineno, Split(line, sep)});
   }
   return rows;
 }
@@ -25,7 +35,12 @@ std::vector<std::vector<std::string>> SplitRows(const std::string& text,
 }  // namespace
 
 Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
-  std::vector<std::vector<std::string>> rows = SplitRows(text, options.separator);
+  if (options.max_bytes > 0 && text.size() > options.max_bytes) {
+    return Status::InvalidArgument(
+        StrFormat("CSV input is %zu bytes, over the %zu-byte limit",
+                  text.size(), options.max_bytes));
+  }
+  std::vector<CsvRow> rows = SplitRows(text, options.separator);
   if (rows.empty()) {
     return Status::InvalidArgument("CSV input has no rows");
   }
@@ -33,20 +48,21 @@ Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
   std::vector<std::string> names;
   std::size_t first_data = 0;
   if (options.has_header) {
-    for (const std::string& cell : rows[0]) names.push_back(Trim(cell));
+    for (const std::string& cell : rows[0].cells) names.push_back(Trim(cell));
     first_data = 1;
   } else {
-    for (std::size_t i = 0; i < rows[0].size(); ++i) {
+    for (std::size_t i = 0; i < rows[0].cells.size(); ++i) {
       names.push_back("a" + std::to_string(i));
     }
   }
   const std::size_t arity = names.size();
 
   for (std::size_t row = first_data; row < rows.size(); ++row) {
-    if (rows[row].size() != arity) {
-      return Status::InvalidArgument(
-          StrFormat("CSV row %zu has %zu fields, expected %zu", row,
-                    rows[row].size(), arity));
+    if (rows[row].cells.size() != arity) {
+      return Status::InvalidArgument(StrFormat(
+          "CSV line %zu has %zu fields, expected %zu (the %s width)",
+          rows[row].line, rows[row].cells.size(), arity,
+          options.has_header ? "header" : "first row"));
     }
   }
 
@@ -54,10 +70,27 @@ Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
   std::vector<ValueKind> kinds(arity, ValueKind::kString);
   if (options.infer_kinds) {
     for (std::size_t col = 0; col < arity; ++col) {
-      bool numeric = rows.size() > first_data;
-      for (std::size_t row = first_data; row < rows.size() && numeric; ++row) {
+      std::size_t numeric_cells = 0;
+      std::size_t first_bad = rows.size();  // rows index of first bad cell
+      for (std::size_t row = first_data; row < rows.size(); ++row) {
         double unused;
-        numeric = ParseDouble(rows[row][col], &unused);
+        if (ParseDouble(rows[row].cells[col], &unused)) {
+          ++numeric_cells;
+        } else if (first_bad == rows.size()) {
+          first_bad = row;
+        }
+      }
+      const bool numeric =
+          rows.size() > first_data && first_bad == rows.size();
+      // A mixed column (some numeric cells, some not) is the signature of
+      // corrupted numeric data; in strict mode name the offending cell
+      // rather than silently demoting the column to strings.
+      if (options.strict_numeric && !numeric && numeric_cells > 0) {
+        return Status::InvalidArgument(StrFormat(
+            "CSV column \"%s\" (index %zu): non-numeric cell \"%s\" on "
+            "line %zu of an otherwise numeric column",
+            names[col].c_str(), col,
+            rows[first_bad].cells[col].c_str(), rows[first_bad].line));
       }
       kinds[col] = numeric ? ValueKind::kNumeric : ValueKind::kString;
     }
@@ -75,10 +108,10 @@ Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
     for (std::size_t col = 0; col < arity; ++col) {
       if (kinds[col] == ValueKind::kNumeric) {
         double v = 0;
-        ParseDouble(rows[row][col], &v);
+        ParseDouble(rows[row].cells[col], &v);
         t.push_back(Value(v));
       } else {
-        t.push_back(Value(Trim(rows[row][col])));
+        t.push_back(Value(Trim(rows[row].cells[col])));
       }
     }
     relation.AppendUnchecked(std::move(t));
@@ -87,9 +120,21 @@ Result<Relation> ParseCsv(const std::string& text, const CsvOptions& options) {
 }
 
 Result<Relation> ReadCsv(const std::string& path, const CsvOptions& options) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path);
+  }
+  if (options.max_bytes > 0) {
+    // Reject oversized files before slurping them into memory.
+    in.seekg(0, std::ios::end);
+    const auto size = in.tellg();
+    if (size >= 0 &&
+        static_cast<std::uint64_t>(size) > options.max_bytes) {
+      return Status::InvalidArgument(StrFormat(
+          "%s is %llu bytes, over the %zu-byte CSV limit", path.c_str(),
+          static_cast<unsigned long long>(size), options.max_bytes));
+    }
+    in.seekg(0);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();

@@ -15,6 +15,16 @@ struct CsvOptions {
   /// When true, columns whose every value parses as a double become numeric
   /// attributes; otherwise they become string attributes.
   bool infer_kinds = true;
+  /// Hard cap on the input size in bytes (0 = unlimited). An oversized
+  /// file or text is rejected up front with InvalidArgument instead of
+  /// being slurped into memory.
+  std::size_t max_bytes = 0;
+  /// When true (and `infer_kinds` is on), a column where some but not all
+  /// cells parse as doubles is an InvalidArgument naming the first
+  /// offending cell (line, column, content) instead of silently becoming a
+  /// string column — catches truncated or corrupted numeric data that
+  /// would otherwise flip an entire column's type.
+  bool strict_numeric = false;
 };
 
 /// Reads a relation from a CSV file. Column kinds are inferred unless

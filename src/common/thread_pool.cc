@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/fault.h"
+
 namespace disc {
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
@@ -72,6 +74,8 @@ struct WorkStealingPool::Batch {
   const std::function<void(std::size_t)>* task = nullptr;
   std::size_t pending = 0;
   std::exception_ptr error;
+  /// `pool.task` fault site, resolved once per batch (null = faults off).
+  FaultInjector::Site* fault = nullptr;
 };
 
 /// One in-flight ParallelFor: a fixed chunk layout over [begin, end) plus
@@ -121,6 +125,12 @@ void WorkStealingPool::RunTask(std::unique_lock<std::mutex>& lock,
   lock.unlock();
   std::exception_ptr error;
   try {
+    if (item.batch->fault != nullptr) {
+      // A kError fault has no status channel at a task boundary, so its
+      // Status is dropped; latency/cancel/kill kinds still take effect (a
+      // kill surfaces through the batch error like any task exception).
+      (void)item.batch->fault->Hit();
+    }
     (*item.batch->task)(item.index);
   } catch (...) {
     error = std::current_exception();
@@ -197,6 +207,7 @@ void WorkStealingPool::RunBatch(const std::vector<std::size_t>& order,
   if (order.empty()) return;
   Batch batch;
   batch.task = &task;
+  batch.fault = FaultSiteFor("pool.task");
   {
     std::unique_lock<std::mutex> lock(mutex_);
     batch.pending = order.size();

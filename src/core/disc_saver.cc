@@ -6,12 +6,15 @@
 #include <limits>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/save_journal.h"
 #include "index/index_factory.h"
 #include "obs/progress.h"
 
@@ -27,6 +30,16 @@ SaveResult SkippedResult(const Tuple& outlier, SaveTermination why) {
   result.feasible = false;
   result.termination = why;
   result.adjusted = outlier;
+  return result;
+}
+
+/// Record for a search aborted by an injected/transient fault before any
+/// real work: untouched tuple, kFault termination (retry-eligible), wall
+/// time covering only the aborted setup.
+SaveResult FaultedResult(const Tuple& outlier, std::uint64_t start_ns) {
+  SaveResult result = SkippedResult(outlier, SaveTermination::kFault);
+  result.stats.start_ns = start_ns;
+  result.stats.wall_nanos = TraceNowNs() - start_ns;
   return result;
 }
 
@@ -92,9 +105,9 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   if (!state->visited.insert(x.bits()).second) {
     return;  // this X was already processed (§3.3.1)
   }
-  // Node expansion: fire the fault-injection hook, then check cancellation,
-  // deadline, visited-set and query budgets. On any trip the incumbent
-  // stands and the whole search unwinds (anytime contract).
+  // Node expansion: hit the `search.node` fault site, then check
+  // cancellation, deadline, visited-set and query budgets. On any trip the
+  // incumbent stands and the whole search unwinds (anytime contract).
   if (!gauge->OnNodeExpanded(state->visited.size())) return;
 
   // Lower bound (Algorithm 1 lines 1-3, Proposition 3): any adjustment that
@@ -171,6 +184,12 @@ SaveResult DiscSaver::Save(const Tuple& outlier,
 double DiscSaver::EstimateSearchCost(const Tuple& outlier) const {
   std::size_t needed = constraint_.eta > 0 ? constraint_.eta - 1 : 0;
   if (needed == 0) return 0;
+  // `index.query` fault site: a failed estimate query degrades only the
+  // schedule (the outlier is treated as maximally hard and dispatched
+  // first), never the search results — estimates run outside the gauge.
+  if (Status s = DISC_FAULT_POINT("index.query"); !s.ok()) {
+    return std::numeric_limits<double>::infinity();
+  }
   std::vector<Neighbor> nn = index_->KNearest(outlier, needed);
   if (nn.size() < needed) {
     // Fewer than η−1 inliers in total: the search degenerates anyway;
@@ -185,6 +204,11 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
                                const CancellationToken& batch_cancellation,
                                WorkStealingPool* nested) const {
   const std::uint64_t start_ns = TraceNowNs();
+  // `search.start` fault site: an error here aborts the search before any
+  // work, as an index handle or arena acquisition would.
+  if (Status s = DISC_FAULT_POINT("search.start"); !s.ok()) {
+    return FaultedResult(outlier, start_ns);
+  }
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
   BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
@@ -200,6 +224,12 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
   // otherwise; bit-identical either way.
   std::optional<SearchDistanceCache> dcache;
   if (enable_fast_path_) {
+    // `dcache.fill` fault site: the eager full-space fill is the search's
+    // single biggest allocation, so a simulated allocation failure lands
+    // here and aborts the search as retryable.
+    if (Status s = DISC_FAULT_POINT("dcache.fill"); !s.ok()) {
+      return FaultedResult(outlier, start_ns);
+    }
     dcache.emplace(inliers_, evaluator_, outlier, columnar_.get(),
                    &gauge.stats(), nested);
     state.dcache = &*dcache;
@@ -342,14 +372,31 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
                                            const SaveOptions& options,
                                            WorkStealingPool* pool,
                                            const BatchBudget& batch,
-                                           TraceSink* trace) const {
+                                           TraceSink* trace,
+                                           const BatchRecovery& recovery) const {
   const std::size_t n = outliers.size();
   std::vector<SaveResult> results(n);
   if (n == 0) return results;
 
-  const bool parallel = pool != nullptr && pool->size() > 1 && n > 1;
+  // Resume: restore journaled results up front. Restored ordinals never
+  // touch the pool — no estimate query, no search, no trace span — which
+  // is what keeps the merged batch bit-identical to an uninterrupted run
+  // (the journal stored the exact bits the original search produced).
+  std::vector<char> restored(n, 0);
+  std::size_t restored_count = 0;
+  if (recovery.resume != nullptr) {
+    for (const SaveJournalEntry& entry : recovery.resume->entries) {
+      if (entry.ordinal >= n) continue;
+      results[entry.ordinal] = entry.result;
+      if (restored[entry.ordinal] == 0) ++restored_count;
+      restored[entry.ordinal] = 1;
+    }
+  }
+  const std::size_t pending = n - restored_count;
+
+  const bool parallel = pool != nullptr && pool->size() > 1 && pending > 1;
   const std::size_t workers =
-      parallel ? std::min<std::size_t>(pool->size(), n) : 1;
+      parallel ? std::min<std::size_t>(pool->size(), pending) : 1;
   WorkStealingPool* nested = parallel ? pool : nullptr;
 
   // Live progress: registered once per batch when a global registry is
@@ -358,6 +405,9 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   std::shared_ptr<BatchProgressTracker> progress;
   if (ProgressRegistry* registry = GlobalProgress()) {
     progress = registry->StartBatch("save_all", n, batch.deadline);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (restored[i] != 0) progress->RecordResumed(results[i].termination);
+    }
   }
 
   // Fair sub-deadlines: each task, when it *starts*, takes the remaining
@@ -365,7 +415,30 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   // that finish under their slice donate the unspent time to later ones
   // (the remaining clock only shrinks by what was actually used); a task
   // that would start past the deadline is drained-and-skipped.
-  std::atomic<std::size_t> remaining{n};
+  std::atomic<std::size_t> remaining{pending};
+
+  auto task_slice = [&]() -> Deadline {
+    Deadline task_deadline = batch.deadline;
+    if (!batch.deadline.is_infinite()) {
+      const std::size_t left = std::max<std::size_t>(
+          std::size_t{1}, remaining.load(std::memory_order_relaxed));
+      const auto rem = batch.deadline.remaining();
+      // Slice = rem × min(workers, left) ÷ left, with a clamp that skips
+      // the multiply for absurdly long deadlines (overflow safety).
+      auto slice = rem;
+      if (rem < std::chrono::hours(1)) {
+        const auto par =
+            static_cast<std::int64_t>(std::min<std::size_t>(workers, left));
+        slice = rem * par / static_cast<std::int64_t>(left);
+      }
+      task_deadline = Deadline::Min(batch.deadline, Deadline::After(slice));
+    }
+    if (batch.per_outlier_limit.count() > 0) {
+      task_deadline = Deadline::Min(task_deadline,
+                                    Deadline::After(batch.per_outlier_limit));
+    }
+    return task_deadline;
+  };
 
   auto run_one = [&](const Tuple& outlier, std::size_t ordinal) -> SaveResult {
     SaveResult result;
@@ -376,28 +449,43 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       remaining.fetch_sub(1, std::memory_order_relaxed);
       result = SkippedResult(outlier, SaveTermination::kDeadline);
     } else {
-      Deadline task_deadline = batch.deadline;
-      if (!batch.deadline.is_infinite()) {
-        const std::size_t left = std::max<std::size_t>(
-            std::size_t{1}, remaining.load(std::memory_order_relaxed));
-        const auto rem = batch.deadline.remaining();
-        // Slice = rem × min(workers, left) ÷ left, with a clamp that skips
-        // the multiply for absurdly long deadlines (overflow safety).
-        auto slice = rem;
-        if (rem < std::chrono::hours(1)) {
-          const auto par =
-              static_cast<std::int64_t>(std::min<std::size_t>(workers, left));
-          slice = rem * par / static_cast<std::int64_t>(left);
+      // Retry-with-backoff: transient terminations (injected faults, the
+      // non-time budgets) are re-run while the retry policy and the batch
+      // deadline slack allow. Each attempt computes a fresh fair slice;
+      // the final attempt's result — and only its work counters — stands.
+      std::size_t attempt = 1;
+      for (;;) {
+        result = SaveImpl(outlier, options, task_slice(), batch.cancellation,
+                          nested);
+        if (attempt >= recovery.retry.max_attempts ||
+            !RetryPolicy::IsTransient(result.termination)) {
+          break;
         }
-        task_deadline = Deadline::Min(batch.deadline, Deadline::After(slice));
+        const auto backoff = recovery.retry.BackoffFor(attempt - 1);
+        if (batch.cancellation.cancelled() ||
+            (!batch.deadline.is_infinite() &&
+             batch.deadline.remaining() < 2 * backoff)) {
+          break;  // no slack left to carve the retry from
+        }
+        std::this_thread::sleep_for(backoff);
+        ++attempt;
+        if (progress != nullptr) progress->RecordRetry();
       }
-      if (batch.per_outlier_limit.count() > 0) {
-        task_deadline = Deadline::Min(
-            task_deadline, Deadline::After(batch.per_outlier_limit));
-      }
-      result =
-          SaveImpl(outlier, options, task_deadline, batch.cancellation, nested);
+      result.stats.retries = attempt - 1;
       remaining.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (recovery.journal != nullptr &&
+        (result.termination == SaveTermination::kCompleted ||
+         result.termination == SaveTermination::kInfeasible)) {
+      Status journal_status = recovery.journal->Append(ordinal, result);
+      if (!journal_status.ok()) {
+        // Best-effort durability: a failed append only means this outlier
+        // would be re-searched on resume. The batch itself continues.
+        DISC_LOG(WARN)
+            .Int("ordinal", static_cast<long long>(ordinal))
+            .Str("status", journal_status.ToString())
+            << "journal append failed";
+      }
     }
     if (progress != nullptr) {
       progress->RecordOutlier(result.termination, result.stats.wall_nanos);
@@ -419,8 +507,14 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
     return result;
   };
 
+  if (pending == 0) {
+    if (progress != nullptr) progress->MarkDone();
+    return results;
+  }
+
   if (!parallel) {
     for (std::size_t i = 0; i < n; ++i) {
+      if (restored[i] != 0) continue;
       results[i] = run_one(outliers[i], i);
     }
     if (progress != nullptr) progress->MarkDone();
@@ -445,15 +539,17 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
           : nullptr;
 
   std::vector<double> estimates(n, 0.0);
+  std::vector<std::size_t> order;
+  order.reserve(pending);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (restored[i] == 0) order.push_back(i);
+  }
   {
-    std::vector<std::size_t> input_order(n);
-    std::iota(input_order.begin(), input_order.end(), std::size_t{0});
+    const std::vector<std::size_t> input_order = order;
     pool->RunBatch(input_order, [&](std::size_t i) {
       estimates[i] = EstimateSearchCost(outliers[i]);
     });
   }
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
                      return estimates[a] > estimates[b];

@@ -21,6 +21,8 @@
 namespace disc {
 
 class TraceSink;
+class SaveJournalWriter;
+struct SaveJournal;
 
 /// Widest relation the savers support. Adjusted-attribute bookkeeping
 /// (ChangedAttributes, the B&B search over attribute sets X) uses
@@ -94,6 +96,30 @@ struct SaveResult {
   /// legacy mirrors above (`visited_sets`, `pruned_sets`, `index_queries`)
   /// always equal the corresponding stats fields.
   SearchStats stats;
+};
+
+/// Crash-safety and self-healing controls for one SaveAll batch
+/// (DESIGN.md §11). The all-default value is a strict no-op: no journal,
+/// no resume, no retries — SaveAll behaves exactly as before.
+struct BatchRecovery {
+  /// When non-null, every definitively finished outlier (termination
+  /// kCompleted or kInfeasible) is appended — and flushed — as it
+  /// completes, so a crash loses at most in-flight searches. Degraded
+  /// results are not journaled: a resumed run re-attempts them with a
+  /// fresh budget, which is what makes the merged output of
+  /// crash-then-resume bit-identical to an uninterrupted run.
+  SaveJournalWriter* journal = nullptr;
+  /// When non-null, ordinals recorded in the journal restore their results
+  /// verbatim and skip their searches (no estimate query, no search span).
+  /// The journal must belong to this batch — validate with
+  /// SaveJournal::Matches first; entries whose ordinal is out of range are
+  /// ignored.
+  const SaveJournal* resume = nullptr;
+  /// Re-runs searches ending in a transient termination (injected faults,
+  /// visit/query budget) with exponential backoff, while batch deadline
+  /// slack allows. The final attempt's result is reported with
+  /// SearchStats::retries = attempts − 1.
+  RetryPolicy retry;
 };
 
 /// The DISC approximation (Algorithm 1): branch-and-bound over sets X of
@@ -175,11 +201,17 @@ class DiscSaver {
   /// results stay bit-identical with or without them. Scheduler telemetry
   /// (task/steal/nested-chunk deltas, live queue depth) flows into the
   /// global MetricsRegistry as disc_sched_* when one is attached.
+  ///
+  /// Recovery: with `recovery.journal` each definitive result is made
+  /// durable as it lands; with `recovery.resume` journaled ordinals are
+  /// restored instead of searched; `recovery.retry` re-runs transient
+  /// failures. See BatchRecovery — the default is a strict no-op.
   std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
                                   const SaveOptions& options = {},
                                   WorkStealingPool* pool = nullptr,
                                   const BatchBudget& batch = {},
-                                  TraceSink* trace = nullptr) const;
+                                  TraceSink* trace = nullptr,
+                                  const BatchRecovery& recovery = {}) const;
 
   /// The bounds engine (exposed for tests and diagnostics).
   const BoundsEngine& bounds() const { return *bounds_; }

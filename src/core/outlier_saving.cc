@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "core/save_journal.h"
 #include "core/search_stats.h"
 #include "index/index_factory.h"
 #include "obs/progress.h"
@@ -67,10 +69,14 @@ Status SavedDataset::DegradationStatus() const {
   const std::size_t deadline = CountTermination(SaveTermination::kDeadline);
   const std::size_t budget = CountTermination(SaveTermination::kVisitBudget) +
                              CountTermination(SaveTermination::kQueryBudget);
-  if (cancelled == 0 && deadline == 0 && budget == 0) return Status::OK();
+  const std::size_t faulted = CountTermination(SaveTermination::kFault);
+  if (cancelled == 0 && deadline == 0 && budget == 0 && faulted == 0) {
+    return Status::OK();
+  }
   std::string detail = std::to_string(cancelled) + " cancelled, " +
                        std::to_string(deadline) + " past deadline, " +
-                       std::to_string(budget) + " out of budget (of " +
+                       std::to_string(budget) + " out of budget, " +
+                       std::to_string(faulted) + " faulted (of " +
                        std::to_string(records.size()) + " outliers)";
   if (cancelled > 0) return Status::Cancelled(detail);
   if (deadline > 0) return Status::DeadlineExceeded(detail);
@@ -135,7 +141,8 @@ void FlushBatchMetrics(MetricsRegistry* metrics, const SavedDataset& out) {
   constexpr SaveTermination kTerminations[] = {
       SaveTermination::kCompleted,   SaveTermination::kVisitBudget,
       SaveTermination::kQueryBudget, SaveTermination::kDeadline,
-      SaveTermination::kCancelled,   SaveTermination::kInfeasible};
+      SaveTermination::kCancelled,   SaveTermination::kInfeasible,
+      SaveTermination::kFault};
   for (SaveTermination t : kTerminations) {
     const std::size_t n = out.CountTermination(t);
     if (n == 0) continue;
@@ -186,6 +193,15 @@ SavedDataset SaveOutliers(const Relation& data,
   if (!out.status.ok()) {
     DISC_LOG(ERROR).Str("status", out.status.ToString())
         << "outlier saving rejected its input";
+    return out;
+  }
+
+  // Fault site: a failed index build is a hard pipeline error (nothing to
+  // degrade to — no index means no split, no searches).
+  out.status = DISC_FAULT_POINT("pipeline.index_build");
+  if (!out.status.ok()) {
+    DISC_LOG(ERROR).Str("status", out.status.ToString())
+        << "index build failed";
     return out;
   }
 
@@ -266,6 +282,63 @@ SavedDataset SaveOutliers(const Relation& data,
     for (std::size_t row : split.outlier_rows) {
       outlier_tuples.push_back(data[row]);
     }
+
+    // Crash-safety plumbing (DESIGN.md §11): optionally restore journaled
+    // verdicts from a previous interrupted run, then append this run's
+    // definitive results to the same journal. All-default BatchRecovery
+    // (no journal path) keeps SaveAll on its strict no-op path.
+    BatchRecovery recovery;
+    recovery.retry = effective.retry;
+    SaveJournal resume_journal;
+    SaveJournalWriter journal_writer;
+    if (!effective.journal_path.empty()) {
+      SaveJournalHeader header;
+      header.n_outliers = outlier_tuples.size();
+      header.arity = data.arity();
+      header.epsilon = effective.constraint.epsilon;
+      header.eta = effective.constraint.eta;
+      header.kappa = effective.save.kappa;
+      bool have_resume = false;
+      if (effective.resume_from_journal) {
+        Result<SaveJournal> loaded = ReadSaveJournal(effective.journal_path);
+        if (loaded.ok()) {
+          out.status = loaded.value().Matches(
+              outlier_tuples.size(), data.arity(), effective.constraint,
+              effective.save.kappa);
+          if (!out.status.ok()) {
+            DISC_LOG(ERROR).Str("status", out.status.ToString())
+                << "save journal does not match this batch";
+            return out;
+          }
+          resume_journal = std::move(loaded).value();
+          have_resume = true;
+        } else if (loaded.status().code() != StatusCode::kNotFound) {
+          out.status = loaded.status();
+          DISC_LOG(ERROR).Str("status", out.status.ToString())
+              << "save journal unreadable";
+          return out;
+        }
+        // NotFound: no previous run to resume — start fresh.
+      }
+      out.status = have_resume
+                       ? journal_writer.OpenAppend(effective.journal_path,
+                                                   header)
+                       : journal_writer.Open(effective.journal_path, header);
+      if (!out.status.ok()) {
+        DISC_LOG(ERROR).Str("status", out.status.ToString())
+            << "save journal could not be opened";
+        return out;
+      }
+      recovery.journal = &journal_writer;
+      if (have_resume) {
+        recovery.resume = &resume_journal;
+        DISC_LOG(INFO)
+            .Str("journal", effective.journal_path)
+            .Uint("restored", resume_journal.entries.size())
+            << "resuming batch from save journal";
+      }
+    }
+
     std::size_t threads = effective.num_threads == 0
                               ? WorkStealingPool::DefaultThreadCount()
                               : effective.num_threads;
@@ -274,7 +347,8 @@ SavedDataset SaveOutliers(const Relation& data,
       pool = std::make_unique<WorkStealingPool>(threads);
     }
     disc_results = disc_saver.SaveAll(outlier_tuples, effective.save,
-                                      pool.get(), batch, options.trace);
+                                      pool.get(), batch, options.trace,
+                                      recovery);
   }
 
   const std::size_t total_outliers = split.outlier_rows.size();

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -71,6 +72,22 @@ struct OutlierSavingOptions {
   /// from the sequential merge loop in input order, each carrying the full
   /// SearchStats as attributes. Must outlive the call.
   TraceSink* trace = nullptr;
+  /// Path of a SaveJournal to append definitive per-outlier results to
+  /// (empty = no journaling, the default). DISC path only. With a journal
+  /// the pipeline becomes crash-safe: re-running with
+  /// `resume_from_journal` restores journaled verdicts instead of
+  /// re-searching them, and the merged result is bit-identical to an
+  /// uninterrupted run. See DESIGN.md §11.
+  std::string journal_path;
+  /// Resume from `journal_path` if it exists and matches this batch
+  /// (same outlier count, arity, ε, η, κ — anything else is a
+  /// FailedPrecondition error). A missing journal file simply starts
+  /// fresh.
+  bool resume_from_journal = false;
+  /// Retry policy for transiently-failed searches (kFault terminations;
+  /// also re-runs budget-truncated searches when deadline slack remains).
+  /// Default = disabled. DISC path only.
+  RetryPolicy retry;
 };
 
 /// Why an outlier ended up saved or not.

@@ -28,6 +28,8 @@ const char* SaveTerminationName(SaveTermination t) {
       return "cancelled";
     case SaveTermination::kInfeasible:
       return "infeasible";
+    case SaveTermination::kFault:
+      return "fault";
   }
   return "unknown";
 }
@@ -45,8 +47,25 @@ Status SaveTerminationStatus(SaveTermination t) {
       return Status::DeadlineExceeded("save deadline expired");
     case SaveTermination::kCancelled:
       return Status::Cancelled("save cancelled");
+    case SaveTermination::kFault:
+      return Status::ResourceExhausted("search aborted by a transient fault");
   }
   return Status::Internal("unknown termination");
+}
+
+std::chrono::milliseconds RetryPolicy::BackoffFor(
+    std::size_t retry_index) const {
+  double ms = static_cast<double>(initial_backoff.count());
+  for (std::size_t i = 0; i < retry_index; ++i) ms *= backoff_multiplier;
+  const double cap = static_cast<double>(max_backoff.count());
+  if (!(ms < cap)) ms = cap;
+  if (ms < 0.0) ms = 0.0;
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+bool RetryPolicy::IsTransient(SaveTermination t) {
+  return t == SaveTermination::kFault || t == SaveTermination::kVisitBudget ||
+         t == SaveTermination::kQueryBudget;
 }
 
 BudgetGauge::BudgetGauge(const SearchBudget* budget, Deadline extra_deadline,
@@ -55,7 +74,9 @@ BudgetGauge::BudgetGauge(const SearchBudget* budget, Deadline extra_deadline,
       deadline_(Deadline::Min(
           budget != nullptr ? budget->deadline : Deadline::Infinite(),
           extra_deadline)),
-      extra_cancellation_(std::move(extra_cancellation)) {}
+      extra_cancellation_(std::move(extra_cancellation)),
+      fault_node_(FaultSiteFor("search.node")),
+      fault_scan_(FaultSiteFor("bounds.scan")) {}
 
 bool BudgetGauge::Stop(SaveTermination why) {
   if (!stopped_) {
@@ -66,11 +87,11 @@ bool BudgetGauge::Stop(SaveTermination why) {
 }
 
 bool BudgetGauge::OnNodeExpanded(std::size_t visited_sets) {
-  std::size_t node_index = nodes_++;
+  ++nodes_;
   ++stats_.nodes_expanded;
   if (stopped_) return false;
-  if (budget_ != nullptr && budget_->on_node_expanded) {
-    budget_->on_node_expanded(node_index);
+  if (fault_node_ != nullptr && !fault_node_->Hit().ok()) {
+    return Stop(SaveTermination::kFault);
   }
   if ((budget_ != nullptr && budget_->cancellation.cancelled()) ||
       extra_cancellation_.cancelled()) {
@@ -91,6 +112,9 @@ bool BudgetGauge::OnNodeExpanded(std::size_t visited_sets) {
 bool BudgetGauge::KeepScanning() {
   if (stopped_) return false;
   if ((++scan_polls_ % kScanPollStride) != 0) return true;
+  if (fault_scan_ != nullptr && !fault_scan_->Hit().ok()) {
+    return Stop(SaveTermination::kFault);
+  }
   if ((budget_ != nullptr && budget_->cancellation.cancelled()) ||
       extra_cancellation_.cancelled()) {
     return Stop(SaveTermination::kCancelled);
@@ -119,7 +143,8 @@ void BudgetGauge::RecordHardStop() {
 
 bool BudgetGauge::ContinueRefinement() {
   if (stopped_ && (reason_ == SaveTermination::kDeadline ||
-                   reason_ == SaveTermination::kCancelled)) {
+                   reason_ == SaveTermination::kCancelled ||
+                   reason_ == SaveTermination::kFault)) {
     return false;
   }
   if ((budget_ != nullptr && budget_->cancellation.cancelled()) ||

@@ -4,10 +4,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 
 #include "common/cancellation.h"
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/search_stats.h"
 
@@ -34,6 +34,10 @@ enum class SaveTermination {
   /// The search exhausted its space and proved no feasible adjustment
   /// exists under the constraint.
   kInfeasible,
+  /// Stopped by an injected or transient fault (FaultInjector error /
+  /// allocation-failure kinds at a search site); incumbent returned.
+  /// Transient: eligible for RetryPolicy re-runs inside SaveAll.
+  kFault,
 };
 
 /// Lower-case identifier for logs/JSON ("completed", "visit_budget", ...).
@@ -62,17 +66,14 @@ struct SearchBudget {
   /// Cap on logical neighbor-index queries — kNN/range/feasibility calls
   /// and full-relation bound scans (0 = unlimited).
   std::size_t max_index_queries = 0;
-  /// Test-only fault-injection hook: invoked with the 0-based index of
-  /// every node expansion *before* the budget checks for that node, so a
-  /// test can cancel/expire at an exact search point and prove the exit
-  /// path sound. Must be cheap; keep it empty in production.
-  std::function<void(std::size_t)> on_node_expanded;
 
-  /// True iff no limit, token, or hook is set.
+  /// True iff no limit or token is set. (Fault injection at the search
+  /// sites — `search.node`, `bounds.scan` — is orthogonal: it is armed via
+  /// AttachGlobalFaultInjector, not per budget, and a gauge over an
+  /// unlimited budget still honors it.)
   bool IsUnlimited() const {
     return deadline.is_infinite() && !cancellation.can_be_cancelled() &&
-           max_visited_sets == 0 && max_index_queries == 0 &&
-           !on_node_expanded;
+           max_visited_sets == 0 && max_index_queries == 0;
   }
 };
 
@@ -98,6 +99,37 @@ struct BatchBudget {
   }
 };
 
+/// Retry policy for transient per-outlier failures inside SaveAll
+/// (DESIGN.md §11). A search whose termination is transient (see
+/// IsTransient) is re-run up to `max_attempts` times total, with
+/// exponential backoff between attempts. The retry budget is carved from
+/// the batch deadline slack: SaveAll only sleeps-and-retries while the
+/// batch clock comfortably covers the backoff, so retries can never push a
+/// batch past its deadline. The final attempt's result is reported, with
+/// SearchStats::retries = attempts − 1.
+struct RetryPolicy {
+  /// Total attempts per outlier (1 = no retries, the default).
+  std::size_t max_attempts = 1;
+  /// Backoff before the first retry.
+  std::chrono::milliseconds initial_backoff{10};
+  /// Multiplier applied per subsequent retry.
+  double backoff_multiplier = 2.0;
+  /// Backoff ceiling.
+  std::chrono::milliseconds max_backoff{1000};
+
+  /// True iff retries are enabled.
+  bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff before retry `retry_index` (0-based): initial × multiplier^i,
+  /// clamped to max_backoff.
+  std::chrono::milliseconds BackoffFor(std::size_t retry_index) const;
+
+  /// True for terminations worth re-running: injected/transient faults and
+  /// the non-time resource budgets (the kResourceExhausted family). Hard
+  /// stops (deadline, cancellation) and definitive answers are final.
+  static bool IsTransient(SaveTermination t);
+};
+
 /// Per-search enforcement state for one SearchBudget: counts node
 /// expansions and index queries, polls deadline/cancellation, and records
 /// the first stop reason. One gauge per save; never shared across threads.
@@ -115,9 +147,10 @@ class BudgetGauge {
                        CancellationToken extra_cancellation = {});
 
   /// Called once per node expansion with the running visited-set count.
-  /// Fires the fault-injection hook, then checks cancellation → deadline →
-  /// visit budget → query budget (first hit wins). Returns false when the
-  /// search must stop; the caller unwinds and returns its incumbent.
+  /// Hits the `search.node` fault site (when an injector is attached), then
+  /// checks fault → cancellation → deadline → visit budget → query budget
+  /// (first hit wins). Returns false when the search must stop; the caller
+  /// unwinds and returns its incumbent.
   bool OnNodeExpanded(std::size_t visited_sets);
 
   /// Strided cancellation/deadline poll for long row scans inside the
@@ -170,6 +203,11 @@ class BudgetGauge {
   const SearchBudget* budget_;  ///< may be null (unlimited)
   Deadline deadline_;           ///< effective: min(budget, batch slice)
   CancellationToken extra_cancellation_;
+  /// Fault sites resolved once at construction (null when no injector is
+  /// attached): `search.node` hit per node expansion, `bounds.scan` hit per
+  /// strided scan poll.
+  FaultInjector::Site* fault_node_ = nullptr;
+  FaultInjector::Site* fault_scan_ = nullptr;
   SearchStats stats_;
   std::size_t nodes_ = 0;
   std::size_t scan_polls_ = 0;

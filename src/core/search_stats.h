@@ -51,6 +51,10 @@ struct SearchStats {
   /// QueryCounter tally (this is the field `split_index_queries` and
   /// OutlierRecord::index_queries are fed from).
   std::uint64_t index_queries = 0;
+  /// Retry attempts consumed by this search under SaveAll's RetryPolicy
+  /// (attempts − 1; zero when retries are disabled or the first attempt
+  /// stood). The reported counters describe the final attempt only.
+  std::uint64_t retries = 0;
   /// Wall clock of the search. Summed by MergeFrom; excluded from
   /// SameWork() — timing is the one nondeterministic measurement.
   std::uint64_t wall_nanos = 0;

@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/stringutil.h"
@@ -48,6 +50,7 @@ const char* StatusText(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 414: return "URI Too Long";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -209,12 +212,19 @@ void HttpServer::ListenLoop() {
     errors = registry->GetCounter("disc_http_errors_total",
                                   "HTTP responses with status >= 400");
   }
+  FaultInjector::Site* fault_accept = FaultSiteFor("http.accept");
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/250);
     if (ready <= 0) continue;  // tick (or EINTR): re-check the stop flag
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    // Fault site: an injected accept-path error drops the connection as a
+    // transient accept failure would (client sees a reset, listener lives).
+    if (fault_accept != nullptr && !fault_accept->Hit().ok()) {
+      ::close(fd);
+      continue;
+    }
     timeval timeout{options_.io_timeout_seconds, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
@@ -230,10 +240,43 @@ void HttpServer::ListenLoop() {
 }
 
 void HttpServer::ServeConnection(int fd) {
+  FaultInjector::Site* fault_read = FaultSiteFor("http.read");
   std::string head;
   head.reserve(512);
   bool complete = false;
+  bool timed_out = false;
+  // The whole header phase shares one wall-clock budget: a slow-loris
+  // client dripping one byte per recv resets the per-recv socket timeout
+  // every time, so the bound must live above the recv loop.
+  const auto read_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.header_read_timeout_ms);
   while (head.size() < options_.max_request_bytes) {
+    // Fault site: an injected error aborts the read like a reset; a
+    // latency fault here consumes header budget, deterministically
+    // driving the connection into the 408 path below.
+    if (fault_read != nullptr && !fault_read->Hit().ok()) {
+      ::close(fd);
+      return;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            read_deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      timed_out = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      timed_out = true;
+      break;
+    }
     char buf[1024];
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;  // timeout, reset, or EOF before end of headers
@@ -248,15 +291,18 @@ void HttpServer::ServeConnection(int fd) {
   HttpResponse response;
   bool head_only = false;
   if (!complete) {
-    if (head.empty()) {
+    if (timed_out) {
+      response = ErrorResponse(408, "request header read timed out");
+    } else if (head.empty()) {
       ::close(fd);
       return;  // client connected and went away; nothing to answer
+    } else {
+      // Oversized request: 414 when even the request line never ended,
+      // 431 when the line was fine but the header block overflowed the cap.
+      response = head.find('\n') == std::string::npos
+                     ? ErrorResponse(414, "request line too long")
+                     : ErrorResponse(431, "request headers too large");
     }
-    // Oversized request: 414 when even the request line never ended,
-    // 431 when the line was fine but the header block overflowed the cap.
-    response = head.find('\n') == std::string::npos
-                   ? ErrorResponse(414, "request line too long")
-                   : ErrorResponse(431, "request headers too large");
   } else {
     const std::size_t line_end = head.find("\r\n");
     const std::string request_line =

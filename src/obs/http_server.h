@@ -72,6 +72,11 @@ class HttpServer {
     std::size_t max_request_bytes = 8192;
     /// Per-connection socket read/write timeout.
     int io_timeout_seconds = 5;
+    /// Wall-clock budget for reading the whole request head. A client that
+    /// trickles bytes slower than this (slow loris) is answered 408 and
+    /// closed — each drip resets a plain recv timeout, so the per-recv
+    /// `io_timeout_seconds` alone cannot bound the header phase.
+    int header_read_timeout_ms = 2000;
   };
 
   explicit HttpServer(Options options);

@@ -53,6 +53,7 @@ void BatchProgressTracker::RecordOutlier(SaveTermination termination,
     case SaveTermination::kQueryBudget:
     case SaveTermination::kDeadline:
     case SaveTermination::kCancelled:
+    case SaveTermination::kFault:
       shard.degraded.fetch_add(1, std::memory_order_relaxed);
       break;
   }
@@ -62,6 +63,20 @@ void BatchProgressTracker::RecordOutlier(SaveTermination termination,
         kSampleCapacity;
     samples_[slot].store(wall_nanos, std::memory_order_relaxed);
   }
+}
+
+void BatchProgressTracker::RecordRetry() {
+  shards_[ThisThreadShard(kShards)].retries.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void BatchProgressTracker::RecordResumed(SaveTermination termination) {
+  Shard& shard = shards_[ThisThreadShard(kShards)];
+  shard.completed.fetch_add(1, std::memory_order_relaxed);
+  if (termination == SaveTermination::kInfeasible) {
+    shard.infeasible.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.resumed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BatchProgressTracker::MarkDone() {
@@ -77,6 +92,8 @@ BatchProgressTracker::Snapshot BatchProgressTracker::Snap() const {
     snap.completed += s.completed.load(std::memory_order_acquire);
     snap.degraded += s.degraded.load(std::memory_order_acquire);
     snap.infeasible += s.infeasible.load(std::memory_order_acquire);
+    snap.retries += s.retries.load(std::memory_order_acquire);
+    snap.resumed += s.resumed.load(std::memory_order_acquire);
   }
   snap.finished = snap.completed + snap.degraded;
   snap.queued = snap.finished < snap.total ? snap.total - snap.finished : 0;
@@ -118,6 +135,8 @@ void BatchProgressTracker::Snapshot::AppendJson(JsonWriter* json) const {
   json->Key("infeasible").Uint(infeasible);
   json->Key("finished").Uint(finished);
   json->Key("queued").Uint(queued);
+  json->Key("retries").Uint(retries);
+  json->Key("resumed").Uint(resumed);
   json->Key("done").Bool(done);
   json->Key("elapsed_seconds").Number(elapsed_seconds);
   json->Key("has_deadline").Bool(has_deadline);

@@ -14,6 +14,7 @@
 
 #include "common/cancellation.h"
 #include "common/deadline.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/disc_saver.h"
@@ -64,6 +65,17 @@ Relation MakeNoisyDataset(std::uint64_t seed) {
   return std::move(mixture.data);
 }
 
+/// A kCancel fault at the k-th `search.node` hit — the exhaustive-sweep
+/// probe: combined with `injector.token()` as the search's cancellation,
+/// it reproduces "cancel at exactly node k" deterministically.
+FaultSpec CancelAtNode(std::size_t k) {
+  FaultSpec spec;
+  spec.site = "search.node";
+  spec.kind = FaultKind::kCancel;
+  spec.nth = k;
+  return spec;
+}
+
 /// The core soundness assertion of the anytime contract: a (possibly
 /// truncated) result is either a fully feasible adjustment with a
 /// consistent cost, or the untouched input — never a partially-adjusted
@@ -89,23 +101,27 @@ TEST(AnytimeSave, DiscCancellationSweepEveryNodeIsSound) {
   DiscSaver saver(inliers, ev, {1.5, 4});
   const Tuple outlier = Tuple::Numeric({0.2, -0.1, 12.0, 0.3});
 
-  // Reference run: count the node expansions and grab the full answer.
-  std::size_t total_nodes = 0;
-  SaveOptions counting;
-  counting.budget.on_node_expanded = [&](std::size_t) { ++total_nodes; };
-  SaveResult full = saver.Save(outlier, counting);
+  // Reference run: an armed-but-empty injector counts `search.node` hits
+  // without firing anything, giving the node-expansion total of a full
+  // search alongside its answer.
+  FaultInjector counter;
+  AttachGlobalFaultInjector(&counter);
+  SaveResult full = saver.Save(outlier);
+  AttachGlobalFaultInjector(nullptr);
   ASSERT_TRUE(full.feasible);
   ASSERT_EQ(full.termination, SaveTermination::kCompleted);
+  const std::size_t total_nodes =
+      static_cast<std::size_t>(counter.hit_count("search.node"));
   ASSERT_GT(total_nodes, 2u);
 
   for (std::size_t k = 0; k < total_nodes; ++k) {
-    CancellationSource source;
+    FaultInjector injector;
+    injector.Add(CancelAtNode(k));
+    AttachGlobalFaultInjector(&injector);
     SaveOptions opts;
-    opts.budget.cancellation = source.token();
-    opts.budget.on_node_expanded = [&source, k](std::size_t node) {
-      if (node == k) source.RequestCancel();
-    };
+    opts.budget.cancellation = injector.token();
     SaveResult res = saver.Save(outlier, opts);
+    AttachGlobalFaultInjector(nullptr);
     EXPECT_EQ(res.termination, SaveTermination::kCancelled) << "node " << k;
     ExpectSoundResult(saver, ev, outlier, res);
     if (res.feasible) {
@@ -124,22 +140,25 @@ TEST(AnytimeSave, DiscCancellationSweepKappaRestricted) {
   DiscSaver saver(inliers, ev, {1.5, 4});
   const Tuple outlier = Tuple::Numeric({0.0, 0.1, 11.0, -0.2});
 
-  std::size_t total_nodes = 0;
+  FaultInjector counter;
   SaveOptions counting;
   counting.kappa = 2;
-  counting.budget.on_node_expanded = [&](std::size_t) { ++total_nodes; };
+  AttachGlobalFaultInjector(&counter);
   SaveResult full = saver.Save(outlier, counting);
+  AttachGlobalFaultInjector(nullptr);
+  const std::size_t total_nodes =
+      static_cast<std::size_t>(counter.hit_count("search.node"));
   ASSERT_GT(total_nodes, 2u);
 
   for (std::size_t k = 0; k < total_nodes; ++k) {
-    CancellationSource source;
+    FaultInjector injector;
+    injector.Add(CancelAtNode(k));
+    AttachGlobalFaultInjector(&injector);
     SaveOptions opts;
     opts.kappa = 2;
-    opts.budget.cancellation = source.token();
-    opts.budget.on_node_expanded = [&source, k](std::size_t node) {
-      if (node == k) source.RequestCancel();
-    };
+    opts.budget.cancellation = injector.token();
     SaveResult res = saver.Save(outlier, opts);
+    AttachGlobalFaultInjector(nullptr);
     EXPECT_EQ(res.termination, SaveTermination::kCancelled) << "node " << k;
     ExpectSoundResult(saver, ev, outlier, res);
     if (res.feasible && full.feasible) {
@@ -161,13 +180,13 @@ TEST(AnytimeSave, ExactCancellationSweepEveryCandidateIsSound) {
   ASSERT_GT(full.candidates_checked, 2u);
 
   for (std::size_t k = 0; k < full.candidates_checked; ++k) {
-    CancellationSource source;
+    FaultInjector injector;
+    injector.Add(CancelAtNode(k));
+    AttachGlobalFaultInjector(&injector);
     ExactOptions opts;
-    opts.budget.cancellation = source.token();
-    opts.budget.on_node_expanded = [&source, k](std::size_t node) {
-      if (node == k) source.RequestCancel();
-    };
+    opts.budget.cancellation = injector.token();
     ExactResult res = saver.Save(outlier, opts);
+    AttachGlobalFaultInjector(nullptr);
     EXPECT_EQ(res.termination, SaveTermination::kCancelled) << "leaf " << k;
     if (res.feasible) {
       EXPECT_NEAR(res.cost, ev.Distance(outlier, res.adjusted), 1e-12);
@@ -319,7 +338,8 @@ TEST(AnytimeSave, AggressiveBatchDeadlineStaysWithinWallClockBound) {
   for (SaveTermination t :
        {SaveTermination::kCompleted, SaveTermination::kVisitBudget,
         SaveTermination::kQueryBudget, SaveTermination::kDeadline,
-        SaveTermination::kCancelled, SaveTermination::kInfeasible}) {
+        SaveTermination::kCancelled, SaveTermination::kInfeasible,
+        SaveTermination::kFault}) {
     tallied += saved.CountTermination(t);
   }
   EXPECT_EQ(tallied, saved.records.size());

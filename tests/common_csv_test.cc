@@ -103,5 +103,86 @@ TEST(Csv, ReadMissingFileFails) {
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
 }
 
+TEST(Csv, RaggedRowErrorNamesThePhysicalLine) {
+  // Blank lines are skipped as rows but still count as physical lines, so
+  // the error must point at line 5, not data-row index 2.
+  Result<Relation> r = ParseCsv("x,y\n\n1,2\n\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 5"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("expected 2"), std::string::npos);
+}
+
+TEST(Csv, StrictNumericRejectsMixedColumnWithContext) {
+  const std::string text = "v,name\n1,alice\n2,bob\nbad,carol\n";
+  // Default mode silently demotes the mixed column to strings...
+  Result<Relation> lax = ParseCsv(text);
+  ASSERT_TRUE(lax.ok());
+  EXPECT_EQ(lax.value().schema().kind(0), ValueKind::kString);
+
+  // ...strict mode names the column, the cell, and the physical line.
+  CsvOptions strict;
+  strict.strict_numeric = true;
+  Result<Relation> r = ParseCsv(text, strict);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = r.status().message();
+  EXPECT_NE(message.find("column \"v\" (index 0)"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("\"bad\""), std::string::npos) << message;
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+}
+
+TEST(Csv, StrictNumericAcceptsPureStringAndPureNumericColumns) {
+  CsvOptions strict;
+  strict.strict_numeric = true;
+  Result<Relation> r = ParseCsv("id,name\n1,alice\n2,bob\n", strict);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().schema().kind(0), ValueKind::kNumeric);
+  EXPECT_EQ(r.value().schema().kind(1), ValueKind::kString);
+}
+
+TEST(Csv, MaxBytesRejectsOversizedText) {
+  CsvOptions opts;
+  opts.max_bytes = 10;
+  Result<Relation> r = ParseCsv("x,y\n1,2\n3,4\n", opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("over the 10-byte limit"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Csv, MaxBytesRejectsOversizedFileBeforeSlurping) {
+  const std::string path = testing::TempDir() + "/disc_csv_maxbytes.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y\n1,2\n3,4\n";
+  }
+  CsvOptions tight;
+  tight.max_bytes = 4;
+  Result<Relation> rejected = ReadCsv(path, tight);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("over the 4-byte CSV limit"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  CsvOptions roomy;
+  roomy.max_bytes = 1 << 20;
+  Result<Relation> accepted = ReadCsv(path, roomy);
+  ASSERT_TRUE(accepted.ok()) << accepted.status();
+  EXPECT_EQ(accepted.value().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, HeaderOnlyInputYieldsZeroRows) {
+  Result<Relation> r = ParseCsv("x,y\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 0u);
+  EXPECT_EQ(r.value().arity(), 2u);
+}
+
 }  // namespace
 }  // namespace disc

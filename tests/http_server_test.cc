@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -18,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "core/outlier_saving.h"
@@ -191,6 +193,90 @@ TEST(HttpServer, StopIsIdempotentAndPortRefusesAfterStop) {
   server->Stop();  // idempotent
   EXPECT_FALSE(server->running());
   EXPECT_EQ(RawRequest(port, "GET /healthz HTTP/1.1\r\n\r\n"), "");
+}
+
+TEST(HttpServer, SlowLorisHeaderDripIs408) {
+  // A client dripping header bytes resets the per-recv socket timeout on
+  // every drip; only the wall-clock header budget can end the connection.
+  HttpServer::Options options;
+  options.header_read_timeout_ms = 300;
+  auto server = std::make_unique<HttpServer>(std::move(options));
+  RegisterObsEndpoints(server.get());
+  ASSERT_TRUE(server->Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string drip1 = "GET /healthz HTTP/1.1\r\nHost: l";
+  const std::string drip2 = "ocalhost\r\n";  // still no header terminator
+  ASSERT_GT(::send(fd, drip1.data(), drip1.size(), 0), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_GT(::send(fd, drip2.data(), drip2.size(), 0), 0);
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(StatusCode(response), 408) << response;
+  EXPECT_NE(response.find("timed out"), std::string::npos) << response;
+  server->Stop();
+}
+
+TEST(HttpServer, LatencyFaultAtReadDrivesDeterministic408) {
+  // A latency fault at `http.read` consumes the header budget before the
+  // first recv — the 408 path without any real slow client.
+  FaultInjector injector;
+  FaultSpec slow;
+  slow.site = "http.read";
+  slow.kind = FaultKind::kLatency;
+  slow.latency_ms = 250;
+  slow.nth = 0;
+  injector.Add(slow);
+  AttachGlobalFaultInjector(&injector);
+
+  HttpServer::Options options;
+  options.header_read_timeout_ms = 100;
+  auto server = std::make_unique<HttpServer>(std::move(options));
+  RegisterObsEndpoints(server.get());
+  ASSERT_TRUE(server->Start().ok());
+  const std::string response = Get(server->port(), "/healthz");
+  server->Stop();
+  AttachGlobalFaultInjector(nullptr);
+
+  EXPECT_EQ(StatusCode(response), 408) << response;
+  EXPECT_GE(injector.fires("http.read"), 1u);
+}
+
+TEST(HttpServer, AcceptFaultDropsOneConnectionThenRecovers) {
+  // An injected accept-path error closes the connection before any read —
+  // the client sees a silent close, the listener keeps serving.
+  FaultInjector injector;
+  FaultSpec drop;
+  drop.site = "http.accept";
+  drop.kind = FaultKind::kError;
+  drop.nth = 0;
+  injector.Add(drop);
+  // The accept site is resolved when the listener thread starts, so the
+  // injector must be armed and attached before Start().
+  AttachGlobalFaultInjector(&injector);
+  std::unique_ptr<HttpServer> server = StartObsServer();
+
+  EXPECT_EQ(Get(server->port(), "/healthz"), "");  // dropped, no bytes
+  EXPECT_EQ(StatusCode(Get(server->port(), "/healthz")), 200);
+
+  server->Stop();
+  AttachGlobalFaultInjector(nullptr);
+  EXPECT_EQ(injector.fires("http.accept"), 1u);
+  EXPECT_GE(injector.hit_count("http.accept"), 2u);
 }
 
 TEST(HttpServer, ConcurrentScrapesDuringActiveSaveAll) {

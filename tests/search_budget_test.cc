@@ -270,25 +270,46 @@ TEST(BudgetGauge, FirstStopReasonIsSticky) {
   EXPECT_EQ(gauge.reason(), SaveTermination::kVisitBudget);
 }
 
-TEST(BudgetGauge, HookFiresBeforeChecksWithNodeIndex) {
-  std::vector<std::size_t> seen;
-  CancellationSource source;
+TEST(BudgetGauge, CancelFaultAtNthNodeStopsTheSearch) {
+  // The injected-cancel equivalent of the old per-node hook: a kCancel
+  // fault at the 2nd `search.node` hit trips the injector's cancellation
+  // source, which the budget observes via its token on the same call (the
+  // fault site is hit before the cancellation check).
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.site = "search.node";
+  spec.kind = FaultKind::kCancel;
+  spec.nth = 2;
+  injector.Add(spec);
+  AttachGlobalFaultInjector(&injector);
   SearchBudget budget;
-  budget.cancellation = source.token();
-  budget.on_node_expanded = [&](std::size_t node) {
-    seen.push_back(node);
-    if (node == 2) source.RequestCancel();
-  };
+  budget.cancellation = injector.token();
   EXPECT_FALSE(budget.IsUnlimited());
   BudgetGauge gauge(&budget);
-  EXPECT_TRUE(gauge.OnNodeExpanded(1));   // node 0
-  EXPECT_TRUE(gauge.OnNodeExpanded(2));   // node 1
-  EXPECT_FALSE(gauge.OnNodeExpanded(3));  // node 2: hook cancels, then check
+  EXPECT_TRUE(gauge.OnNodeExpanded(1));   // hit 0
+  EXPECT_TRUE(gauge.OnNodeExpanded(2));   // hit 1
+  EXPECT_FALSE(gauge.OnNodeExpanded(3));  // hit 2: cancel fires, then check
+  AttachGlobalFaultInjector(nullptr);
   EXPECT_EQ(gauge.reason(), SaveTermination::kCancelled);
-  ASSERT_EQ(seen.size(), 3u);
-  EXPECT_EQ(seen[0], 0u);
-  EXPECT_EQ(seen[1], 1u);
-  EXPECT_EQ(seen[2], 2u);
+  EXPECT_TRUE(injector.cancel_fired());
+  EXPECT_EQ(injector.hit_count("search.node"), 3u);
+  EXPECT_EQ(injector.fires("search.node"), 1u);
+}
+
+TEST(BudgetGauge, ErrorFaultAtNodeStopsWithFaultReason) {
+  FaultInjector injector;
+  FaultSpec spec;
+  spec.site = "search.node";
+  spec.kind = FaultKind::kError;
+  spec.nth = 1;
+  injector.Add(spec);
+  AttachGlobalFaultInjector(&injector);
+  BudgetGauge gauge(nullptr);  // even an unlimited budget honors faults
+  EXPECT_TRUE(gauge.OnNodeExpanded(1));
+  EXPECT_FALSE(gauge.OnNodeExpanded(2));
+  AttachGlobalFaultInjector(nullptr);
+  EXPECT_EQ(gauge.reason(), SaveTermination::kFault);
+  EXPECT_TRUE(RetryPolicy::IsTransient(gauge.reason()));
 }
 
 TEST(BudgetGauge, NullBudgetIsUnlimited) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "core/disc_saver.h"
@@ -275,19 +276,23 @@ TEST(CostOrderedSaveAll, CancellationMidBatchIsSoundAndPoolReusable) {
 
   // Fire batch-wide cancellation from inside a running search, after the
   // batch has expanded a few dozen nodes across its workers — mid-batch,
-  // while steals and nested chunks are in flight.
-  CancellationSource source;
-  std::atomic<std::uint64_t> expansions{0};
-  options.budget.on_node_expanded = [&](std::size_t) {
-    if (expansions.fetch_add(1, std::memory_order_relaxed) == 48) {
-      source.RequestCancel();
-    }
-  };
+  // while steals and nested chunks are in flight. The injected kCancel
+  // fault at the 48th `search.node` hit replaces the old per-node hook:
+  // hit indices are assigned atomically across workers, so the fault fires
+  // exactly once, on some node of some in-flight search.
+  FaultInjector injector;
+  FaultSpec cancel_spec;
+  cancel_spec.site = "search.node";
+  cancel_spec.kind = FaultKind::kCancel;
+  cancel_spec.nth = 48;
+  injector.Add(cancel_spec);
+  AttachGlobalFaultInjector(&injector);
   BatchBudget batch;
-  batch.cancellation = source.token();
+  batch.cancellation = injector.token();
 
   std::vector<SaveResult> degraded =
       f.saver->SaveAll(f.outliers, options, &pool, batch);
+  AttachGlobalFaultInjector(nullptr);
   ASSERT_EQ(degraded.size(), f.outliers.size())
       << "every outlier must be recorded, cancelled or not";
   for (std::size_t i = 0; i < degraded.size(); ++i) {
@@ -302,7 +307,7 @@ TEST(CostOrderedSaveAll, CancellationMidBatchIsSoundAndPoolReusable) {
           << "cancelled search without incumbent must return the input";
     }
   }
-  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(injector.cancel_fired());
 
   // The pool must come out of a cancelled batch fully serviceable: a clean
   // rerun on the same pool matches the no-pool reference bit for bit.
