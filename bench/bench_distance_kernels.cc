@@ -1,30 +1,46 @@
 // bench_distance_kernels — columnar flat kernels vs the scalar distance path.
 //
-// Three tiers, on all-numeric Gaussian-mixture data (n >= 50k, m >= 8 in
+// Four sections, on all-numeric Gaussian-mixture data (n >= 50k, m >= 8 in
 // the full run):
 //   1. ns/pair: full-tuple Distance and threshold DistanceWithin, scalar
 //      DistanceEvaluator vs columnar FlatKernel.
 //   2. Range-query throughput: BruteForceIndex with the columnar fast path
 //      vs the same index with the fast path disabled (the scalar
 //      reference), after asserting both return bit-identical neighbor sets.
-//   3. End-to-end SaveAll on the Figure-6 Flight-shaped workload, fast path
+//   3. SIMD tier sweep: the columnar range scan re-timed with the view
+//      forced to each tier the CPU can run (scalar / sse2 / avx2), rows/s
+//      each, after asserting every tier's answers match the scalar tier
+//      bit for bit (DESIGN.md §12).
+//   4. End-to-end SaveAll on the Figure-6 Flight-shaped workload, fast path
 //      on vs off, after asserting bit-identical repaired outputs.
 //
+// Every run also executes the cross-tier parity suite — all FlatKernel
+// entry points on random, scaled and edge-value (NaN / ±inf / denormal /
+// negative-zero) relations, every runnable tier against the scalar tier —
+// and fails hard on any mismatch: bit-identity is the kernels' contract,
+// not a perf property.
+//
 // Flags: --quick shrinks every workload for the CI perf-smoke job; --check
-// exits 1 when the columnar path is not faster than the scalar path on the
-// all-numeric range workload (the regression gate).
+// additionally exits 1 when the columnar path is not faster than the
+// scalar path on the all-numeric range workload, or when the AVX2 tier
+// does not clear kSimdSpeedupFloor over the scalar tier (the regression
+// gates).
 //
 // Results are printed as tables and written to BENCH_distance_kernels.json.
 //
 // Not a paper figure: this benchmarks the repo's own distance architecture.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/disc_saver.h"
 #include "core/outlier_saving.h"
 #include "data/generators.h"
@@ -209,6 +225,255 @@ RangeTimings BenchRange(const Relation& r, const DistanceEvaluator& ev,
   return t;
 }
 
+/// Floor the AVX2 tier must clear over the scalar-tier columnar range scan
+/// under --check. The measured margin is well above this (see
+/// bench/baselines/BENCH_distance_kernels.json); the floor only catches a
+/// tier that silently stopped vectorizing.
+constexpr double kSimdSpeedupFloor = 2.5;
+
+/// The tiers this CPU can execute, scalar first (set_simd_tier clamps, so
+/// on lesser hardware the sweep simply measures fewer rows).
+std::vector<SimdTier> RunnableTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (DetectedSimdTier() >= SimdTier::kSse2) tiers.push_back(SimdTier::kSse2);
+  if (DetectedSimdTier() >= SimdTier::kAvx2) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+struct TierTimings {
+  struct Entry {
+    SimdTier tier = SimdTier::kScalar;
+    double rows_per_s = 0;
+    double speedup = 1.0;  // vs the scalar tier
+  };
+  std::vector<Entry> entries;
+  SimdTier active = SimdTier::kScalar;
+  bool identical = true;
+};
+
+/// Columnar range-scan throughput per SIMD tier: the same CountWithin scan
+/// over the full view, re-dispatched per tier, after asserting the tier's
+/// CollectWithin answers match the scalar tier bit for bit.
+TierTimings BenchTiers(const Relation& r, ColumnarView* view) {
+  TierTimings t;
+  t.active = view->simd_tier();
+  const double eps = 2.5;
+  Rng rng(33);
+  std::vector<Tuple> queries;
+  for (std::size_t i = 0; i < 8; ++i) {
+    queries.push_back(RandomQueryNear(r, &rng));
+  }
+
+  view->set_simd_tier(SimdTier::kScalar);
+  std::vector<std::vector<std::size_t>> ref_rows(queries.size());
+  std::vector<std::vector<double>> ref_dists(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    FlatKernel kernel(*view, queries[i]);
+    kernel.CollectWithin(eps, &ref_rows[i], &ref_dists[i]);
+  }
+
+  double scalar_rows_per_s = 0;
+  for (SimdTier tier : RunnableTiers()) {
+    view->set_simd_tier(tier);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      FlatKernel kernel(*view, queries[i]);
+      std::vector<std::size_t> rows;
+      std::vector<double> dists;
+      kernel.CollectWithin(eps, &rows, &dists);
+      if (rows != ref_rows[i] || dists != ref_dists[i]) t.identical = false;
+    }
+    // Repeat the query set until the timing window is long enough to trust.
+    std::size_t passes = 0;
+    std::size_t kept = 0;
+    Timer timer;
+    do {
+      for (const Tuple& q : queries) {
+        FlatKernel kernel(*view, q);
+        kept += kernel.CountWithin(eps);
+      }
+      ++passes;
+    } while (timer.Seconds() < 0.2 || passes < 3);
+    if (kept == 0) std::fprintf(stderr, "warning: empty tier-scan answers\n");
+    TierTimings::Entry e;
+    e.tier = tier;
+    e.rows_per_s = static_cast<double>(passes * queries.size()) *
+                   static_cast<double>(view->rows()) / timer.Seconds();
+    if (tier == SimdTier::kScalar) scalar_rows_per_s = e.rows_per_s;
+    e.speedup = e.rows_per_s / scalar_rows_per_s;
+    t.entries.push_back(e);
+  }
+  view->set_simd_tier(t.active);
+  return t;
+}
+
+/// NaN payloads aside, "the same double" for parity purposes: bitwise-equal
+/// finite/inf values, or NaN on both sides (distances only ever produce +0,
+/// so ±0 aliasing cannot hide a sign bug).
+bool SameVal(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+/// Relation of the edge values the vector pre-pass must not mishandle: NaN
+/// (all comparisons false — must reach the canonical recompute), ±inf
+/// (overflow; inf−inf = NaN against infinite queries), ±huge (squares
+/// overflow), denormals, negative zero.
+Relation EdgeRelation(std::size_t dims) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double huge = std::numeric_limits<double>::max();
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  Relation r(Schema::Numeric(dims));
+  std::vector<std::vector<double>> rows = {
+      std::vector<double>(dims, 0.0),  std::vector<double>(dims, -0.0),
+      std::vector<double>(dims, huge), std::vector<double>(dims, -huge),
+      std::vector<double>(dims, tiny), std::vector<double>(dims, 1.0),
+      std::vector<double>(dims, inf),  std::vector<double>(dims, -inf),
+      std::vector<double>(dims, nan),
+  };
+  rows.push_back(std::vector<double>(dims, 0.0));
+  rows.back()[0] = nan;
+  rows.push_back(std::vector<double>(dims, 0.25));
+  rows.back()[dims - 1] = inf;
+  rows.push_back(std::vector<double>(dims, 0.5));
+  rows.back()[0] = -inf;
+  for (const auto& coords : rows) {
+    Tuple t(dims);
+    for (std::size_t d = 0; d < dims; ++d) t[d] = Value(coords[d]);
+    r.AppendUnchecked(std::move(t));
+  }
+  return r;
+}
+
+/// Every FlatKernel entry point on every runnable tier vs the scalar tier.
+bool ParityOn(const Relation& r, const DistanceEvaluator& ev,
+              const char* label) {
+  auto view = ColumnarView::Build(r, ev);
+  if (view == nullptr) {
+    std::fprintf(stderr, "parity[%s]: workload ineligible\n", label);
+    return false;
+  }
+  const std::size_t n = r.size();
+  const std::size_t m = r.arity();
+  AttributeSet subset;
+  for (std::size_t a = 0; a < m; a += 2) subset.insert(a);
+
+  Rng rng(5);
+  std::vector<Tuple> queries;
+  for (int i = 0; i < 3; ++i) queries.push_back(RandomQueryNear(r, &rng));
+  queries.push_back(r[0]);        // includes NaN/inf queries on EdgeRelation
+  queries.push_back(r[n - 1]);
+
+  bool ok = true;
+  const auto mismatch = [&](const char* what, SimdTier tier) {
+    std::fprintf(stderr, "parity[%s]: %s mismatch on tier %s\n", label, what,
+                 SimdTierName(tier));
+    ok = false;
+  };
+  for (const Tuple& q : queries) {
+    for (double eps : {0.0, 2.5, 1e301}) {
+      // Materialize every scalar reference value BEFORE switching tiers:
+      // FlatKernel dispatches on the view's current tier at call time, so a
+      // "reference" call made after set_simd_tier would compare a tier to
+      // itself.
+      view->set_simd_tier(SimdTier::kScalar);
+      FlatKernel ref(*view, q);
+      std::vector<std::size_t> ref_rows;
+      std::vector<double> ref_dists;
+      ref.CollectWithin(eps, &ref_rows, &ref_dists);
+      const std::size_t ref_count = ref.CountWithin(eps);
+      std::vector<double> ref_fill(n);
+      ref.FillDistances(ref_fill.data(), 0, n);
+      std::vector<double> ref_attr(n);
+      ref.FillAttributeDistances(m / 2, ref_attr.data());
+      std::vector<double> ref_dist(n), ref_within(n), ref_on(n),
+          ref_on_within(n);
+      for (std::size_t row = 0; row < n; ++row) {
+        ref_dist[row] = ref.Distance(row);
+        ref_within[row] = ref.DistanceWithin(row, eps);
+        ref_on[row] = ref.DistanceOn(subset, row);
+        ref_on_within[row] = ref.DistanceOnWithin(subset, row, eps);
+      }
+
+      for (SimdTier tier : RunnableTiers()) {
+        view->set_simd_tier(tier);
+        FlatKernel kernel(*view, q);
+        std::vector<std::size_t> rows;
+        std::vector<double> dists;
+        kernel.CollectWithin(eps, &rows, &dists);
+        if (rows != ref_rows || dists != ref_dists) {
+          mismatch("CollectWithin", tier);
+        }
+        if (kernel.CountWithin(eps) != ref_count) {
+          mismatch("CountWithin", tier);
+        }
+        std::vector<double> fill(n);
+        kernel.FillDistances(fill.data(), 0, n);
+        std::vector<double> attr(n);
+        kernel.FillAttributeDistances(m / 2, attr.data());
+        for (std::size_t row = 0; row < n; ++row) {
+          if (!SameVal(fill[row], ref_fill[row])) {
+            mismatch("FillDistances", tier);
+          }
+          if (!SameVal(attr[row], ref_attr[row])) {
+            mismatch("FillAttributeDistances", tier);
+          }
+          if (!SameVal(kernel.Distance(row), ref_dist[row])) {
+            mismatch("Distance", tier);
+          }
+          if (!SameVal(kernel.DistanceWithin(row, eps), ref_within[row])) {
+            mismatch("DistanceWithin", tier);
+          }
+          if (!SameVal(kernel.DistanceOn(subset, row), ref_on[row])) {
+            mismatch("DistanceOn", tier);
+          }
+          if (!SameVal(kernel.DistanceOnWithin(subset, row, eps),
+                       ref_on_within[row])) {
+            mismatch("DistanceOnWithin", tier);
+          }
+        }
+        if (!ok) return false;  // first mismatch is enough detail
+      }
+    }
+  }
+  return ok;
+}
+
+DistanceEvaluator ScaledParityEvaluator(const Schema& schema, LpNorm norm) {
+  std::vector<std::unique_ptr<AttributeMetric>> metrics;
+  for (std::size_t a = 0; a < schema.arity(); ++a) {
+    metrics.push_back(std::make_unique<AbsoluteDifferenceMetric>(
+        1.0 + 0.25 * static_cast<double>(a)));
+  }
+  return DistanceEvaluator(schema, std::move(metrics), norm);
+}
+
+/// The cross-tier parity suite: random / scaled / wide / edge-value
+/// relations under every norm.
+bool CheckParity() {
+  bool ok = true;
+  Relation random = MakeNumericWorkload(257, 6, 3);
+  {
+    // Break the lane alignment so the masked-tail paths run too (the
+    // mixture generator emits a multiple of its 8 clusters).
+    Rng rng(6);
+    for (int i = 0; i < 3; ++i) {
+      Tuple t(6);
+      for (std::size_t d = 0; d < 6; ++d) t[d] = Value(rng.Uniform(-10, 10));
+      random.AppendUnchecked(std::move(t));
+    }
+  }
+  Relation wide = MakeNumericWorkload(64, 24, 4);
+  Relation edge = EdgeRelation(9);
+  for (LpNorm norm : {LpNorm::kL2, LpNorm::kL1, LpNorm::kLInf}) {
+    ok &= ParityOn(random, DistanceEvaluator(random.schema(), norm), "random");
+    ok &= ParityOn(random, ScaledParityEvaluator(random.schema(), norm),
+                   "scaled");
+    ok &= ParityOn(wide, DistanceEvaluator(wide.schema(), norm), "wide");
+    ok &= ParityOn(edge, DistanceEvaluator(edge.schema(), norm), "edge");
+  }
+  return ok;
+}
+
 struct SaveTimings {
   double scalar_seconds = 0;
   double fast_seconds = 0;
@@ -366,6 +631,21 @@ int Run(const KernelConfig& cfg) {
   std::printf("range results bit-identical: %s\n",
               range.identical ? "yes" : "NO");
 
+  TierTimings tiers = BenchTiers(workload, view.get());
+  PrintHeader("SIMD tier sweep: columnar range scan (active tier " +
+              std::string(SimdTierName(tiers.active)) + ")");
+  PrintRow({"tier", "rows/s", "speedup"}, 14);
+  for (const TierTimings::Entry& e : tiers.entries) {
+    PrintRow({SimdTierName(e.tier), Fmt(e.rows_per_s, 0), Fmt(e.speedup, 2)},
+             14);
+  }
+  std::printf("tier answers bit-identical: %s\n",
+              tiers.identical ? "yes" : "NO");
+
+  const bool parity = CheckParity();
+  std::printf("cross-tier parity suite (all entry points, edge values): %s\n",
+              parity ? "pass" : "FAIL");
+
   SaveTimings save = BenchSaveAll(cfg);
   PrintHeader("DiscSaver::SaveAll (Gaussian mixture, " +
               std::to_string(save.outliers) + " outliers, " +
@@ -387,13 +667,38 @@ int Run(const KernelConfig& cfg) {
   std::printf("repaired outputs bit-identical: %s\n",
               pipeline.identical ? "yes" : "NO");
 
+  // The active tier's rows/s is the artifact's headline throughput (what
+  // check_bench_regression.py gates, hardware shape permitting).
+  double active_rows_per_s = 0;
+  for (const TierTimings::Entry& e : tiers.entries) {
+    if (e.tier == tiers.active) active_rows_per_s = e.rows_per_s;
+  }
+
   JsonWriter json;
   json.BeginObject();
-  json.Key("schema_version").Uint(2);
+  json.Key("schema_version").Uint(3);
   json.Key("bench").String("distance_kernels");
   json.Key("quick").Bool(cfg.quick);
   json.Key("n").Uint(workload.size());
   json.Key("m").Uint(cfg.m);
+  json.Key("hardware_threads").Uint(WorkStealingPool::DefaultThreadCount());
+  json.Key("throughput_per_s").Number(active_rows_per_s);
+  json.Key("simd");
+  json.BeginObject();
+  json.Key("active_tier").String(SimdTierName(tiers.active));
+  json.Key("detected_tier").String(SimdTierName(DetectedSimdTier()));
+  json.Key("bit_identical").Bool(tiers.identical);
+  json.Key("parity").Bool(parity);
+  json.Key("tiers").BeginArray();
+  for (const TierTimings::Entry& e : tiers.entries) {
+    json.BeginObject();
+    json.Key("tier").String(SimdTierName(e.tier));
+    json.Key("rows_per_s").Number(e.rows_per_s);
+    json.Key("speedup").Number(e.speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
   json.Key("pair_ns");
   json.BeginObject();
   json.Key("scalar").Number(pairs.scalar_ns);
@@ -441,8 +746,13 @@ int Run(const KernelConfig& cfg) {
   WriteTextFile("BENCH_distance_kernels.json", json.str());
   std::printf("wrote BENCH_distance_kernels.json\n");
 
-  if (!range.identical || !save.identical || !pipeline.identical) {
+  if (!range.identical || !save.identical || !pipeline.identical ||
+      !tiers.identical) {
     std::fprintf(stderr, "FAIL: fast path is not bit-identical\n");
+    return 1;
+  }
+  if (!parity) {
+    std::fprintf(stderr, "FAIL: cross-tier parity suite\n");
     return 1;
   }
   if (cfg.check && range.speedup < 1.0) {
@@ -450,6 +760,19 @@ int Run(const KernelConfig& cfg) {
                  "FAIL: columnar range path slower than scalar (%.2fx)\n",
                  range.speedup);
     return 1;
+  }
+  if (cfg.check && DetectedSimdTier() >= SimdTier::kAvx2) {
+    double avx2_speedup = 0;
+    for (const TierTimings::Entry& e : tiers.entries) {
+      if (e.tier == SimdTier::kAvx2) avx2_speedup = e.speedup;
+    }
+    if (avx2_speedup < kSimdSpeedupFloor) {
+      std::fprintf(stderr,
+                   "FAIL: avx2 tier below %.1fx over the scalar-tier "
+                   "columnar scan (%.2fx)\n",
+                   kSimdSpeedupFloor, avx2_speedup);
+      return 1;
+    }
   }
   return 0;
 }

@@ -1,0 +1,57 @@
+#ifndef DISC_COMMON_ALIGNED_H_
+#define DISC_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace disc {
+
+/// Minimal over-aligned allocator for the SIMD column buffers
+/// (distance/columnar.h). std::vector<double>'s default allocator only
+/// guarantees alignof(double) = 8; the vector kernels use aligned 64-byte
+/// loads, so the buffer start must sit on a cache line. C++17 aligned
+/// operator new/delete carry the alignment through to the matching free.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// Cache-line / AVX-512-width alignment of the columnar data buffers. Also
+/// the lane-pad unit: columns are padded to a multiple of this many doubles
+/// so every column starts a fresh 64-byte line (distance/columnar.h).
+inline constexpr std::size_t kColumnAlignBytes = 64;
+
+/// A contiguous buffer whose data() is 64-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kColumnAlignBytes>>;
+
+}  // namespace disc
+
+#endif  // DISC_COMMON_ALIGNED_H_

@@ -4,6 +4,7 @@
 #include <functional>
 #include <thread>
 
+#include "common/cpu_features.h"
 #include "common/json_writer.h"
 #include "common/stringutil.h"
 
@@ -236,6 +237,15 @@ MetricsRegistry* GlobalMetrics() {
 
 void AttachGlobalMetrics(MetricsRegistry* registry) {
   g_global_metrics.store(registry, std::memory_order_release);
+  if (registry != nullptr) {
+    // The dispatch tier is process-wide and latched, so export it once at
+    // attach time: 0 = scalar, 1 = sse2, 2 = avx2 (common/cpu_features.h).
+    registry
+        ->GetGauge("disc_simd_tier",
+                   "Active SIMD dispatch tier of the distance kernels "
+                   "(0=scalar, 1=sse2, 2=avx2)")
+        ->Set(static_cast<std::int64_t>(ActiveSimdTier()));
+  }
 }
 
 IndexQueryMetrics IndexQueryMetrics::For(const char* impl) {

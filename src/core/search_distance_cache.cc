@@ -33,17 +33,18 @@ SearchDistanceCache::SearchDistanceCache(const Relation& relation,
   const bool parallel =
       pool != nullptr && pool->size() > 1 && n >= 2 * kFillGrain;
   if (kernel_.has_value()) {
+    // Batch fill: vectorized across rows when the view's SIMD tier allows,
+    // bit-identical to per-row Distance() either way. Each entry is an
+    // independent write; chunked or sequential fills produce the identical
+    // vector (the grain is block-aligned, ColumnarView::kLanePad).
     if (parallel) {
-      // Each entry is an independent write; chunked or sequential fills
-      // produce the identical vector.
       pool->ParallelFor(0, n, kFillGrain,
                         [&](std::size_t begin, std::size_t end, std::size_t) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            full_[i] = kernel_->Distance(i);
-                          }
+                          kernel_->FillDistances(full_.data() + begin, begin,
+                                                 end);
                         });
     } else {
-      for (std::size_t i = 0; i < n; ++i) full_[i] = kernel_->Distance(i);
+      kernel_->FillDistances(full_.data(), 0, n);
     }
   } else if (parallel) {
     pool->ParallelFor(0, n, kFillGrain,

@@ -4,25 +4,25 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
-#include <limits>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "distance/columnar_internal.h"
+#include "distance/columnar_simd.h"
 
 namespace disc {
 
 namespace {
 
-/// Multiplicative slack for the variance-ordered reject pass. Summing m ≤ 64
-/// non-negative terms in any order differs from the canonical-order sum by a
-/// relative error of at most (m−1)·ε ≈ 1.4e-14, so a permuted partial sum
-/// beyond threshold·(1 + 1e-12) proves the canonical sum is beyond the
-/// threshold too — the fast pass can only reject pairs the scalar reference
-/// also rejects. (At threshold 0 the slack degenerates to 0, which is still
-/// exact: non-negative sums are order-independently zero or positive.)
-constexpr double kCertainRejectSlack = 1.0 + 1e-12;
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
+using columnar_internal::CanonicalDistance;
+using columnar_internal::CanonicalWithinL1;
+using columnar_internal::CanonicalWithinL2;
+using columnar_internal::kCertainRejectSlack;
+using columnar_internal::kInf;
+using columnar_internal::RowWithinL1;
+using columnar_internal::RowWithinL2;
+using columnar_internal::RowWithinLInf;
 
 /// Bits of `x` restricted to attributes < arity, mirroring the scalar
 /// DistanceOn loop which only tests a < m.
@@ -32,105 +32,89 @@ inline std::uint64_t MaskedBits(const AttributeSet& x, std::size_t arity) {
   return x.bits() & mask;
 }
 
-/// Per-row threshold kernels shared by DistanceWithin and the batch scans.
-/// Each returns the exact canonical-order distance on accept and +infinity
-/// on reject, matching LpAccumulator bit for bit (see DistanceWithin).
-
-inline double RowWithinL2(const ColumnarView& v, const double* q,
-                          std::size_t row, double thr_sq, double reject,
-                          bool unit) {
-  double acc = 0;
-  for (std::size_t a : v.scan_order()) {
-    double d = std::fabs(q[a] - v.column(a)[row]);
-    if (!unit) d /= v.scale(a);
-    acc += d * d;
-    if (acc > reject) return kInf;
-  }
-  acc = 0;
-  const std::size_t m = v.arity();
-  for (std::size_t a = 0; a < m; ++a) {
-    double d = std::fabs(q[a] - v.column(a)[row]);
-    if (!unit) d /= v.scale(a);
-    acc += d * d;
-    if (acc > thr_sq) return kInf;
-  }
-  return std::sqrt(acc);
-}
-
-inline double RowWithinL1(const ColumnarView& v, const double* q,
-                          std::size_t row, double threshold, double reject,
-                          bool unit) {
-  double acc = 0;
-  for (std::size_t a : v.scan_order()) {
-    double d = std::fabs(q[a] - v.column(a)[row]);
-    if (!unit) d /= v.scale(a);
-    acc += d;
-    if (acc > reject) return kInf;
-  }
-  acc = 0;
-  const std::size_t m = v.arity();
-  for (std::size_t a = 0; a < m; ++a) {
-    double d = std::fabs(q[a] - v.column(a)[row]);
-    if (!unit) d /= v.scale(a);
-    acc += d;
-    if (acc > threshold) return kInf;
-  }
-  return acc;
-}
-
-inline double RowWithinLInf(const ColumnarView& v, const double* q,
-                            std::size_t row, double threshold, bool unit) {
-  double acc = 0;
-  for (std::size_t a : v.scan_order()) {
-    double d = std::fabs(q[a] - v.column(a)[row]);
-    if (!unit) d /= v.scale(a);
-    if (d > threshold) return kInf;
-    acc = std::max(acc, d);
-  }
-  return acc;
-}
-
-/// Runs the per-row threshold kernel over rows [begin, end), invoking
-/// `hit(row, distance)` for each accept. The norm switch and the threshold
-/// constants are hoisted outside the row loop, and `hit` is a lambda, so
-/// each norm compiles to one tight scan over the columns.
+/// Scalar reference scan over rows [begin, end), invoking `hit` for each
+/// accept. The norm switch and the threshold constants are hoisted outside
+/// the row loop, and `hit` is a lambda, so each norm compiles to one tight
+/// scan over the columns. Work totals accumulate into `delta`.
 template <typename Hit>
-inline void ScanWithinRange(const ColumnarView& v, const double* q,
+inline void ScalarScanRange(const ColumnarView& v, const double* q,
                             double epsilon, std::size_t begin, std::size_t end,
-                            Hit&& hit) {
+                            Hit&& hit, simd::ScanDelta* delta) {
   const bool unit = v.unit_scales();
+  std::uint64_t cr = 0;
   switch (v.norm()) {
     case LpNorm::kL2: {
       const double thr_sq = epsilon * epsilon;
       const double reject = thr_sq * kCertainRejectSlack;
       for (std::size_t i = begin; i < end; ++i) {
-        double d = RowWithinL2(v, q, i, thr_sq, reject, unit);
+        double d = RowWithinL2(v, q, i, thr_sq, reject, unit, &cr);
         if (d <= epsilon) hit(i, d);
       }
-      return;
+      break;
     }
     case LpNorm::kL1: {
       const double reject = epsilon * kCertainRejectSlack;
       for (std::size_t i = begin; i < end; ++i) {
-        double d = RowWithinL1(v, q, i, epsilon, reject, unit);
+        double d = RowWithinL1(v, q, i, epsilon, reject, unit, &cr);
         if (d <= epsilon) hit(i, d);
       }
-      return;
+      break;
     }
     case LpNorm::kLInf: {
       for (std::size_t i = begin; i < end; ++i) {
-        double d = RowWithinLInf(v, q, i, epsilon, unit);
+        double d = RowWithinLInf(v, q, i, epsilon, unit, &cr);
         if (d <= epsilon) hit(i, d);
       }
-      return;
+      break;
     }
   }
+  delta->rows_scanned += end - begin;
+  delta->certain_rejects += cr;
 }
 
-template <typename Hit>
-inline void ScanWithin(const ColumnarView& v, const double* q, double epsilon,
-                       Hit&& hit) {
-  ScanWithinRange(v, q, epsilon, 0, v.rows(), std::forward<Hit>(hit));
+/// Hit sinks for the dispatched scans (plain functions: the SIMD tier takes
+/// a function pointer, not a template — target attributes don't propagate
+/// into template instantiations).
+struct CollectCtx {
+  std::vector<std::size_t>* rows;
+  std::vector<double>* distances;
+};
+
+void CollectHit(void* ctx, std::size_t row, double d) {
+  auto* c = static_cast<CollectCtx*>(ctx);
+  c->rows->push_back(row);
+  c->distances->push_back(d);
+}
+
+void CountHit(void* ctx, std::size_t /*row*/, double /*d*/) {
+  ++*static_cast<std::size_t*>(ctx);
+}
+
+/// One range scan: the view's SIMD tier if it has a kernel, the scalar
+/// reference otherwise. Either way verdicts, distances and output order
+/// are identical (DESIGN.md §12).
+inline void ScanRange(const ColumnarView& v, const double* q, double epsilon,
+                      std::size_t begin, std::size_t end, simd::HitFn hit,
+                      void* ctx, simd::ScanDelta* delta) {
+  if (simd::ScanWithin(v.simd_tier(), v, q, epsilon, begin, end, hit, ctx,
+                       delta)) {
+    return;
+  }
+  ScalarScanRange(
+      v, q, epsilon, begin, end,
+      [&](std::size_t row, double d) { hit(ctx, row, d); }, delta);
+}
+
+/// Flushes a batch's work totals to the view's counters (no-op when
+/// metrics are disabled). Called once per batch call or per parallel
+/// chunk — Counter::Add is wait-free and sharded, so chunk-level flushes
+/// from pool workers don't contend.
+inline void FlushScan(const ColumnarView& v, const simd::ScanDelta& delta) {
+  const ColumnarView::ScanCounters& c = v.scan_counters();
+  if (c.rows_scanned != nullptr) c.rows_scanned->Add(delta.rows_scanned);
+  if (c.certain_rejects != nullptr) {
+    c.certain_rejects->Add(delta.certain_rejects);
+  }
 }
 
 /// Rows per nested chunk for the parallel batch scans. A 6-attribute L2
@@ -138,6 +122,11 @@ inline void ScanWithin(const ColumnarView& v, const double* q, double epsilon,
 /// pool's per-chunk lock round trip is noise, fine enough that a 500k-row
 /// scan splits across every idle core.
 constexpr std::size_t kParallelScanGrain = 8192;
+
+/// Chunk boundaries must be lane-block aligned so per-chunk SIMD scans run
+/// block loops end to end with no scalar head (grain purity: every chunk
+/// but the last is whole blocks).
+static_assert(kParallelScanGrain % ColumnarView::kLanePad == 0);
 
 /// True when splitting an n-row scan over `pool` is worth the fixed cost.
 inline bool UseParallelScan(const WorkStealingPool* pool, std::size_t n) {
@@ -162,17 +151,32 @@ std::unique_ptr<ColumnarView> ColumnarView::Build(
   const std::size_t n = relation.size();
   const std::size_t m = relation.arity();
   view->rows_ = n;
+  view->padded_rows_ = (n + kLanePad - 1) / kLanePad * kLanePad;
   view->arity_ = m;
   view->norm_ = evaluator.norm();
+  view->simd_tier_ = ActiveSimdTier();
   evaluator.AllScaledAbsoluteDifference(&view->scales_);
   view->unit_scales_ = std::all_of(view->scales_.begin(), view->scales_.end(),
                                    [](double s) { return s == 1.0; });
+  if (MetricsRegistry* registry = GlobalMetrics()) {
+    view->counters_.rows_scanned = registry->GetCounter(
+        "disc_kernel_rows_scanned_total",
+        "Rows evaluated by the batch columnar distance kernels");
+    view->counters_.certain_rejects = registry->GetCounter(
+        "disc_kernel_certain_rejects_total",
+        "Rows dismissed by the certain-reject pre-pass of the batch "
+        "columnar scans (which rows reject is SIMD-tier-dependent; "
+        "outputs are not)");
+  }
 
-  view->data_.resize(n * m);
+  // Zero-initialized so the pad rows [n, padded_rows) of every column hold
+  // 0.0 — always safe to load, never reported (verdict masks stop at n).
+  const std::size_t stride = view->padded_rows_;
+  view->data_.assign(stride * m, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const Tuple& t = relation[i];
     for (std::size_t a = 0; a < m; ++a) {
-      view->data_[a * n + i] = t[a].num();
+      view->data_[a * stride + i] = t[a].num();
     }
   }
 
@@ -209,7 +213,15 @@ std::unique_ptr<ColumnarView> ColumnarView::Build(
               return variance[a] > variance[b] ||
                      (variance[a] == variance[b] && a < b);
             });
+  view->scan_offsets_.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    view->scan_offsets_[k] = view->scan_order_[k] * stride;
+  }
   return view;
+}
+
+void ColumnarView::set_simd_tier(SimdTier tier) {
+  simd_tier_ = std::min(tier, DetectedSimdTier());
 }
 
 std::vector<double> ColumnarView::QueryCoords(const Tuple& query) const {
@@ -219,44 +231,40 @@ std::vector<double> ColumnarView::QueryCoords(const Tuple& query) const {
 }
 
 double FlatKernel::Distance(std::size_t row) const {
-  const ColumnarView& v = *view_;
-  const std::size_t m = v.arity();
-  const bool unit = v.unit_scales();
-  switch (v.norm()) {
-    case LpNorm::kL2: {
-      double acc = 0;
-      for (std::size_t a = 0; a < m; ++a) {
-        double d = std::fabs(q_[a] - v.column(a)[row]);
-        if (!unit) d /= v.scale(a);
-        acc += d * d;
-      }
-      return std::sqrt(acc);
-    }
-    case LpNorm::kL1: {
-      double acc = 0;
-      for (std::size_t a = 0; a < m; ++a) {
-        double d = std::fabs(q_[a] - v.column(a)[row]);
-        if (!unit) d /= v.scale(a);
-        acc += d;
-      }
-      return acc;
-    }
-    case LpNorm::kLInf: {
-      double acc = 0;
-      for (std::size_t a = 0; a < m; ++a) {
-        double d = std::fabs(q_[a] - v.column(a)[row]);
-        if (!unit) d /= v.scale(a);
-        acc = std::max(acc, d);
-      }
-      return acc;
-    }
-  }
-  return 0;
+  return CanonicalDistance(*view_, q_.data(), row, view_->unit_scales());
 }
 
 double FlatKernel::DistanceWithin(std::size_t row, double threshold) const {
   const ColumnarView& v = *view_;
   const bool unit = v.unit_scales();
+  // Wide rows first try the gathered vector pre-pass; a certain reject or
+  // an exact L∞ value skips the scalar work entirely, an inconclusive
+  // pre-pass falls to the canonical recompute (same recompute the scalar
+  // path runs after its own pre-pass, so results agree bit for bit).
+  double exact = 0;
+  switch (simd::DistanceWithinPrepass(v.simd_tier(), v, q_.data(), row,
+                                      threshold, &exact)) {
+    case simd::Verdict::kCertainReject:
+      return kInf;
+    case simd::Verdict::kExact:
+      return exact;
+    case simd::Verdict::kMaybeWithin:
+      switch (v.norm()) {
+        case LpNorm::kL2:
+          return CanonicalWithinL2(v, q_.data(), row, threshold * threshold,
+                                   unit);
+        case LpNorm::kL1:
+          return CanonicalWithinL1(v, q_.data(), row, threshold, unit);
+        case LpNorm::kLInf:
+          break;  // unreachable: the L∞ pre-pass always resolves
+      }
+      break;
+    case simd::Verdict::kUnsupported:
+      break;
+  }
+  // Single-row calls are unmetered (a counter flush per row would dominate
+  // the kernel); the batch scans carry the work counters.
+  std::uint64_t cr = 0;
   switch (v.norm()) {
     case LpNorm::kL2: {
       // Fast pass, high-variance attributes first: running d² against ε²,
@@ -267,31 +275,34 @@ double FlatKernel::DistanceWithin(std::size_t row, double threshold) const {
       // the returned value is bit-identical to the scalar reference.
       const double thr_sq = threshold * threshold;
       return RowWithinL2(v, q_.data(), row, thr_sq,
-                         thr_sq * kCertainRejectSlack, unit);
+                         thr_sq * kCertainRejectSlack, unit, &cr);
     }
     case LpNorm::kL1:
       return RowWithinL1(v, q_.data(), row, threshold,
-                         threshold * kCertainRejectSlack, unit);
+                         threshold * kCertainRejectSlack, unit, &cr);
     case LpNorm::kLInf:
       // max is order-independent (NaN terms drop out of std::max exactly as
       // in LpAccumulator), so one pass in scan order is already exact.
-      return RowWithinLInf(v, q_.data(), row, threshold, unit);
+      return RowWithinLInf(v, q_.data(), row, threshold, unit, &cr);
   }
   return 0;
 }
 
 void FlatKernel::CollectWithin(double epsilon, std::vector<std::size_t>* rows,
                                std::vector<double>* distances) const {
-  ScanWithin(*view_, q_.data(), epsilon, [&](std::size_t row, double d) {
-    rows->push_back(row);
-    distances->push_back(d);
-  });
+  CollectCtx ctx{rows, distances};
+  simd::ScanDelta delta;
+  ScanRange(*view_, q_.data(), epsilon, 0, view_->rows(), &CollectHit, &ctx,
+            &delta);
+  FlushScan(*view_, delta);
 }
 
 std::size_t FlatKernel::CountWithin(double epsilon) const {
   std::size_t count = 0;
-  ScanWithin(*view_, q_.data(), epsilon,
-             [&](std::size_t, double) { ++count; });
+  simd::ScanDelta delta;
+  ScanRange(*view_, q_.data(), epsilon, 0, view_->rows(), &CountHit, &count,
+            &delta);
+  FlushScan(*view_, delta);
   return count;
 }
 
@@ -310,11 +321,11 @@ void FlatKernel::CollectWithin(double epsilon, std::vector<std::size_t>* rows,
   pool->ParallelFor(
       0, n, kParallelScanGrain,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-        ScanWithinRange(*view_, q_.data(), epsilon, begin, end,
-                        [&](std::size_t row, double d) {
-                          chunk_rows[chunk].push_back(row);
-                          chunk_dists[chunk].push_back(d);
-                        });
+        CollectCtx ctx{&chunk_rows[chunk], &chunk_dists[chunk]};
+        simd::ScanDelta delta;
+        ScanRange(*view_, q_.data(), epsilon, begin, end, &CollectHit, &ctx,
+                  &delta);
+        FlushScan(*view_, delta);
       });
   // Chunks cover [0, n) in order, so concatenation preserves the ascending
   // row order of the sequential scan exactly.
@@ -336,8 +347,10 @@ std::size_t FlatKernel::CountWithin(double epsilon,
       0, n, kParallelScanGrain,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         std::size_t count = 0;
-        ScanWithinRange(*view_, q_.data(), epsilon, begin, end,
-                        [&](std::size_t, double) { ++count; });
+        simd::ScanDelta delta;
+        ScanRange(*view_, q_.data(), epsilon, begin, end, &CountHit, &count,
+                  &delta);
+        FlushScan(*view_, delta);
         chunk_counts[chunk] = count;
       });
   std::size_t total = 0;
@@ -363,9 +376,20 @@ double FlatKernel::DistanceOnWithin(const AttributeSet& x, std::size_t row,
                                     double threshold) const {
   const ColumnarView& v = *view_;
   const bool unit = v.unit_scales();
+  const std::uint64_t masked = MaskedBits(x, v.arity());
+  double exact = 0;
+  switch (simd::DistanceOnWithinPrepass(v.simd_tier(), v, q_.data(), masked,
+                                        row, threshold, &exact)) {
+    case simd::Verdict::kCertainReject:
+      return kInf;
+    case simd::Verdict::kExact:
+      return exact;
+    case simd::Verdict::kMaybeWithin:
+    case simd::Verdict::kUnsupported:
+      break;  // canonical LpAccumulator loop below
+  }
   LpAccumulator acc(v.norm());
-  for (std::uint64_t bits = MaskedBits(x, v.arity()); bits != 0;
-       bits &= bits - 1) {
+  for (std::uint64_t bits = masked; bits != 0; bits &= bits - 1) {
     const auto a = static_cast<std::size_t>(std::countr_zero(bits));
     double d = std::fabs(q_[a] - v.column(a)[row]);
     if (!unit) d /= v.scale(a);
@@ -375,8 +399,23 @@ double FlatKernel::DistanceOnWithin(const AttributeSet& x, std::size_t row,
   return acc.Total();
 }
 
+void FlatKernel::FillDistances(double* out, std::size_t begin,
+                               std::size_t end) const {
+  const ColumnarView& v = *view_;
+  if (!simd::FillDistances(v.simd_tier(), v, q_.data(), begin, end, out)) {
+    const bool unit = v.unit_scales();
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i - begin] = CanonicalDistance(v, q_.data(), i, unit);
+    }
+  }
+  simd::ScanDelta delta;
+  delta.rows_scanned = end - begin;
+  FlushScan(v, delta);
+}
+
 void FlatKernel::FillAttributeDistances(std::size_t a, double* out) const {
   const ColumnarView& v = *view_;
+  if (simd::FillAttributeDistances(v.simd_tier(), v, q_[a], a, out)) return;
   const double* col = v.column(a);
   const double q = q_[a];
   const double scale = v.scale(a);

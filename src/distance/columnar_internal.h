@@ -1,0 +1,155 @@
+#ifndef DISC_DISTANCE_COLUMNAR_INTERNAL_H_
+#define DISC_DISTANCE_COLUMNAR_INTERNAL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "distance/columnar.h"
+
+/// Scalar per-row kernels shared by the reference path (columnar.cc) and
+/// the vector tier (columnar_simd.cc), which runs them for unaligned
+/// head/tail rows and for the canonical recompute of pre-pass survivors.
+/// Internal to the distance library — not part of the public surface.
+namespace disc::columnar_internal {
+
+/// Multiplicative slack for the variance-ordered reject pass. Summing m ≤ 64
+/// non-negative terms in any order — including the fused multiply-adds and
+/// lane-parallel partial sums of the vector tier — differs from the
+/// canonical-order sum by a relative error of at most (m−1)·ε ≈ 1.4e-14, so
+/// a reordered partial sum beyond threshold·(1 + 1e-12) proves the canonical
+/// sum is beyond the threshold too: every fast pass can only reject pairs
+/// the scalar reference also rejects. (At threshold 0 the slack degenerates
+/// to 0, which is still exact: non-negative sums are order-independently
+/// zero or positive.)
+inline constexpr double kCertainRejectSlack = 1.0 + 1e-12;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Canonical full distance — the exact arithmetic of FlatKernel::Distance,
+/// factored out so the vector tier's scalar tails stay bit-identical.
+inline double CanonicalDistance(const ColumnarView& v, const double* q,
+                                std::size_t row, bool unit) {
+  const std::size_t m = v.arity();
+  switch (v.norm()) {
+    case LpNorm::kL2: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc += d * d;
+      }
+      return std::sqrt(acc);
+    }
+    case LpNorm::kL1: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc += d;
+      }
+      return acc;
+    }
+    case LpNorm::kLInf: {
+      double acc = 0;
+      for (std::size_t a = 0; a < m; ++a) {
+        double d = std::fabs(q[a] - v.column(a)[row]);
+        if (!unit) d /= v.scale(a);
+        acc = std::max(acc, d);
+      }
+      return acc;
+    }
+  }
+  return 0;
+}
+
+/// Canonical-order threshold recompute (no reject pre-pass): the exact
+/// LpAccumulator recurrence with the threshold check after every add and a
+/// single sqrt on accept. Run on rows a certain-reject pre-pass could not
+/// dismiss.
+inline double CanonicalWithinL2(const ColumnarView& v, const double* q,
+                                std::size_t row, double thr_sq, bool unit) {
+  double acc = 0;
+  const std::size_t m = v.arity();
+  for (std::size_t a = 0; a < m; ++a) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d * d;
+    if (acc > thr_sq) return kInf;
+  }
+  return std::sqrt(acc);
+}
+
+inline double CanonicalWithinL1(const ColumnarView& v, const double* q,
+                                std::size_t row, double threshold, bool unit) {
+  double acc = 0;
+  const std::size_t m = v.arity();
+  for (std::size_t a = 0; a < m; ++a) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d;
+    if (acc > threshold) return kInf;
+  }
+  return acc;
+}
+
+/// Full per-row threshold kernels: variance-ordered certain-reject pre-pass,
+/// then the canonical recompute. Each returns the exact canonical-order
+/// distance on accept and +infinity on reject; `certain_rejects` counts the
+/// rows the pre-pass dismissed (feeds disc_kernel_certain_rejects_total).
+
+inline double RowWithinL2(const ColumnarView& v, const double* q,
+                          std::size_t row, double thr_sq, double reject,
+                          bool unit, std::uint64_t* certain_rejects) {
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d * d;
+    if (acc > reject) {
+      ++*certain_rejects;
+      return kInf;
+    }
+  }
+  return CanonicalWithinL2(v, q, row, thr_sq, unit);
+}
+
+inline double RowWithinL1(const ColumnarView& v, const double* q,
+                          std::size_t row, double threshold, double reject,
+                          bool unit, std::uint64_t* certain_rejects) {
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    acc += d;
+    if (acc > reject) {
+      ++*certain_rejects;
+      return kInf;
+    }
+  }
+  return CanonicalWithinL1(v, q, row, threshold, unit);
+}
+
+inline double RowWithinLInf(const ColumnarView& v, const double* q,
+                            std::size_t row, double threshold, bool unit,
+                            std::uint64_t* certain_rejects) {
+  // One pass is already exact: max is order-independent and NaN terms drop
+  // out of std::max exactly as in LpAccumulator, so the early exit here is
+  // an exact reject, not a slackened one.
+  double acc = 0;
+  for (std::size_t a : v.scan_order()) {
+    double d = std::fabs(q[a] - v.column(a)[row]);
+    if (!unit) d /= v.scale(a);
+    if (d > threshold) {
+      ++*certain_rejects;
+      return kInf;
+    }
+    acc = std::max(acc, d);
+  }
+  return acc;
+}
+
+}  // namespace disc::columnar_internal
+
+#endif  // DISC_DISTANCE_COLUMNAR_INTERNAL_H_

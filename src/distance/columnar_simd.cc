@@ -1,0 +1,884 @@
+#include "distance/columnar_simd.h"
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "distance/columnar.h"
+#include "distance/columnar_internal.h"
+
+#if !defined(DISC_SIMD_DISABLED) && (defined(__x86_64__) || defined(__amd64__))
+#define DISC_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+// This translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt): the canonical-order arithmetic below reproduces the
+// scalar reference one rounding at a time (separate multiply and add), and
+// auto-contraction to FMA would silently change those bits. The reject
+// pre-passes use FMA *explicitly* where the kCertainRejectSlack argument
+// makes any evaluation order safe.
+//
+// Intrinsics are enabled per function via the target attribute — the TU
+// itself builds at the x86-64 baseline, so a binary containing AVX2 code
+// still runs (and is tested, via the DISC_SIMD override) on SSE2-only
+// machines. No lambdas or templates inside target functions: the attribute
+// does not propagate to them.
+
+namespace disc::simd {
+
+#ifdef DISC_SIMD_X86
+
+namespace {
+
+namespace ci = disc::columnar_internal;
+
+#define DISC_AVX2 __attribute__((target("avx2,fma")))
+
+// ---------------------------------------------------------------- helpers
+
+DISC_AVX2 inline __m256d Abs256(__m256d x) {
+  return _mm256_and_pd(
+      x, _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL)));
+}
+
+inline __m128d Abs128(__m128d x) {
+  return _mm_and_pd(
+      x, _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL)));
+}
+
+DISC_AVX2 inline double HSum256(__m256d x) {
+  __m128d lo = _mm256_castpd256_pd128(x);
+  __m128d hi = _mm256_extractf128_pd(x, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+DISC_AVX2 inline double HMax256(__m256d x) {
+  __m128d lo = _mm256_castpd256_pd128(x);
+  __m128d hi = _mm256_extractf128_pd(x, 1);
+  lo = _mm_max_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_max_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+/// Bitmask of the rows [i, i+lanes) that are real (< end).
+inline unsigned ValidMask(std::size_t i, std::size_t end, unsigned lanes) {
+  const std::size_t left = end - i;
+  return left >= lanes ? ((1u << lanes) - 1)
+                       : ((1u << static_cast<unsigned>(left)) - 1);
+}
+
+// ------------------------------------------------- AVX2 batch ε-scans
+//
+// Shape shared by all three norms: an unaligned scalar head (the full
+// reference kernel, so head rows behave identically), then 4-row blocks.
+// Each block runs the variance-ordered reject pre-pass across lanes with a
+// sticky per-lane reject mask — once a lane's (slackened) partial sum
+// crosses the threshold it stays rejected even if later terms are NaN —
+// and breaks out early when every *valid* lane has rejected. Survivors are
+// recomputed by the canonical scalar recurrence, so reported rows and
+// distances are bit-identical to the scalar path (pad lanes beyond n hold
+// zeros: always load-safe, masked out of verdicts and counts).
+
+DISC_AVX2 void ScanL2Avx2(const ColumnarView& v, const double* q,
+                          double epsilon, std::size_t begin, std::size_t end,
+                          HitFn hit, void* ctx, std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  const double thr_sq = epsilon * epsilon;
+  const double reject = thr_sq * ci::kCertainRejectSlack;
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    double d = ci::RowWithinL2(v, q, i, thr_sq, reject, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m256d vreject = _mm256_set1_pd(reject);
+  for (; i < end; i += 4) {
+    const unsigned valid = ValidMask(i, end, 4);
+    __m256d acc = _mm256_setzero_pd();
+    __m256d rejected = _mm256_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      acc = _mm256_fmadd_pd(d, d, acc);
+      rejected =
+          _mm256_or_pd(rejected, _mm256_cmp_pd(acc, vreject, _CMP_GT_OQ));
+      rej = static_cast<unsigned>(_mm256_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    while (live != 0) {
+      const auto l = static_cast<unsigned>(std::countr_zero(live));
+      live &= live - 1;
+      double d = ci::CanonicalWithinL2(v, q, i + l, thr_sq, unit);
+      if (d <= epsilon) hit(ctx, i + l, d);
+    }
+  }
+}
+
+DISC_AVX2 void ScanL1Avx2(const ColumnarView& v, const double* q,
+                          double epsilon, std::size_t begin, std::size_t end,
+                          HitFn hit, void* ctx, std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  const double reject = epsilon * ci::kCertainRejectSlack;
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    double d = ci::RowWithinL1(v, q, i, epsilon, reject, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m256d vreject = _mm256_set1_pd(reject);
+  for (; i < end; i += 4) {
+    const unsigned valid = ValidMask(i, end, 4);
+    __m256d acc = _mm256_setzero_pd();
+    __m256d rejected = _mm256_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      acc = _mm256_add_pd(acc, d);
+      rejected =
+          _mm256_or_pd(rejected, _mm256_cmp_pd(acc, vreject, _CMP_GT_OQ));
+      rej = static_cast<unsigned>(_mm256_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    while (live != 0) {
+      const auto l = static_cast<unsigned>(std::countr_zero(live));
+      live &= live - 1;
+      double d = ci::CanonicalWithinL1(v, q, i + l, epsilon, unit);
+      if (d <= epsilon) hit(ctx, i + l, d);
+    }
+  }
+}
+
+DISC_AVX2 void ScanLInfAvx2(const ColumnarView& v, const double* q,
+                            double epsilon, std::size_t begin, std::size_t end,
+                            HitFn hit, void* ctx, std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    double d = ci::RowWithinLInf(v, q, i, epsilon, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m256d vthr = _mm256_set1_pd(epsilon);
+  for (; i < end; i += 4) {
+    const unsigned valid = ValidMask(i, end, 4);
+    // L∞ needs no recompute: max is order-independent, every lane value is
+    // exact. maxpd(d, acc) keeps acc when d is NaN — the std::max(acc, d)
+    // semantics of the scalar kernel.
+    __m256d acc = _mm256_setzero_pd();
+    __m256d rejected = _mm256_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      rejected = _mm256_or_pd(rejected, _mm256_cmp_pd(d, vthr, _CMP_GT_OQ));
+      acc = _mm256_max_pd(d, acc);
+      rej = static_cast<unsigned>(_mm256_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    if (live != 0) {
+      double lanes[4];
+      _mm256_storeu_pd(lanes, acc);
+      while (live != 0) {
+        const auto l = static_cast<unsigned>(std::countr_zero(live));
+        live &= live - 1;
+        if (lanes[l] <= epsilon) hit(ctx, i + l, lanes[l]);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- SSE2 batch ε-scans
+//
+// Same structure at 2 lanes, no FMA (separate multiply/add — also safe
+// under the slack argument). SSE2 is the x86-64 baseline, so these need no
+// target attribute.
+
+void ScanL2Sse2(const ColumnarView& v, const double* q, double epsilon,
+                std::size_t begin, std::size_t end, HitFn hit, void* ctx,
+                std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  const double thr_sq = epsilon * epsilon;
+  const double reject = thr_sq * ci::kCertainRejectSlack;
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    double d = ci::RowWithinL2(v, q, i, thr_sq, reject, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m128d vreject = _mm_set1_pd(reject);
+  for (; i < end; i += 2) {
+    const unsigned valid = ValidMask(i, end, 2);
+    __m128d acc = _mm_setzero_pd();
+    __m128d rejected = _mm_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+      rejected = _mm_or_pd(rejected, _mm_cmpgt_pd(acc, vreject));
+      rej = static_cast<unsigned>(_mm_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    while (live != 0) {
+      const auto l = static_cast<unsigned>(std::countr_zero(live));
+      live &= live - 1;
+      double d = ci::CanonicalWithinL2(v, q, i + l, thr_sq, unit);
+      if (d <= epsilon) hit(ctx, i + l, d);
+    }
+  }
+}
+
+void ScanL1Sse2(const ColumnarView& v, const double* q, double epsilon,
+                std::size_t begin, std::size_t end, HitFn hit, void* ctx,
+                std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  const double reject = epsilon * ci::kCertainRejectSlack;
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    double d = ci::RowWithinL1(v, q, i, epsilon, reject, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m128d vreject = _mm_set1_pd(reject);
+  for (; i < end; i += 2) {
+    const unsigned valid = ValidMask(i, end, 2);
+    __m128d acc = _mm_setzero_pd();
+    __m128d rejected = _mm_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      acc = _mm_add_pd(acc, d);
+      rejected = _mm_or_pd(rejected, _mm_cmpgt_pd(acc, vreject));
+      rej = static_cast<unsigned>(_mm_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    while (live != 0) {
+      const auto l = static_cast<unsigned>(std::countr_zero(live));
+      live &= live - 1;
+      double d = ci::CanonicalWithinL1(v, q, i + l, epsilon, unit);
+      if (d <= epsilon) hit(ctx, i + l, d);
+    }
+  }
+}
+
+void ScanLInfSse2(const ColumnarView& v, const double* q, double epsilon,
+                  std::size_t begin, std::size_t end, HitFn hit, void* ctx,
+                  std::uint64_t* cr) {
+  const bool unit = v.unit_scales();
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    double d = ci::RowWithinLInf(v, q, i, epsilon, unit, cr);
+    if (d <= epsilon) hit(ctx, i, d);
+  }
+  const std::span<const std::size_t> order = v.scan_order();
+  const std::size_t m = v.arity();
+  const __m128d vthr = _mm_set1_pd(epsilon);
+  for (; i < end; i += 2) {
+    const unsigned valid = ValidMask(i, end, 2);
+    __m128d acc = _mm_setzero_pd();
+    __m128d rejected = _mm_setzero_pd();
+    unsigned rej = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const std::size_t a = order[k];
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      rejected = _mm_or_pd(rejected, _mm_cmpgt_pd(d, vthr));
+      acc = _mm_max_pd(d, acc);
+      rej = static_cast<unsigned>(_mm_movemask_pd(rejected));
+      if ((rej & valid) == valid) break;
+    }
+    *cr += std::popcount(rej & valid);
+    unsigned live = ~rej & valid;
+    if (live != 0) {
+      double lanes[2];
+      _mm_storeu_pd(lanes, acc);
+      while (live != 0) {
+        const auto l = static_cast<unsigned>(std::countr_zero(live));
+        live &= live - 1;
+        if (lanes[l] <= epsilon) hit(ctx, i + l, lanes[l]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------- full-distance batch fills
+//
+// No pre-pass and no recompute: the per-row sum runs in canonical
+// attribute order with separate multiply and add — exactly one rounding
+// per operation, in the scalar sequence — and sqrt is correctly rounded,
+// so vectorizing across rows is bit-identical by construction (including
+// NaN/±inf propagation). The scalar-vs-SIMD distinction is unobservable.
+
+DISC_AVX2 void FillL2Avx2(const ColumnarView& v, const double* q,
+                          std::size_t begin, std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    acc = _mm256_sqrt_pd(acc);
+    if (end - i >= 4) {
+      _mm256_storeu_pd(out + (i - begin), acc);
+    } else {
+      double lanes[4];
+      _mm256_storeu_pd(lanes, acc);
+      for (std::size_t l = 0; i + l < end; ++l) out[i - begin + l] = lanes[l];
+    }
+  }
+}
+
+DISC_AVX2 void FillL1Avx2(const ColumnarView& v, const double* q,
+                          std::size_t begin, std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      acc = _mm256_add_pd(acc, d);
+    }
+    if (end - i >= 4) {
+      _mm256_storeu_pd(out + (i - begin), acc);
+    } else {
+      double lanes[4];
+      _mm256_storeu_pd(lanes, acc);
+      for (std::size_t l = 0; i + l < end; ++l) out[i - begin + l] = lanes[l];
+    }
+  }
+}
+
+DISC_AVX2 void FillLInfAvx2(const ColumnarView& v, const double* q,
+                            std::size_t begin, std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 3) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m256d d = Abs256(_mm256_sub_pd(_mm256_set1_pd(q[a]),
+                                       _mm256_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm256_div_pd(d, _mm256_set1_pd(v.scale(a)));
+      acc = _mm256_max_pd(d, acc);
+    }
+    if (end - i >= 4) {
+      _mm256_storeu_pd(out + (i - begin), acc);
+    } else {
+      double lanes[4];
+      _mm256_storeu_pd(lanes, acc);
+      for (std::size_t l = 0; i + l < end; ++l) out[i - begin + l] = lanes[l];
+    }
+  }
+}
+
+void FillL2Sse2(const ColumnarView& v, const double* q, std::size_t begin,
+                std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 2) {
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+    }
+    acc = _mm_sqrt_pd(acc);
+    if (end - i >= 2) {
+      _mm_storeu_pd(out + (i - begin), acc);
+    } else {
+      out[i - begin] = _mm_cvtsd_f64(acc);
+    }
+  }
+}
+
+void FillL1Sse2(const ColumnarView& v, const double* q, std::size_t begin,
+                std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 2) {
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      acc = _mm_add_pd(acc, d);
+    }
+    if (end - i >= 2) {
+      _mm_storeu_pd(out + (i - begin), acc);
+    } else {
+      out[i - begin] = _mm_cvtsd_f64(acc);
+    }
+  }
+}
+
+void FillLInfSse2(const ColumnarView& v, const double* q, std::size_t begin,
+                  std::size_t end, double* out) {
+  const bool unit = v.unit_scales();
+  const std::size_t m = v.arity();
+  std::size_t i = begin;
+  for (; i < end && (i & 1) != 0; ++i) {
+    out[i - begin] = ci::CanonicalDistance(v, q, i, unit);
+  }
+  for (; i < end; i += 2) {
+    __m128d acc = _mm_setzero_pd();
+    for (std::size_t a = 0; a < m; ++a) {
+      __m128d d =
+          Abs128(_mm_sub_pd(_mm_set1_pd(q[a]), _mm_load_pd(v.column(a) + i)));
+      if (!unit) d = _mm_div_pd(d, _mm_set1_pd(v.scale(a)));
+      acc = _mm_max_pd(d, acc);
+    }
+    if (end - i >= 2) {
+      _mm_storeu_pd(out + (i - begin), acc);
+    } else {
+      out[i - begin] = _mm_cvtsd_f64(acc);
+    }
+  }
+}
+
+// ------------------------------------------ per-attribute batch fills
+
+DISC_AVX2 void FillAttrAvx2(const double* col, double q, double scale,
+                            std::size_t n, double* out) {
+  const __m256d vq = _mm256_set1_pd(q);
+  const __m256d vs = _mm256_set1_pd(scale);
+  const bool unit = scale == 1.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = Abs256(_mm256_sub_pd(vq, _mm256_load_pd(col + i)));
+    if (!unit) d = _mm256_div_pd(d, vs);
+    _mm256_storeu_pd(out + i, d);
+  }
+  for (; i < n; ++i) {
+    out[i] = unit ? std::fabs(q - col[i]) : std::fabs(q - col[i]) / scale;
+  }
+}
+
+void FillAttrSse2(const double* col, double q, double scale, std::size_t n,
+                  double* out) {
+  const __m128d vq = _mm_set1_pd(q);
+  const __m128d vs = _mm_set1_pd(scale);
+  const bool unit = scale == 1.0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d d = Abs128(_mm_sub_pd(vq, _mm_load_pd(col + i)));
+    if (!unit) d = _mm_div_pd(d, vs);
+    _mm_storeu_pd(out + i, d);
+  }
+  for (; i < n; ++i) {
+    out[i] = unit ? std::fabs(q - col[i]) : std::fabs(q - col[i]) / scale;
+  }
+}
+
+// --------------------------------------------- single-row gather pre-pass
+//
+// One row, many attributes: lanes span attributes via i64 gathers over the
+// precomputed column offsets (a · padded_rows). The loop handles full
+// 4-attribute blocks vectorized and the final < 4 attributes scalar — the
+// pre-pass sum is order-free under the slack argument, so mixing is fine.
+// Never the source of an accepted value except for L∞, where every term is
+// exact and max is order-independent.
+
+DISC_AVX2 Verdict GatherPrepassAvx2(const ColumnarView& v, const double* q,
+                                    const std::size_t* order,
+                                    const std::size_t* offs, std::size_t count,
+                                    std::size_t row, double threshold,
+                                    double* exact_out) {
+  const bool unit = v.unit_scales();
+  const double* base = v.column(0) + row;
+  const double* scales = v.scales();
+  switch (v.norm()) {
+    case LpNorm::kL2: {
+      const double reject =
+          threshold * threshold * ci::kCertainRejectSlack;
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= count; k += 4) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(offs + k));
+        const __m256i aidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(order + k));
+        __m256d d = Abs256(_mm256_sub_pd(_mm256_i64gather_pd(q, aidx, 8),
+                                         _mm256_i64gather_pd(base, idx, 8)));
+        if (!unit) d = _mm256_div_pd(d, _mm256_i64gather_pd(scales, aidx, 8));
+        acc = _mm256_fmadd_pd(d, d, acc);
+        if (HSum256(acc) > reject) return Verdict::kCertainReject;
+      }
+      double tail = 0;
+      for (; k < count; ++k) {
+        const std::size_t a = order[k];
+        double d = std::fabs(q[a] - base[offs[k]]);
+        if (!unit) d /= scales[a];
+        tail += d * d;
+      }
+      return HSum256(acc) + tail > reject ? Verdict::kCertainReject
+                                          : Verdict::kMaybeWithin;
+    }
+    case LpNorm::kL1: {
+      const double reject = threshold * ci::kCertainRejectSlack;
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= count; k += 4) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(offs + k));
+        const __m256i aidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(order + k));
+        __m256d d = Abs256(_mm256_sub_pd(_mm256_i64gather_pd(q, aidx, 8),
+                                         _mm256_i64gather_pd(base, idx, 8)));
+        if (!unit) d = _mm256_div_pd(d, _mm256_i64gather_pd(scales, aidx, 8));
+        acc = _mm256_add_pd(acc, d);
+        if (HSum256(acc) > reject) return Verdict::kCertainReject;
+      }
+      double tail = 0;
+      for (; k < count; ++k) {
+        const std::size_t a = order[k];
+        double d = std::fabs(q[a] - base[offs[k]]);
+        if (!unit) d /= scales[a];
+        tail += d;
+      }
+      return HSum256(acc) + tail > reject ? Verdict::kCertainReject
+                                          : Verdict::kMaybeWithin;
+    }
+    case LpNorm::kLInf: {
+      const __m256d vthr = _mm256_set1_pd(threshold);
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= count; k += 4) {
+        const __m256i idx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(offs + k));
+        const __m256i aidx = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(order + k));
+        __m256d d = Abs256(_mm256_sub_pd(_mm256_i64gather_pd(q, aidx, 8),
+                                         _mm256_i64gather_pd(base, idx, 8)));
+        if (!unit) d = _mm256_div_pd(d, _mm256_i64gather_pd(scales, aidx, 8));
+        if (_mm256_movemask_pd(_mm256_cmp_pd(d, vthr, _CMP_GT_OQ)) != 0) {
+          return Verdict::kCertainReject;
+        }
+        acc = _mm256_max_pd(d, acc);
+      }
+      double best = HMax256(acc);  // lanes are NaN-free: maxpd dropped them
+      for (; k < count; ++k) {
+        const std::size_t a = order[k];
+        double d = std::fabs(q[a] - base[offs[k]]);
+        if (!unit) d /= scales[a];
+        if (d > threshold) return Verdict::kCertainReject;
+        best = std::max(best, d);
+      }
+      *exact_out = best;
+      return Verdict::kExact;
+    }
+  }
+  return Verdict::kUnsupported;
+}
+
+// ----------------------------------------------- row-major point pre-pass
+
+DISC_AVX2 Verdict PointPrepassAvx2(const double* q, const double* p,
+                                   std::size_t m, LpNorm norm,
+                                   double threshold, double* exact_out) {
+  switch (norm) {
+    case LpNorm::kL2: {
+      const double reject =
+          threshold * threshold * ci::kCertainRejectSlack;
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= m; k += 4) {
+        __m256d d = Abs256(
+            _mm256_sub_pd(_mm256_loadu_pd(q + k), _mm256_loadu_pd(p + k)));
+        acc = _mm256_fmadd_pd(d, d, acc);
+      }
+      double tail = 0;
+      for (; k < m; ++k) {
+        const double d = std::fabs(q[k] - p[k]);
+        tail += d * d;
+      }
+      return HSum256(acc) + tail > reject ? Verdict::kCertainReject
+                                          : Verdict::kMaybeWithin;
+    }
+    case LpNorm::kL1: {
+      const double reject = threshold * ci::kCertainRejectSlack;
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= m; k += 4) {
+        __m256d d = Abs256(
+            _mm256_sub_pd(_mm256_loadu_pd(q + k), _mm256_loadu_pd(p + k)));
+        acc = _mm256_add_pd(acc, d);
+      }
+      double tail = 0;
+      for (; k < m; ++k) tail += std::fabs(q[k] - p[k]);
+      return HSum256(acc) + tail > reject ? Verdict::kCertainReject
+                                          : Verdict::kMaybeWithin;
+    }
+    case LpNorm::kLInf: {
+      const __m256d vthr = _mm256_set1_pd(threshold);
+      __m256d acc = _mm256_setzero_pd();
+      std::size_t k = 0;
+      for (; k + 4 <= m; k += 4) {
+        __m256d d = Abs256(
+            _mm256_sub_pd(_mm256_loadu_pd(q + k), _mm256_loadu_pd(p + k)));
+        if (_mm256_movemask_pd(_mm256_cmp_pd(d, vthr, _CMP_GT_OQ)) != 0) {
+          return Verdict::kCertainReject;
+        }
+        acc = _mm256_max_pd(d, acc);
+      }
+      double best = HMax256(acc);
+      for (; k < m; ++k) {
+        const double d = std::fabs(q[k] - p[k]);
+        if (d > threshold) return Verdict::kCertainReject;
+        best = std::max(best, d);
+      }
+      *exact_out = best;
+      return Verdict::kExact;
+    }
+  }
+  return Verdict::kUnsupported;
+}
+
+#undef DISC_AVX2
+
+}  // namespace
+
+#endif  // DISC_SIMD_X86
+
+// ------------------------------------------------------- dispatch surface
+
+bool ScanWithin(SimdTier tier, const ColumnarView& v, const double* q,
+                double epsilon, std::size_t begin, std::size_t end, HitFn hit,
+                void* ctx, ScanDelta* delta) {
+#ifdef DISC_SIMD_X86
+  if (tier == SimdTier::kScalar) return false;
+  std::uint64_t cr = 0;
+  if (tier == SimdTier::kAvx2) {
+    switch (v.norm()) {
+      case LpNorm::kL2:
+        ScanL2Avx2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+      case LpNorm::kL1:
+        ScanL1Avx2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+      case LpNorm::kLInf:
+        ScanLInfAvx2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+    }
+  } else {
+    switch (v.norm()) {
+      case LpNorm::kL2:
+        ScanL2Sse2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+      case LpNorm::kL1:
+        ScanL1Sse2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+      case LpNorm::kLInf:
+        ScanLInfSse2(v, q, epsilon, begin, end, hit, ctx, &cr);
+        break;
+    }
+  }
+  delta->rows_scanned += end - begin;
+  delta->certain_rejects += cr;
+  return true;
+#else
+  (void)tier;
+  (void)v;
+  (void)q;
+  (void)epsilon;
+  (void)begin;
+  (void)end;
+  (void)hit;
+  (void)ctx;
+  (void)delta;
+  return false;
+#endif
+}
+
+bool FillDistances(SimdTier tier, const ColumnarView& v, const double* q,
+                   std::size_t begin, std::size_t end, double* out) {
+#ifdef DISC_SIMD_X86
+  if (tier == SimdTier::kScalar) return false;
+  if (tier == SimdTier::kAvx2) {
+    switch (v.norm()) {
+      case LpNorm::kL2:
+        FillL2Avx2(v, q, begin, end, out);
+        return true;
+      case LpNorm::kL1:
+        FillL1Avx2(v, q, begin, end, out);
+        return true;
+      case LpNorm::kLInf:
+        FillLInfAvx2(v, q, begin, end, out);
+        return true;
+    }
+    return false;
+  }
+  switch (v.norm()) {
+    case LpNorm::kL2:
+      FillL2Sse2(v, q, begin, end, out);
+      return true;
+    case LpNorm::kL1:
+      FillL1Sse2(v, q, begin, end, out);
+      return true;
+    case LpNorm::kLInf:
+      FillLInfSse2(v, q, begin, end, out);
+      return true;
+  }
+  return false;
+#else
+  (void)tier;
+  (void)v;
+  (void)q;
+  (void)begin;
+  (void)end;
+  (void)out;
+  return false;
+#endif
+}
+
+bool FillAttributeDistances(SimdTier tier, const ColumnarView& v, double q_a,
+                            std::size_t a, double* out) {
+#ifdef DISC_SIMD_X86
+  if (tier == SimdTier::kScalar) return false;
+  if (tier == SimdTier::kAvx2) {
+    FillAttrAvx2(v.column(a), q_a, v.scale(a), v.rows(), out);
+  } else {
+    FillAttrSse2(v.column(a), q_a, v.scale(a), v.rows(), out);
+  }
+  return true;
+#else
+  (void)tier;
+  (void)v;
+  (void)q_a;
+  (void)a;
+  (void)out;
+  return false;
+#endif
+}
+
+Verdict DistanceWithinPrepass(SimdTier tier, const ColumnarView& v,
+                              const double* q, std::size_t row,
+                              double threshold, double* exact_out) {
+#ifdef DISC_SIMD_X86
+  if (tier != SimdTier::kAvx2 || v.arity() < kGatherMinArity) {
+    return Verdict::kUnsupported;
+  }
+  return GatherPrepassAvx2(v, q, v.scan_order().data(),
+                           v.scan_offsets().data(), v.arity(), row, threshold,
+                           exact_out);
+#else
+  (void)tier;
+  (void)v;
+  (void)q;
+  (void)row;
+  (void)threshold;
+  (void)exact_out;
+  return Verdict::kUnsupported;
+#endif
+}
+
+Verdict DistanceOnWithinPrepass(SimdTier tier, const ColumnarView& v,
+                                const double* q, std::uint64_t bits,
+                                std::size_t row, double threshold,
+                                double* exact_out) {
+#ifdef DISC_SIMD_X86
+  if (tier != SimdTier::kAvx2 ||
+      static_cast<std::size_t>(std::popcount(bits)) < kGatherMinArity) {
+    return Verdict::kUnsupported;
+  }
+  std::size_t order[64];
+  std::size_t offs[64];
+  std::size_t count = 0;
+  const std::size_t stride = v.padded_rows();
+  for (; bits != 0; bits &= bits - 1) {
+    const auto a = static_cast<std::size_t>(std::countr_zero(bits));
+    order[count] = a;
+    offs[count] = a * stride;
+    ++count;
+  }
+  return GatherPrepassAvx2(v, q, order, offs, count, row, threshold,
+                           exact_out);
+#else
+  (void)tier;
+  (void)v;
+  (void)q;
+  (void)bits;
+  (void)row;
+  (void)threshold;
+  (void)exact_out;
+  return Verdict::kUnsupported;
+#endif
+}
+
+Verdict PointWithinPrepass(SimdTier tier, const double* q, const double* p,
+                           std::size_t m, LpNorm norm, double threshold,
+                           double* exact_out) {
+#ifdef DISC_SIMD_X86
+  if (tier != SimdTier::kAvx2 || m < kPointMinArity) {
+    return Verdict::kUnsupported;
+  }
+  return PointPrepassAvx2(q, p, m, norm, threshold, exact_out);
+#else
+  (void)tier;
+  (void)q;
+  (void)p;
+  (void)m;
+  (void)norm;
+  (void)threshold;
+  (void)exact_out;
+  return Verdict::kUnsupported;
+#endif
+}
+
+}  // namespace disc::simd

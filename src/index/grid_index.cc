@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/columnar_simd.h"
+
 namespace disc {
 
 GridIndex::GridIndex(const Relation& relation, double cell_size, LpNorm norm)
@@ -11,6 +13,7 @@ GridIndex::GridIndex(const Relation& relation, double cell_size, LpNorm norm)
       size_(relation.size()),
       cell_size_(cell_size),
       norm_(norm),
+      simd_tier_(ActiveSimdTier()),
       metrics_(IndexQueryMetrics::For("grid")) {
   coords_.resize(size_ * dims_);
   for (std::size_t i = 0; i < size_; ++i) {
@@ -42,8 +45,19 @@ GridIndex::CellKey GridIndex::KeyFor(const double* coords) const {
 double GridIndex::PointDistanceWithin(const std::vector<double>& query,
                                       std::size_t point,
                                       double threshold) const {
-  LpAccumulator acc(norm_);
   const double* p = coords_.data() + point * dims_;
+  double exact = 0;
+  switch (simd::PointWithinPrepass(simd_tier_, query.data(), p, dims_, norm_,
+                                   threshold, &exact)) {
+    case simd::Verdict::kCertainReject:
+      return std::numeric_limits<double>::infinity();
+    case simd::Verdict::kExact:
+      return exact;
+    case simd::Verdict::kMaybeWithin:
+    case simd::Verdict::kUnsupported:
+      break;
+  }
+  LpAccumulator acc(norm_);
   for (std::size_t a = 0; a < dims_; ++a) {
     acc.Add(std::fabs(query[a] - p[a]));
     if (acc.Exceeds(threshold)) {

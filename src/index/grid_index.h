@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/metrics.h"
 #include "common/relation.h"
 #include "distance/lp_norm.h"
@@ -55,6 +56,10 @@ class GridIndex : public NeighborIndex {
   std::size_t size_ = 0;
   double cell_size_ = 1;
   LpNorm norm_;
+  /// SIMD tier for the point kernels, latched at construction. Dormant
+  /// while kMaxGridDims < simd::kPointMinArity, but keeps the dispatch
+  /// rule in one place (distance/columnar_simd.h).
+  SimdTier simd_tier_ = SimdTier::kScalar;
   /// Process-wide raw-traffic counters, resolved at construction from the
   /// global registry; all-null (guarded no-op increments) when detached.
   /// KNearest's expanding-ring probes call RangeQuery internally; that

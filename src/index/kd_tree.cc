@@ -4,10 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "distance/columnar_simd.h"
+
 namespace disc {
 
 KdTree::KdTree(const Relation& relation, LpNorm norm)
-    : norm_(norm), metrics_(IndexQueryMetrics::For("kd_tree")) {
+    : norm_(norm),
+      simd_tier_(ActiveSimdTier()),
+      metrics_(IndexQueryMetrics::For("kd_tree")) {
   dims_ = relation.arity();
   size_ = relation.size();
   coords_.resize(size_ * dims_);
@@ -70,8 +74,22 @@ int KdTree::Build(std::size_t begin, std::size_t end, std::size_t depth) {
 
 double KdTree::PointDistanceWithin(const std::vector<double>& query,
                                    std::size_t point, double threshold) const {
-  LpAccumulator acc(norm_);
   const double* p = coords_.data() + point * dims_;
+  // Wide points first try the vector pre-pass (certain rejects and exact
+  // L∞ values resolve without scalar work); the canonical accumulator loop
+  // below decides everything else, so verdicts stay bit-identical.
+  double exact = 0;
+  switch (simd::PointWithinPrepass(simd_tier_, query.data(), p, dims_, norm_,
+                                   threshold, &exact)) {
+    case simd::Verdict::kCertainReject:
+      return std::numeric_limits<double>::infinity();
+    case simd::Verdict::kExact:
+      return exact;
+    case simd::Verdict::kMaybeWithin:
+    case simd::Verdict::kUnsupported:
+      break;
+  }
+  LpAccumulator acc(norm_);
   for (std::size_t a = 0; a < dims_; ++a) {
     acc.Add(std::fabs(query[a] - p[a]));
     if (acc.Exceeds(threshold)) {

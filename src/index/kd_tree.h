@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/metrics.h"
 #include "common/relation.h"
 #include "distance/lp_norm.h"
@@ -73,6 +74,9 @@ class KdTree : public NeighborIndex {
   std::size_t dims_ = 0;
   std::size_t size_ = 0;
   LpNorm norm_;
+  /// SIMD tier for the leaf point kernels, latched at construction
+  /// (distance/columnar_simd.h; engages at dims_ ≥ simd::kPointMinArity).
+  SimdTier simd_tier_ = SimdTier::kScalar;
   /// Process-wide raw-traffic counters, resolved at construction from the
   /// global registry; all-null (guarded no-op increments) when detached.
   IndexQueryMetrics metrics_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/json_writer.h"
 #include "common/log.h"
 #include "common/metrics.h"
@@ -65,6 +66,7 @@ void RegisterObsEndpoints(HttpServer* server) {
     json.Key("uptime_seconds")
         .Number(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
     json.Key("metrics_attached").Bool(GlobalMetrics() != nullptr);
+    json.Key("simd_tier").String(SimdTierName(ActiveSimdTier()));
     ProgressRegistry* progress = GlobalProgress();
     json.Key("progress_attached").Bool(progress != nullptr);
     json.Key("batches_started")
