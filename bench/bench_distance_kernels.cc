@@ -743,8 +743,9 @@ int Run(const KernelConfig& cfg) {
   json.Key("bit_identical").Bool(pipeline.identical);
   json.EndObject();
   json.EndObject();
-  WriteTextFile("BENCH_distance_kernels.json", json.str());
-  std::printf("wrote BENCH_distance_kernels.json\n");
+  const std::string json_path = BenchOutPath("BENCH_distance_kernels.json");
+  WriteTextFile(json_path, json.str());
+  std::printf("wrote %s\n", json_path.c_str());
 
   if (!range.identical || !save.identical || !pipeline.identical ||
       !tiers.identical) {

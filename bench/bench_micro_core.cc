@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "support.h"
+
 #include "common/json_writer.h"
 #include "common/random.h"
 #include "core/disc_saver.h"
@@ -177,11 +179,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  const char* json_path = "BENCH_micro_core.json";
+  const std::string json_path =
+      disc::bench::BenchOutPath("BENCH_micro_core.json");
   if (!disc::WriteMicroCoreJson(json_path)) {
-    std::fprintf(stderr, "cannot write %s\n", json_path);
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
-  std::printf("wrote %s\n", json_path);
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -309,7 +309,7 @@ int Run(bool large) {
 
   json.Key("deterministic").Bool(deterministic);
   json.EndObject();
-  const std::string json_path = "BENCH_parallel_save.json";
+  const std::string json_path = BenchOutPath("BENCH_parallel_save.json");
   if (WriteTextFile(json_path, json.str() + "\n")) {
     std::printf("wrote %s\n", json_path.c_str());
   }
@@ -319,18 +319,135 @@ int Run(bool large) {
   return deterministic && all_recorded ? 0 : 1;
 }
 
+/// Reads `path` fully into `out`. Returns false on any I/O error.
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Extracts a top-level numeric field from a compact JSON object (the shape
+/// our JsonWriter emits). Depth-tracked so the same key nested inside
+/// latency/thread_sweep does not shadow the top-level one; no JSON library
+/// needed for our own output.
+bool TopLevelNumber(const std::string& json, const std::string& key,
+                    double* out) {
+  const std::string needle = "\"" + key + "\":";
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (depth == 1 && json.compare(i, needle.size(), needle) == 0) {
+        *out = std::strtod(json.c_str() + i + needle.size(), nullptr);
+        return true;
+      }
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+    }
+  }
+  return false;
+}
+
+/// The perf gate behind `--check`: compares the single-thread throughput of
+/// the run just written against the checked-in baseline with a 2% floor —
+/// tight enough to catch tracing hooks leaking cost into the detached path.
+/// Skips (exit 0, loud WARN) when the baseline was recorded on a machine
+/// with a different hardware_threads count, mirroring
+/// scripts/check_bench_regression.py: cross-shape timings are incomparable.
+int CheckAgainstBaseline(const std::string& fresh_path,
+                         const std::string& baseline_path) {
+  constexpr double kTolerance = 0.02;
+  std::string fresh;
+  std::string base;
+  if (!ReadTextFile(fresh_path, &fresh)) {
+    std::fprintf(stderr, "--check: cannot read fresh %s\n", fresh_path.c_str());
+    return 1;
+  }
+  if (!ReadTextFile(baseline_path, &base)) {
+    std::fprintf(stderr, "--check: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  double fresh_tp = 0;
+  double base_tp = 0;
+  double fresh_hw = 0;
+  double base_hw = 0;
+  if (!TopLevelNumber(fresh, "throughput_per_s", &fresh_tp) ||
+      !TopLevelNumber(fresh, "hardware_threads", &fresh_hw) ||
+      !TopLevelNumber(base, "throughput_per_s", &base_tp) ||
+      !TopLevelNumber(base, "hardware_threads", &base_hw)) {
+    std::fprintf(stderr,
+                 "--check: missing throughput_per_s/hardware_threads field\n");
+    return 1;
+  }
+  if (fresh_hw != base_hw) {
+    std::printf("--check: WARN hardware_threads mismatch (baseline %.0f, "
+                "here %.0f); throughput gate skipped\n",
+                base_hw, fresh_hw);
+    return 0;
+  }
+  if (base_tp <= 0) {
+    std::fprintf(stderr, "--check: baseline throughput_per_s is %.3f\n",
+                 base_tp);
+    return 1;
+  }
+  const double floor = (1.0 - kTolerance) * base_tp;
+  if (fresh_tp < floor) {
+    std::fprintf(stderr,
+                 "--check: FAIL single-thread throughput %.1f/s regressed "
+                 "beyond %.0f%% of baseline %.1f/s (floor %.1f/s)\n",
+                 fresh_tp, 100.0 * kTolerance, base_tp, floor);
+    return 1;
+  }
+  std::printf("--check: ok single-thread throughput %.1f/s vs baseline "
+              "%.1f/s (floor %.1f/s)\n",
+              fresh_tp, base_tp, floor);
+  return 0;
+}
+
 }  // namespace
 }  // namespace disc::bench
 
 int main(int argc, char** argv) {
   bool large = false;
+  bool check = false;
+  std::string baseline = "bench/baselines/BENCH_parallel_save.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--large") == 0) {
       large = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--check=", 8) == 0) {
+      check = true;
+      baseline = argv[i] + 8;
     } else {
-      std::fprintf(stderr, "usage: %s [--large]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--large] [--check[=BASELINE]]\n",
+                   argv[0]);
       return 2;
     }
   }
-  return disc::bench::Run(large);
+  const int rc = disc::bench::Run(large);
+  if (rc != 0) return rc;
+  if (check) {
+    return disc::bench::CheckAgainstBaseline(
+        disc::bench::BenchOutPath("BENCH_parallel_save.json"), baseline);
+  }
+  return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 #include "common/stringutil.h"
 
@@ -132,6 +135,19 @@ double Percentile(std::vector<double> values, double p) {
 
 void AppendSearchStats(JsonWriter* json, const SearchStats& stats) {
   stats.AppendJson(json);
+}
+
+std::string BenchOutPath(const std::string& filename) {
+  const char* env = std::getenv("DISC_BENCH_OUT");
+  const std::string dir = (env != nullptr && env[0] != '\0') ? env : "bench/out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s (%s); writing %s to cwd\n",
+                 dir.c_str(), ec.message().c_str(), filename.c_str());
+    return filename;
+  }
+  return dir + "/" + filename;
 }
 
 bool WriteTextFile(const std::string& path, const std::string& content) {

@@ -98,6 +98,13 @@ void AppendSearchStats(JsonWriter* json, const SearchStats& stats);
 /// stderr) on failure — benches treat the JSON artifact as best-effort.
 bool WriteTextFile(const std::string& path, const std::string& content);
 
+/// Where a generated BENCH_*.json artifact should land: `$DISC_BENCH_OUT`
+/// when set, else `bench/out` relative to the current directory (gitignored;
+/// checked-in baselines live separately in bench/baselines/). Creates the
+/// directory if needed and returns `<dir>/<filename>`; falls back to the
+/// bare filename when the directory cannot be created.
+std::string BenchOutPath(const std::string& filename);
+
 }  // namespace disc::bench
 
 #endif  // DISC_BENCH_SUPPORT_H_

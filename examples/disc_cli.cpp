@@ -22,8 +22,11 @@
 // --per-outlier-deadline-ms additionally caps each individual search.
 // --metrics-json PATH attaches a MetricsRegistry to the run and writes its
 // JSON snapshot to PATH on exit (see DESIGN.md §8 for the metric names).
-// --trace PATH streams one JSONL span per outlier search (plus the split
-// phase and one "search" span per worker) to PATH.
+// --trace PATH streams the hierarchical span trees of the run to PATH as
+// JSONL: per outlier a "save_outlier" root, its per-attempt "search" span,
+// the per-phase children (index_query/bounds_scan/dcache_fill/verdict) and
+// the pool-chunk spans of nested scans, all linked by
+// trace_id/span_id/parent_id (analyze with scripts/analyze_trace.py).
 //
 // Crash safety & chaos testing (DESIGN.md §11):
 // --journal PATH appends every definitively finished outlier to a JSONL
@@ -41,8 +44,10 @@
 // Live observability plane (DESIGN.md §8):
 // --serve[=PORT] starts the embedded HTTP server on 127.0.0.1 (PORT omitted
 // or 0 = ephemeral, printed at startup) before the pipeline runs, serving
-// /metrics, /metrics.json, /healthz and /statusz concurrently with the
-// save. The process then keeps serving until SIGINT/SIGTERM; the signal
+// /metrics, /metrics.json, /tracez, /profilez, /healthz and /statusz
+// concurrently with the save (serve mode also attaches the trace recorder
+// and the wall-phase profiler). The process then keeps serving until
+// SIGINT/SIGTERM; the signal
 // cancels any in-flight batch cooperatively, stops the server, and flushes
 // metrics/trace outputs before exiting 0. --serve-idle[=PORT] serves
 // without requiring a pipeline (input/output become optional).
@@ -272,10 +277,20 @@ int main(int argc, char** argv) {
     AttachGlobalMetrics(metrics.get());
   }
   std::unique_ptr<ProgressRegistry> progress;
+  std::unique_ptr<TraceRecorder> recorder;
+  std::unique_ptr<WallPhaseProfiler> profiler;
   std::unique_ptr<HttpServer> server;
   if (serve) {
     progress = std::make_unique<ProgressRegistry>();
     AttachGlobalProgress(progress.get());
+    // /tracez and /profilez backends: the recorder keeps a ring of recent
+    // search spans plus the in-flight ones, the profiler accumulates the
+    // wall-phase totals. Attached before the pipeline so every search of
+    // the run is covered.
+    recorder = std::make_unique<TraceRecorder>();
+    AttachGlobalTraceRecorder(recorder.get());
+    profiler = std::make_unique<WallPhaseProfiler>();
+    AttachGlobalWallProfiler(profiler.get());
     HttpServer::Options server_options;
     server_options.port = static_cast<std::uint16_t>(serve_port);
     server = std::make_unique<HttpServer>(server_options);
@@ -286,8 +301,8 @@ int main(int argc, char** argv) {
                    started.ToString().c_str());
       return 1;
     }
-    std::printf("serving /metrics /metrics.json /healthz /statusz on "
-                "http://127.0.0.1:%u\n",
+    std::printf("serving /metrics /metrics.json /tracez /profilez /healthz "
+                "/statusz on http://127.0.0.1:%u\n",
                 static_cast<unsigned>(server->port()));
     std::fflush(stdout);
     // Install the graceful-shutdown path only in serve mode: without the
@@ -439,6 +454,10 @@ int main(int argc, char** argv) {
     }
     std::printf("shutdown signal received; stopping server\n");
     server->Stop();
+    // Detach order mirrors attach: the server no longer answers, so the
+    // live hooks can go first; record sites degrade to no-ops instantly.
+    AttachGlobalTraceRecorder(nullptr);
+    AttachGlobalWallProfiler(nullptr);
     AttachGlobalProgress(nullptr);
   }
 

@@ -2,7 +2,9 @@
 """Compare fresh BENCH_*.json artifacts against checked-in baselines.
 
 Stdlib-only perf-regression gate for the CI perf-smoke job (see
-bench/baselines/README.md for the baseline-update workflow). For every
+bench/baselines/README.md for the baseline-update workflow). Benches write
+their artifacts to bench/out/ by default ($DISC_BENCH_OUT overrides; CI
+uses build/bench/out) — point --fresh at that directory. For every
 baseline file the same-named fresh artifact must exist and:
 
   1. `schema_version` must match the baseline exactly (a schema bump
@@ -193,7 +195,8 @@ def check_file(fresh_path, base_path, args, report):
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, type=Path,
-                        help="directory holding the just-produced BENCH_*.json")
+                        help="directory holding the just-produced BENCH_*.json "
+                             "(the benches' bench/out/ or $DISC_BENCH_OUT)")
     parser.add_argument("--baselines", required=True, type=Path,
                         help="directory of checked-in baseline BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.15,

@@ -65,6 +65,7 @@ Histogram::Histogram(std::string name, std::vector<double> bucket_bounds)
   for (Shard& s : shards_) {
     s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size());
   }
+  exemplars_.resize(bounds_.size() + 1);  // trailing slot = +Inf bucket
 }
 
 std::size_t Histogram::ShardIndex() { return ThisThreadShard(kShards); }
@@ -85,10 +86,23 @@ void Histogram::Observe(double value) {
   }
 }
 
+void Histogram::ObserveWithExemplar(double value, std::uint64_t trace_id) {
+  Observe(value);
+  if (trace_id == 0) return;
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t slot = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_[slot] = Exemplar{value, trace_id};
+}
+
 Histogram::Snapshot Histogram::Snap() const {
   Snapshot snap;
   snap.bounds = bounds_;
   snap.counts.assign(bounds_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    snap.exemplars = exemplars_;
+  }
   for (const Shard& s : shards_) {
     for (std::size_t b = 0; b < bounds_.size(); ++b) {
       snap.counts[b] += s.buckets[b].load(std::memory_order_acquire);
@@ -179,6 +193,30 @@ std::string MetricsRegistry::ToJson() const {
       json.EndObject();
     }
     json.EndArray();
+    bool any_exemplar = false;
+    for (const Histogram::Exemplar& e : snap.exemplars) {
+      if (e.trace_id != 0) any_exemplar = true;
+    }
+    if (any_exemplar) {
+      // One representative observation per populated bucket, linking the
+      // bucket back to the trace id of a span tree that landed in it. The
+      // trailing slot is the implicit +Inf bucket.
+      json.Key("exemplars").BeginArray();
+      for (std::size_t b = 0; b < snap.exemplars.size(); ++b) {
+        const Histogram::Exemplar& e = snap.exemplars[b];
+        if (e.trace_id == 0) continue;
+        json.BeginObject();
+        if (b < snap.bounds.size()) {
+          json.Key("le").Number(snap.bounds[b]);
+        } else {
+          json.Key("le").String("+Inf");
+        }
+        json.Key("value").Number(e.value);
+        json.Key("trace_id").Uint(e.trace_id);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
     json.EndObject();
   }
   json.EndObject();
@@ -189,29 +227,43 @@ std::string MetricsRegistry::ToJson() const {
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  const auto help_line = [this, &out](const std::string& name) {
-    auto it = help_.find(name);
+  // A name may carry a label suffix (`disc_http_requests_total{path="/x"}`);
+  // the metric family is the part before the brace, and HELP/TYPE lines are
+  // emitted once per family (labeled variants sort adjacent in the map).
+  const auto base_of = [](const std::string& name) {
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+  };
+  const auto help_line = [this, &out](const std::string& base,
+                                      const std::string& name) {
+    auto it = help_.find(base);
+    if (it == help_.end()) it = help_.find(name);
     if (it != help_.end()) {
-      out += "# HELP " + name + " " + PromEscapeHelp(it->second) + "\n";
+      out += "# HELP " + base + " " + PromEscapeHelp(it->second) + "\n";
     }
   };
+  std::string last_base;
   for (const auto& [name, counter] : counters_) {
-    help_line(name);
-    out += "# TYPE " + name + " counter\n";
+    const std::string base = base_of(name);
+    if (base != last_base) {
+      help_line(base, name);
+      out += "# TYPE " + base + " counter\n";
+      last_base = base;
+    }
     out += name + " " + StrFormat("%llu",
                                   static_cast<unsigned long long>(
                                       counter->Value())) +
            "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    help_line(name);
+    help_line(name, name);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " +
            StrFormat("%lld", static_cast<long long>(gauge->Value())) + "\n";
   }
   for (const auto& [name, histogram] : histograms_) {
     Histogram::Snapshot snap = histogram->Snap();
-    help_line(name);
+    help_line(name, name);
     out += "# TYPE " + name + " histogram\n";
     for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
       out += name + "_bucket{le=\"" +

@@ -97,6 +97,20 @@ class Histogram {
   /// Records one observation. Thread-safe.
   void Observe(double value);
 
+  /// A representative observation remembered per bucket: the trace id links
+  /// a histogram bucket back to the span tree that produced one of its
+  /// observations (OpenMetrics-style exemplars, JSON exposition only).
+  struct Exemplar {
+    double value = 0;
+    std::uint64_t trace_id = 0;  ///< 0 = no exemplar recorded
+  };
+
+  /// Observe() plus exemplar capture: remembers (value, trace_id) as the
+  /// exemplar of the bucket the observation lands in (last write wins).
+  /// Takes a mutex — meant for batch-flush call sites, not hot loops. A
+  /// zero trace_id records the observation but no exemplar.
+  void ObserveWithExemplar(double value, std::uint64_t trace_id);
+
   /// Merged view of one histogram (deterministic shard order).
   struct Snapshot {
     std::uint64_t count = 0;
@@ -105,6 +119,9 @@ class Histogram {
     /// bucket holds the remainder (count - counts.back()).
     std::vector<double> bounds;
     std::vector<std::uint64_t> counts;  ///< cumulative, same size as bounds
+    /// Per-bucket exemplars, bounds.size() + 1 entries (last = +Inf);
+    /// trace_id 0 marks an empty slot.
+    std::vector<Exemplar> exemplars;
   };
   Snapshot Snap() const;
 
@@ -122,6 +139,8 @@ class Histogram {
   std::string name_;
   std::vector<double> bounds_;  ///< ascending
   std::vector<Shard> shards_;
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  ///< bounds_.size() + 1 slots
 };
 
 /// Name-keyed registry of counters, gauges and histograms.

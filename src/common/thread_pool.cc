@@ -4,8 +4,16 @@
 #include <exception>
 
 #include "common/fault.h"
+#include "common/trace.h"
 
 namespace disc {
+
+namespace {
+
+/// Worker index within the owning WorkStealingPool; -1 on non-workers.
+thread_local int t_worker_index = -1;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
     : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
@@ -118,6 +126,8 @@ std::size_t WorkStealingPool::DefaultThreadCount() {
   return ThreadPool::DefaultThreadCount();
 }
 
+int WorkStealingPool::CurrentWorkerIndex() { return t_worker_index; }
+
 void WorkStealingPool::RunTask(std::unique_lock<std::mutex>& lock,
                                QueuedTask item, bool stolen) {
   ++stats_.tasks;
@@ -171,6 +181,7 @@ bool WorkStealingPool::RunNestedChunk(std::unique_lock<std::mutex>& lock,
 }
 
 void WorkStealingPool::WorkerLoop(std::size_t self) {
+  t_worker_index = static_cast<int>(self);
   const std::size_t w = deques_.size();  // sized before any thread starts
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -198,7 +209,18 @@ void WorkStealingPool::WorkerLoop(std::size_t self) {
     // 3. No batch work anywhere: help a straggler's nested scan chunks.
     if (RunNestedChunk(lock, nullptr)) continue;
     if (stopping_) return;
-    work_ready_.wait(lock);
+    // The park below is the steal_idle wall phase: when the profiler is
+    // attached, meter how long this worker sat without runnable work. The
+    // clock reads happen only when attached, so a detached pool pays one
+    // atomic load per park.
+    WallPhaseProfiler* profiler = GlobalWallProfiler();
+    if (profiler != nullptr) {
+      const std::uint64_t parked_ns = TraceNowNs();
+      work_ready_.wait(lock);
+      profiler->Add(TracePhase::kStealIdle, TraceNowNs() - parked_ns);
+    } else {
+      work_ready_.wait(lock);
+    }
   }
 }
 

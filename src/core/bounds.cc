@@ -6,11 +6,56 @@
 #include <limits>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "distance/lp_norm.h"
 
 namespace disc {
 
 namespace {
+
+/// The per-search trace context riding on the gauge (null when untraced).
+inline SearchTrace* TraceOf(BudgetGauge* gauge) {
+  return gauge != nullptr ? gauge->trace() : nullptr;
+}
+
+/// Tracks one chunked bound scan for span recording: derives the scan's
+/// deterministic id from the owning phase span and the search's running
+/// scan ordinal, and records one `pool_chunk` span per executed chunk into
+/// the recording thread's own collector slot. Chunk presence depends on
+/// the nested path engaging (pool size, n) — chunk spans are therefore
+/// excluded from the cross-thread-count parity contract (DESIGN.md §13).
+struct ChunkSpanRecorder {
+  SearchTrace* trace = nullptr;
+  std::uint64_t phase_span = 0;
+  std::uint64_t scan_span = 0;
+
+  ChunkSpanRecorder(SearchTrace* search_trace, TracePhase phase) {
+    if (search_trace == nullptr || search_trace->collector == nullptr) return;
+    trace = search_trace;
+    phase_span = trace->PhaseSpanId(phase);
+    scan_span = DeriveSpanId(phase_span, TraceSpanKind::kScan,
+                             trace->scan_ordinal++);
+  }
+
+  bool enabled() const { return trace != nullptr; }
+
+  /// Call from the chunk body's thread after the chunk's work.
+  void Record(std::uint64_t chunk_start_ns, std::size_t chunk,
+              std::size_t rows) const {
+    TraceSpan span;
+    span.name = "pool_chunk";
+    span.start_ns = chunk_start_ns;
+    span.duration_ns = TraceNowNs() - chunk_start_ns;
+    span.trace_id = trace->trace_id;
+    span.span_id = DeriveSpanId(scan_span, TraceSpanKind::kChunk, chunk);
+    span.parent_id = phase_span;
+    span.Int("chunk", chunk).Int("rows", rows);
+    trace->collector->Record(
+        SpanSlotForWorker(WorkStealingPool::CurrentWorkerIndex(),
+                          trace->collector->slots()),
+        std::move(span));
+  }
+};
 
 /// Rows per nested chunk for the parallel bound scans, and the poll stride
 /// for the thread-safe hard-stop probe inside a chunk (matching the
@@ -80,6 +125,7 @@ double BoundsEngine::GlobalLowerBound(const Tuple& outlier,
     ++gauge->stats().index_queries;
     ++gauge->stats().index_knn_queries;
   }
+  PhaseScope phase(TraceOf(gauge), TracePhase::kIndexQuery);
   std::vector<Neighbor> nn = index_.KNearest(outlier, needed);
   if (nn.size() < needed) return 0;
   double bound = nn.back().distance - constraint_.epsilon;
@@ -99,6 +145,7 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
     ++gauge->stats().index_queries;
     ++gauge->stats().prop3_bounds;
   }
+  PhaseScope phase(TraceOf(gauge), TracePhase::kBoundsScan);
 
   // Collect full-space distances of qualifying inliers; track only the
   // smallest `needed` of them with a max-heap. Band checks pass ε as the
@@ -127,9 +174,13 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
         (n + kNestedScanGrain - 1) / kNestedScanGrain;
     std::vector<std::vector<double>> chunk_heaps(chunks);
     std::atomic<bool> aborted{false};
+    const ChunkSpanRecorder chunk_spans(TraceOf(gauge),
+                                        TracePhase::kBoundsScan);
     nested->ParallelFor(
         0, n, kNestedScanGrain,
         [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          const std::uint64_t chunk_start =
+              chunk_spans.enabled() ? TraceNowNs() : 0;
           std::vector<double>& local = chunk_heaps[chunk];
           local.reserve(needed);
           std::size_t polls = 0;
@@ -158,6 +209,9 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
               local.back() = d;
               std::push_heap(local.begin(), local.end());
             }
+          }
+          if (chunk_spans.enabled()) {
+            chunk_spans.Record(chunk_start, chunk, end - begin);
           }
         });
     if (aborted.load(std::memory_order_relaxed)) {
@@ -216,6 +270,7 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
     ++gauge->stats().index_queries;
     ++gauge->stats().prop5_bounds;
   }
+  PhaseScope phase(TraceOf(gauge), TracePhase::kBoundsScan);
 
   // Two donor candidates per X:
   //  (a) the Proposition-5 qualified donor — δ_η(t) ≤ ε − Δ(t_o[X], t[X])
@@ -254,9 +309,13 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
         (n + kNestedScanGrain - 1) / kNestedScanGrain;
     std::vector<ChunkBest> bests(chunks);
     std::atomic<bool> aborted{false};
+    const ChunkSpanRecorder chunk_spans(TraceOf(gauge),
+                                        TracePhase::kBoundsScan);
     nested->ParallelFor(
         0, n, kNestedScanGrain,
         [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          const std::uint64_t chunk_start =
+              chunk_spans.enabled() ? TraceNowNs() : 0;
           ChunkBest& best = bests[chunk];
           std::size_t polls = 0;
           for (std::size_t row = begin; row < end; ++row) {
@@ -288,6 +347,9 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
               best.qualified = cost;
               best.qualified_row = row;
             }
+          }
+          if (chunk_spans.enabled()) {
+            chunk_spans.Record(chunk_start, chunk, end - begin);
           }
         });
     if (aborted.load(std::memory_order_relaxed)) {
@@ -371,6 +433,7 @@ bool BoundsEngine::IsFeasible(const Tuple& candidate,
     ++gauge->stats().feasibility_checks;
     ++gauge->stats().index_count_queries;
   }
+  PhaseScope phase(TraceOf(gauge), TracePhase::kIndexQuery);
   return index_.CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 

@@ -202,7 +202,8 @@ double DiscSaver::EstimateSearchCost(const Tuple& outlier) const {
 SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
                                Deadline task_deadline,
                                const CancellationToken& batch_cancellation,
-                               WorkStealingPool* nested) const {
+                               WorkStealingPool* nested,
+                               SearchTrace* strace) const {
   const std::uint64_t start_ns = TraceNowNs();
   // `search.start` fault site: an error here aborts the search before any
   // work, as an index handle or arena acquisition would.
@@ -212,6 +213,9 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
   BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
+  // Context propagation: the trace rides on the gauge, which every bound
+  // computation and index query of this search already receives.
+  gauge.set_trace(strace);
   SearchState state;
   state.gauge = &gauge;
   state.nested = nested;
@@ -231,7 +235,7 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
       return FaultedResult(outlier, start_ns);
     }
     dcache.emplace(inliers_, evaluator_, outlier, columnar_.get(),
-                   &gauge.stats(), nested);
+                   &gauge.stats(), nested, strace);
     state.dcache = &*dcache;
   }
 
@@ -311,60 +315,71 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
 
   // Collect candidates: the search incumbent (kappa-qualified when
   // restricted) and, in restricted mode, the reverted substitution seed —
-  // kept only if the revert brought it within the kappa budget.
-  bool have = false;
-  Tuple best;
-  double best_cost = std::numeric_limits<double>::infinity();
-  bool kappa_blocked = false;
+  // kept only if the revert brought it within the kappa budget. This whole
+  // section is the `verdict` wall phase (RevertRefine's feasibility checks
+  // pause it for their index_query time).
+  {
+    PhaseScope verdict_phase(strace, TracePhase::kVerdict);
+    bool have = false;
+    Tuple best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    bool kappa_blocked = false;
 
-  if (state.found) {
-    Tuple adjusted = state.best_adjusted;
-    if (options.use_revert_refinement) {
-      RevertRefine(outlier, &adjusted, &gauge);
-    }
-    best = adjusted;
-    best_cost = evaluator_.Distance(outlier, best);
-    have = true;
-  }
-  if (restricted && global_seed.has_value()) {
-    Tuple adjusted = global_seed->adjusted;
-    if (options.use_revert_refinement) {
-      RevertRefine(outlier, &adjusted, &gauge);
-    }
-    AttributeSet changed = ChangedAttributes(outlier, adjusted);
-    double cost = evaluator_.Distance(outlier, adjusted);
-    if (changed.size() <= options.kappa) {
-      if (!have || cost < best_cost) {
-        best = adjusted;
-        best_cost = cost;
-        have = true;
+    if (state.found) {
+      Tuple adjusted = state.best_adjusted;
+      if (options.use_revert_refinement) {
+        RevertRefine(outlier, &adjusted, &gauge);
       }
-    } else if (!have) {
-      // A feasible adjustment exists but needs more attributes than the
-      // caller trusts — the signature of a natural outlier under §1.2.
-      kappa_blocked = true;
+      best = adjusted;
+      best_cost = evaluator_.Distance(outlier, best);
+      have = true;
     }
-  }
+    if (restricted && global_seed.has_value()) {
+      Tuple adjusted = global_seed->adjusted;
+      if (options.use_revert_refinement) {
+        RevertRefine(outlier, &adjusted, &gauge);
+      }
+      AttributeSet changed = ChangedAttributes(outlier, adjusted);
+      double cost = evaluator_.Distance(outlier, adjusted);
+      if (changed.size() <= options.kappa) {
+        if (!have || cost < best_cost) {
+          best = adjusted;
+          best_cost = cost;
+          have = true;
+        }
+      } else if (!have) {
+        // A feasible adjustment exists but needs more attributes than the
+        // caller trusts — the signature of a natural outlier under §1.2.
+        kappa_blocked = true;
+      }
+    }
 
-  if (have) {
-    AttributeSet changed = ChangedAttributes(outlier, best);
-    if (restricted && changed.size() > options.kappa) {
+    if (have) {
+      AttributeSet changed = ChangedAttributes(outlier, best);
+      if (restricted && changed.size() > options.kappa) {
+        result.feasible = false;
+        result.kappa_exceeded = true;
+        result.adjusted = outlier;
+      } else {
+        result.feasible = true;
+        result.adjusted = best;
+        result.cost = best_cost;
+        result.adjusted_attributes = changed;
+      }
+    } else {
       result.feasible = false;
-      result.kappa_exceeded = true;
+      result.kappa_exceeded = kappa_blocked;
       result.adjusted = outlier;
-      finalize(&result);
-      return result;
     }
-    result.feasible = true;
-    result.adjusted = best;
-    result.cost = best_cost;
-    result.adjusted_attributes = changed;
-  } else {
-    result.feasible = false;
-    result.kappa_exceeded = kappa_blocked;
-    result.adjusted = outlier;
   }
   finalize(&result);
+  if (strace != nullptr) {
+    // Emit the aggregated per-phase spans (parented under the search span)
+    // from the owning thread and fold the totals into the profiler.
+    strace->FlushPhaseSpans(SpanSlotForWorker(
+        WorkStealingPool::CurrentWorkerIndex(),
+        strace->collector != nullptr ? strace->collector->slots() : 1));
+  }
   return result;
 }
 
@@ -398,6 +413,23 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   const std::size_t workers =
       parallel ? std::min<std::size_t>(pool->size(), pending) : 1;
   WorkStealingPool* nested = parallel ? pool : nullptr;
+
+  // Hierarchical tracing (DESIGN.md §13). Span buffers exist only when a
+  // sink or the live recorder wants spans; the wall-phase profiler rides
+  // along when attached. All ids derive from (batch seed, input ordinal),
+  // never from time or scheduling, so the span *set* for the same work is
+  // identical at every thread count (pool_chunk/estimate spans excepted —
+  // they exist only where the parallel paths engage). When everything is
+  // detached every per-search hook reduces to a null check.
+  TraceRecorder* recorder = GlobalTraceRecorder();
+  WallPhaseProfiler* profiler = GlobalWallProfiler();
+  const bool span_tracing = trace != nullptr || recorder != nullptr;
+  std::optional<SpanCollector> collector;
+  std::uint64_t batch_seed = 0;
+  if (span_tracing) {
+    batch_seed = NextTraceBatchSeed();
+    collector.emplace((parallel ? pool->size() : 0) + 1);
+  }
 
   // Live progress: registered once per batch when a global registry is
   // attached, written once per outlier from whichever thread finishes it.
@@ -441,6 +473,13 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   };
 
   auto run_one = [&](const Tuple& outlier, std::size_t ordinal) -> SaveResult {
+    // Derived trace identity of this save; zero when spans are off.
+    const std::uint64_t trace_id =
+        span_tracing ? DeriveTraceId(batch_seed, ordinal) : 0;
+    const std::uint64_t root_span =
+        span_tracing ? DeriveSpanId(trace_id, TraceSpanKind::kRoot, 0) : 0;
+    std::uint64_t search_span =
+        span_tracing ? DeriveSpanId(root_span, TraceSpanKind::kSearch, 0) : 0;
     SaveResult result;
     if (batch.cancellation.cancelled()) {
       remaining.fetch_sub(1, std::memory_order_relaxed);
@@ -449,14 +488,34 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       remaining.fetch_sub(1, std::memory_order_relaxed);
       result = SkippedResult(outlier, SaveTermination::kDeadline);
     } else {
+      const int active_slot =
+          recorder != nullptr
+              ? recorder->BeginActive("search", trace_id, search_span,
+                                      TraceNowNs())
+              : -1;
       // Retry-with-backoff: transient terminations (injected faults, the
       // non-time budgets) are re-run while the retry policy and the batch
       // deadline slack allow. Each attempt computes a fresh fair slice;
       // the final attempt's result — and only its work counters — stands.
       std::size_t attempt = 1;
       for (;;) {
+        // Fresh per-attempt trace context: phase accumulators restart and
+        // the search span id carries the attempt ordinal, so a retried
+        // search never aliases the spans of its aborted attempts.
+        SearchTrace strace;
+        SearchTrace* strace_ptr = nullptr;
+        if (span_tracing || profiler != nullptr) {
+          strace.collector = collector.has_value() ? &*collector : nullptr;
+          strace.profiler = profiler;
+          strace.trace_id = trace_id;
+          strace.root_span_id = root_span;
+          strace.search_span_id = DeriveSpanId(
+              root_span, TraceSpanKind::kSearch, attempt - 1);
+          search_span = strace.search_span_id;
+          strace_ptr = &strace;
+        }
         result = SaveImpl(outlier, options, task_slice(), batch.cancellation,
-                          nested);
+                          nested, strace_ptr);
         if (attempt >= recovery.retry.max_attempts ||
             !RetryPolicy::IsTransient(result.termination)) {
           break;
@@ -473,7 +532,9 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       }
       result.stats.retries = attempt - 1;
       remaining.fetch_sub(1, std::memory_order_relaxed);
+      if (recorder != nullptr) recorder->EndActive(active_slot);
     }
+    result.trace_id = trace_id;
     if (recovery.journal != nullptr &&
         (result.termination == SaveTermination::kCompleted ||
          result.termination == SaveTermination::kInfeasible)) {
@@ -490,21 +551,41 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
     if (progress != nullptr) {
       progress->RecordOutlier(result.termination, result.stats.wall_nanos);
     }
-    if (trace != nullptr) {
-      // Emitted from the worker thread the moment the search ends, so a
-      // live tail of the trace shows per-search progress. Line order across
-      // workers is nondeterministic; `ordinal` keys each span back to its
+    if (collector.has_value()) {
+      // Recorded into this thread's own span buffer; the batch-end drain
+      // emits everything to the sink sorted by (trace_id, span_id), so the
+      // JSONL order is deterministic. `ordinal` keys each span back to its
       // input position.
       TraceSpan span;
       span.name = "search";
       span.start_ns = result.stats.start_ns;
       span.duration_ns = result.stats.wall_nanos;
+      span.trace_id = trace_id;
+      span.span_id = search_span;
+      span.parent_id = root_span;
       span.Int("ordinal", ordinal)
           .Str("termination", SaveTerminationName(result.termination));
       result.stats.AttachTo(&span);
-      trace->Emit(span);
+      collector->Record(
+          SpanSlotForWorker(WorkStealingPool::CurrentWorkerIndex(),
+                            collector->slots()),
+          std::move(span));
     }
     return result;
+  };
+
+  // Batch-end drain: every per-thread span buffer is merged and sorted by
+  // (trace_id, span_id), so the JSONL sink sees a deterministic order
+  // regardless of worker scheduling. Only the top-level search spans feed
+  // the /tracez ring — phase and chunk spans stay in the sink.
+  auto drain_spans = [&]() {
+    if (!collector.has_value()) return;
+    for (TraceSpan& span : collector->Drain()) {
+      if (recorder != nullptr && span.name == "search") {
+        recorder->RecordFinished(span);
+      }
+      if (trace != nullptr) trace->Emit(span);
+    }
   };
 
   if (pending == 0) {
@@ -517,6 +598,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       if (restored[i] != 0) continue;
       results[i] = run_one(outliers[i], i);
     }
+    drain_spans();
     if (progress != nullptr) progress->MarkDone();
     return results;
   }
@@ -547,7 +629,29 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   {
     const std::vector<std::size_t> input_order = order;
     pool->RunBatch(input_order, [&](std::size_t i) {
+      const bool timed = collector.has_value() || profiler != nullptr;
+      const std::uint64_t start_ns = timed ? TraceNowNs() : 0;
       estimates[i] = EstimateSearchCost(outliers[i]);
+      if (!timed) return;
+      const std::uint64_t elapsed = TraceNowNs() - start_ns;
+      if (profiler != nullptr) profiler->Add(TracePhase::kEstimate, elapsed);
+      if (collector.has_value()) {
+        const std::uint64_t trace_id = DeriveTraceId(batch_seed, i);
+        const std::uint64_t root_span =
+            DeriveSpanId(trace_id, TraceSpanKind::kRoot, 0);
+        TraceSpan span;
+        span.name = "estimate";
+        span.start_ns = start_ns;
+        span.duration_ns = elapsed;
+        span.trace_id = trace_id;
+        span.span_id = DeriveSpanId(root_span, TraceSpanKind::kEstimate, 0);
+        span.parent_id = root_span;
+        span.Int("ordinal", i).Num("cost", estimates[i]);
+        collector->Record(
+            SpanSlotForWorker(WorkStealingPool::CurrentWorkerIndex(),
+                              collector->slots()),
+            std::move(span));
+      }
     });
   }
   std::stable_sort(order.begin(), order.end(),
@@ -567,6 +671,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
     }
   });
   if (depth_gauge != nullptr) depth_gauge->Set(0);
+  drain_spans();
   if (metrics != nullptr) {
     const WorkStealingPool::SchedStats after = pool->stats();
     if (Counter* c = metrics->GetCounter(

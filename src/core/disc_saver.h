@@ -96,6 +96,12 @@ struct SaveResult {
   /// legacy mirrors above (`visited_sets`, `pruned_sets`, `index_queries`)
   /// always equal the corresponding stats fields.
   SearchStats stats;
+  /// Trace identity of this save when the batch was traced (0 otherwise,
+  /// including journal-restored results). Derived from the batch seed and
+  /// the input ordinal — never from time or scheduling — so it is excluded
+  /// from work-parity comparisons the same way wall_nanos is. Links the
+  /// result to its span tree and to histogram exemplars.
+  std::uint64_t trace_id = 0;
 };
 
 /// Crash-safety and self-healing controls for one SaveAll batch
@@ -219,11 +225,15 @@ class DiscSaver {
  private:
   struct SearchState;
   /// `nested`, when non-null, serves the chunked bound scans of this search
-  /// (results bit-identical with or without it).
+  /// (results bit-identical with or without it). `strace`, when non-null,
+  /// rides on the BudgetGauge through every bound computation and records
+  /// the wall phases and span buffers of this search (common/trace.h);
+  /// tracing never changes what is computed.
   SaveResult SaveImpl(const Tuple& outlier, const SaveOptions& options,
                       Deadline task_deadline,
                       const CancellationToken& batch_cancellation,
-                      WorkStealingPool* nested = nullptr) const;
+                      WorkStealingPool* nested = nullptr,
+                      SearchTrace* strace = nullptr) const;
   /// Scheduling cost estimate for one outlier: its η−1-NN distance in r.
   /// Cheap (one grid-accelerated kNN query), correlates with how much of
   /// the space the B&B search must cover, and runs outside any BudgetGauge

@@ -38,6 +38,8 @@ bool ExactSaver::IsFeasible(const Tuple& candidate, BudgetGauge* gauge) const {
     ++gauge->stats().feasibility_checks;
     ++gauge->stats().index_count_queries;
   }
+  PhaseScope phase(gauge != nullptr ? gauge->trace() : nullptr,
+                   TracePhase::kIndexQuery);
   return index_->CountWithin(candidate, constraint_.epsilon, needed) >= needed;
 }
 
@@ -114,6 +116,7 @@ ExactResult ExactSaver::Save(const Tuple& outlier, const ExactOptions& options,
                              const CancellationToken& extra_cancellation) const {
   const std::uint64_t start_ns = TraceNowNs();
   BudgetGauge gauge(&options.budget, extra_deadline, extra_cancellation);
+  gauge.set_trace(options.trace);
   EnumState state;
   state.gauge = &gauge;
   Tuple candidate = outlier;

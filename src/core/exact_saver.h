@@ -31,6 +31,10 @@ struct ExactOptions {
   /// termination recording why — the result may then be suboptimal, but it
   /// is still a fully verified feasible adjustment (or the untouched input).
   SearchBudget budget;
+  /// Optional trace context. When set, feasibility-check index queries are
+  /// charged to the index_query wall phase (the exact enumerator has no
+  /// bound scans, so that is its only phased work). Not owned.
+  SearchTrace* trace = nullptr;
 };
 
 /// Outcome of an exact save.

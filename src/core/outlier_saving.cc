@@ -156,7 +156,10 @@ void FlushBatchMetrics(MetricsRegistry* metrics, const SavedDataset& out) {
           "disc_save_search_wall_seconds",
           {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})) {
     for (const OutlierRecord& rec : out.records) {
-      h->Observe(static_cast<double>(rec.stats.wall_nanos) * 1e-9);
+      // With tracing on, each bucket remembers a representative search's
+      // trace id, so a slow bucket links straight to a slow span tree.
+      h->ObserveWithExemplar(static_cast<double>(rec.stats.wall_nanos) * 1e-9,
+                             rec.trace_id);
     }
   }
 }
@@ -418,6 +421,7 @@ SavedDataset SaveOutliers(const Relation& data,
       rec.cost = res.cost;
       rec.adjusted_attributes = res.adjusted_attributes;
       rec.lower_bound = res.lower_bound;
+      rec.trace_id = res.trace_id;
     }
     if (exact_progress != nullptr) {
       exact_progress->RecordOutlier(rec.termination, rec.stats.wall_nanos);
@@ -444,18 +448,31 @@ SavedDataset SaveOutliers(const Relation& data,
       rec.cost = 0;
       rec.adjusted_attributes = AttributeSet();
     }
-    if (options.trace != nullptr) {
+    TraceRecorder* recorder = GlobalTraceRecorder();
+    if (options.trace != nullptr ||
+        (recorder != nullptr && rec.trace_id != 0)) {
+      // The root of the outlier's span tree: the per-attempt search spans
+      // and their phase/chunk children (emitted by SaveAll's drain) parent
+      // up to this span via DeriveSpanId(trace_id, kRoot, 0).
       TraceSpan span;
       span.name = "save_outlier";
       span.start_ns = rec.stats.start_ns;
       span.duration_ns = rec.stats.wall_nanos;
+      span.trace_id = rec.trace_id;
+      span.span_id = rec.trace_id != 0
+                         ? DeriveSpanId(rec.trace_id, TraceSpanKind::kRoot, 0)
+                         : 0;
+      span.parent_id = 0;
       span.Int("row", rec.row)
           .Str("disposition", OutlierDispositionName(rec.disposition))
           .Str("termination", SaveTerminationName(rec.termination))
           .Num("cost", rec.cost)
           .Int("adjusted_attributes", rec.adjusted_attributes.size());
       rec.stats.AttachTo(&span);
-      options.trace->Emit(span);
+      if (recorder != nullptr && rec.trace_id != 0) {
+        recorder->RecordFinished(span);
+      }
+      if (options.trace != nullptr) options.trace->Emit(span);
     }
     out.records.push_back(std::move(rec));
   }

@@ -121,6 +121,11 @@ struct OutlierRecord {
   /// `stats.index_queries`). Bit-identical across thread counts except for
   /// the timing fields — see SearchStats::SameWork.
   SearchStats stats;
+  /// Trace id of this outlier's span tree (0 when tracing was off, the
+  /// record was restored from a journal, or the exact path ran). Links the
+  /// record to its spans in the trace sink, the /tracez ring, and the
+  /// wall-time histogram exemplars. Excluded from work parity.
+  std::uint64_t trace_id = 0;
 };
 
 /// Result of saving all outliers of a dataset.

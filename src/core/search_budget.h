@@ -13,6 +13,8 @@
 
 namespace disc {
 
+struct SearchTrace;
+
 /// Why a per-outlier save ended. The minimum-cost adjustment problem is
 /// NP-hard (Theorem 1) and the search is *anytime*: a feasible incumbent
 /// (the Proposition-5 splice) exists almost immediately and only improves,
@@ -192,6 +194,13 @@ class BudgetGauge {
   /// Node expansions so far.
   std::size_t nodes_expanded() const { return nodes_; }
 
+  /// Per-search trace context (common/trace.h), riding on the gauge because
+  /// the gauge already flows DiscSaver → BoundsEngine → SearchDistanceCache
+  /// → index queries — exactly the propagation path the spans need. Null
+  /// (the default) = untraced; owned by the caller, like the budget.
+  SearchTrace* trace() const { return trace_; }
+  void set_trace(SearchTrace* trace) { trace_ = trace; }
+
   /// True once any limit tripped; search loops must unwind promptly.
   bool stopped() const { return stopped_; }
   /// The first stop reason (kCompleted while still running).
@@ -208,6 +217,7 @@ class BudgetGauge {
   /// strided scan poll.
   FaultInjector::Site* fault_node_ = nullptr;
   FaultInjector::Site* fault_scan_ = nullptr;
+  SearchTrace* trace_ = nullptr;
   SearchStats stats_;
   std::size_t nodes_ = 0;
   std::size_t scan_polls_ = 0;

@@ -13,6 +13,8 @@
 
 namespace disc {
 
+struct SearchTrace;
+
 /// Per-outlier-search distance cache for the branch-and-bound hot loops.
 ///
 /// Within one outlier's search, the full-space distance Δ(t_o, t) to each
@@ -46,12 +48,15 @@ class SearchDistanceCache {
   /// eager full-distance fill — each row's entry is independent, so chunked
   /// writes produce the identical vector; the lazy attribute rows stay
   /// single-threaded (they mutate under const and must only ever be touched
-  /// by the owning search thread).
+  /// by the owning search thread). `trace` (optional) charges the eager and
+  /// lazy fills to the dcache_fill wall phase and records per-chunk spans
+  /// of the parallel fill.
   SearchDistanceCache(const Relation& relation,
                       const DistanceEvaluator& evaluator, const Tuple& outlier,
                       const ColumnarView* view = nullptr,
                       SearchStats* stats = nullptr,
-                      WorkStealingPool* pool = nullptr);
+                      WorkStealingPool* pool = nullptr,
+                      SearchTrace* trace = nullptr);
 
   /// Number of inlier rows n.
   std::size_t rows() const { return full_.size(); }
@@ -90,6 +95,7 @@ class SearchDistanceCache {
   const DistanceEvaluator& evaluator_;
   const Tuple& outlier_;
   SearchStats* stats_;  ///< optional; owned by the same single search
+  SearchTrace* trace_ = nullptr;  ///< optional; same ownership as stats_
   std::size_t arity_;
   std::optional<FlatKernel> kernel_;
   std::vector<double> full_;                           ///< eager, n entries

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,29 @@ HttpResponse HandleMetricsJson(const HttpRequest&) {
   return HttpResponse::Json(registry->ToJson());
 }
 
+HttpResponse HandleTracez(const HttpRequest&) {
+  TraceRecorder* recorder = GlobalTraceRecorder();
+  if (recorder == nullptr) {
+    return HttpResponse::Json(
+        "{\"error\":\"no trace recorder attached\",\"status\":503}\n", 503);
+  }
+  return HttpResponse::Json(recorder->ToJson() + "\n");
+}
+
+HttpResponse HandleProfilez(const HttpRequest& request) {
+  WallPhaseProfiler* profiler = GlobalWallProfiler();
+  if (profiler == nullptr) {
+    return HttpResponse::Json(
+        "{\"error\":\"no wall profiler attached\",\"status\":503}\n", 503);
+  }
+  // ?reset=1 returns the profile accumulated since the last reset, then
+  // starts a fresh window — the serve-side primitive for interval profiling
+  // (`curl /profilez?reset=1` once a minute gives per-minute flamegraphs).
+  std::string body = profiler->ToJson();
+  if (request.QueryUint("reset", 0) == 1) profiler->Reset();
+  return HttpResponse::Json(body + "\n");
+}
+
 }  // namespace
 
 const char* DiscVersion() { return DISC_VERSION; }
@@ -46,6 +70,8 @@ void RegisterObsEndpoints(HttpServer* server) {
 
   server->Handle("/metrics", HandleMetrics);
   server->Handle("/metrics.json", HandleMetricsJson);
+  server->Handle("/tracez", HandleTracez);
+  server->Handle("/profilez", HandleProfilez);
 
   server->Handle("/healthz", [start_ns](const HttpRequest&) {
     JsonWriter json;
@@ -60,6 +86,25 @@ void RegisterObsEndpoints(HttpServer* server) {
   });
 
   server->Handle("/statusz", [start_ns](const HttpRequest& request) {
+    // Validate ?logs=N up front: a non-numeric value is a client error,
+    // not a silent fallback, and N is clamped to the ring capacity (asking
+    // for more lines than the ring holds cannot return more).
+    std::size_t log_tail = 0;
+    {
+      auto it = request.query.find("logs");
+      if (it != request.query.end() && !it->second.empty()) {
+        for (char c : it->second) {
+          if (c < '0' || c > '9') {
+            return HttpResponse::Json(
+                "{\"error\":\"logs must be a non-negative integer\","
+                "\"status\":400}\n",
+                400);
+          }
+        }
+        log_tail = request.QueryUint("logs", kLogRingCapacity);
+        log_tail = std::min(log_tail, kLogRingCapacity);
+      }
+    }
     JsonWriter json;
     json.BeginObject();
     json.Key("schema_version").Int(1);
@@ -77,7 +122,6 @@ void RegisterObsEndpoints(HttpServer* server) {
     }
     json.EndArray();
     json.Key("log_lines_emitted").Uint(LogLinesEmitted());
-    const std::size_t log_tail = request.QueryUint("logs", 0);
     if (log_tail > 0) {
       json.Key("logs").BeginArray();
       // Each ring entry is one already-rendered JSON object; splice as-is.

@@ -5,21 +5,29 @@
 
 namespace disc {
 
-/// Registers the four observability endpoints on `server` (call before
+/// Registers the observability endpoints on `server` (call before
 /// Start()):
 ///
 ///   GET /metrics       Prometheus text 0.0.4 from the global registry
 ///   GET /metrics.json  JSON exposition (schemas/metrics.schema.json)
+///   GET /tracez        recent slow + currently active search spans
+///                      (schemas/tracez.schema.json)
+///   GET /profilez      wall-phase profile as folded-stack flamegraph JSON
+///                      (schemas/profilez.schema.json); `?reset=1` returns
+///                      the window and starts a fresh one
 ///   GET /healthz       liveness + build info (version, uptime, pid)
 ///   GET /statusz       live snapshot of in-flight save batches
 ///                      (schemas/statusz.schema.json); `?logs=N` appends
 ///                      the newest N structured log lines from the ring
+///                      (clamped to kLogRingCapacity; non-numeric N → 400)
 ///
-/// Handlers resolve GlobalMetrics()/GlobalProgress() per request, so they
-/// serve whatever the process attached; /metrics and /metrics.json answer
-/// 503 while no metrics registry is attached (the health and status
-/// endpoints always answer 200). All handlers are thread-safe and
-/// allocation-bounded — safe to scrape while a SaveAll batch is running.
+/// Handlers resolve the matching global hook (GlobalMetrics /
+/// GlobalProgress / GlobalTraceRecorder / GlobalWallProfiler) per request,
+/// so they serve whatever the process attached; /metrics, /metrics.json,
+/// /tracez and /profilez answer 503 while their hook is detached (the
+/// health and status endpoints always answer 200). All handlers are
+/// thread-safe and allocation-bounded — safe to scrape while a SaveAll
+/// batch is running.
 void RegisterObsEndpoints(HttpServer* server);
 
 /// The version string baked into /healthz (DISC_VERSION, set by CMake).

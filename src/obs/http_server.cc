@@ -200,18 +200,6 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::ListenLoop() {
-  // Guarded handles from the global registry: a live scrape accounts for
-  // its own traffic. Null registry → null handles → no-op (the usual
-  // zero-overhead-when-disabled contract).
-  Counter* requests = nullptr;
-  Counter* errors = nullptr;
-  if (MetricsRegistry* registry = GlobalMetrics()) {
-    requests = registry->GetCounter("disc_http_requests_total",
-                                    "HTTP requests accepted by the "
-                                    "observability server");
-    errors = registry->GetCounter("disc_http_errors_total",
-                                  "HTTP responses with status >= 400");
-  }
   FaultInjector::Site* fault_accept = FaultSiteFor("http.accept");
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
@@ -228,14 +216,11 @@ void HttpServer::ListenLoop() {
     timeval timeout{options_.io_timeout_seconds, 0};
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    if (requests != nullptr) requests->Add(1);
     // Submit may block briefly when all workers are busy and the queue is
     // full — natural backpressure; the listener resumes accepting as soon
-    // as a slot frees.
-    workers_->Submit([this, fd, errors] {
-      ServeConnection(fd);
-      (void)errors;
-    });
+    // as a slot frees. Request metering happens post-parse in
+    // ServeConnection, where the path label is known.
+    workers_->Submit([this, fd] { ServeConnection(fd); });
   }
 }
 
@@ -290,6 +275,7 @@ void HttpServer::ServeConnection(int fd) {
 
   HttpResponse response;
   bool head_only = false;
+  std::string path_label = "other";
   if (!complete) {
     if (timed_out) {
       response = ErrorResponse(408, "request header read timed out");
@@ -344,14 +330,28 @@ void HttpServer::ServeConnection(int fd) {
       if (it == handlers_.end()) {
         response = ErrorResponse(404, "no such endpoint");
       } else {
+        path_label = request.path;  // registered route: bounded label set
         response = it->second(request);
       }
     }
   }
 
-  if (response.status >= 400) {
-    if (MetricsRegistry* registry = GlobalMetrics()) {
-      if (Counter* errors = registry->GetCounter("disc_http_errors_total")) {
+  // Path-labeled traffic counters. The label set is bounded by design:
+  // only registered routes get their own series; everything else —
+  // unknown paths, malformed or timed-out requests — pools under "other",
+  // so a URL-scanning client cannot mint unbounded series.
+  if (MetricsRegistry* registry = GlobalMetrics()) {
+    const std::string suffix =
+        "{path=\"" + PromEscapeLabelValue(path_label) + "\"}";
+    if (Counter* requests = registry->GetCounter(
+            "disc_http_requests_total" + suffix,
+            "HTTP requests served by the observability server, by route")) {
+      requests->Add(1);
+    }
+    if (response.status >= 400) {
+      if (Counter* errors = registry->GetCounter(
+              "disc_http_errors_total" + suffix,
+              "HTTP responses with status >= 400, by route")) {
         errors->Add(1);
       }
     }

@@ -22,6 +22,7 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "core/outlier_saving.h"
 #include "data/generators.h"
 #include "distance/evaluator.h"
@@ -153,6 +154,56 @@ TEST(HttpServer, StatuszSnapshotsProgressAndLogs) {
   EXPECT_EQ(body.find("\"logs\":"), std::string::npos) << body;
   EXPECT_NE(Body(with_logs).find("\"log_lines_emitted\":"),
             std::string::npos);
+}
+
+TEST(HttpServer, StatuszLogsParamRejectsJunkAndClampsToRing) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  // Non-numeric ?logs= is a client error, not a silent fallback.
+  const std::string junk = Get(server->port(), "/statusz?logs=abc");
+  EXPECT_EQ(StatusCode(junk), 400) << junk;
+  EXPECT_NE(Body(junk).find("logs"), std::string::npos) << junk;
+  EXPECT_EQ(StatusCode(Get(server->port(), "/statusz?logs=12x")), 400);
+  // Numeric values beyond the 256-line ring are clamped, not rejected.
+  const std::string huge = Get(server->port(), "/statusz?logs=999999");
+  EXPECT_EQ(StatusCode(huge), 200) << huge;
+  EXPECT_NE(Body(huge).find("\"logs\":"), std::string::npos) << huge;
+  EXPECT_EQ(StatusCode(Get(server->port(), "/statusz?logs=0")), 200);
+}
+
+TEST(HttpServer, TracezAndProfilezAnswer503DetachedAnd200Attached) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  EXPECT_EQ(StatusCode(Get(server->port(), "/tracez")), 503);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/profilez")), 503);
+
+  TraceRecorder recorder;
+  WallPhaseProfiler profiler;
+  AttachGlobalTraceRecorder(&recorder);
+  AttachGlobalWallProfiler(&profiler);
+  TraceSpan span;
+  span.name = "search";
+  span.trace_id = 42;
+  span.span_id = 7;
+  span.duration_ns = 1000;
+  recorder.RecordFinished(span);
+  profiler.Add(TracePhase::kIndexQuery, 123);
+
+  const std::string tracez = Get(server->port(), "/tracez");
+  const std::string profilez = Get(server->port(), "/profilez");
+  AttachGlobalTraceRecorder(nullptr);
+  AttachGlobalWallProfiler(nullptr);
+
+  EXPECT_EQ(StatusCode(tracez), 200) << tracez;
+  EXPECT_NE(Body(tracez).find("\"trace_id\":42"), std::string::npos)
+      << tracez;
+  EXPECT_EQ(StatusCode(profilez), 200) << profilez;
+  EXPECT_NE(Body(profilez).find("\"index_query\":{\"wall_ns\":123"),
+            std::string::npos)
+      << profilez;
+  EXPECT_NE(Body(profilez).find("\"folded\":"), std::string::npos);
+
+  // Detached again: back to 503, not stale data.
+  EXPECT_EQ(StatusCode(Get(server->port(), "/tracez")), 503);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/profilez")), 503);
 }
 
 TEST(HttpServer, UnknownPathIs404AndNonGetIs405) {
@@ -338,9 +389,16 @@ TEST(HttpServer, ConcurrentScrapesDuringActiveSaveAll) {
   EXPECT_GE(scrapes, 4u);
   // The batches ran while attached, so /statusz had live trackers to show.
   EXPECT_EQ(progress.batches_started(), 5u);
-  // And the scrapes themselves were metered.
-  EXPECT_GE(metrics.GetCounter("disc_http_requests_total")->Value(),
-            4u * scrapes);
+  // And the scrapes themselves were metered, one labeled series per route.
+  for (const char* route :
+       {"/metrics", "/metrics.json", "/healthz", "/statusz"}) {
+    EXPECT_GE(metrics
+                  .GetCounter(std::string("disc_http_requests_total{path=\"") +
+                              route + "\"}")
+                  ->Value(),
+              scrapes)
+        << route;
+  }
 }
 
 }  // namespace

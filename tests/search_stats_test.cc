@@ -275,12 +275,13 @@ TEST(SearchStatsPipeline, TraceAccountsForEverySearch) {
   std::map<std::string, std::vector<std::string>> by_kind;
   SpansByKind(path, &by_kind);
   const std::size_t n = saved.records.size();
-  // One split span, one worker-emitted search span per outlier, one
-  // save_outlier span per record from the merge loop — nothing else.
+  // One split span, one search span per outlier, one save_outlier span per
+  // record from the merge loop. The hierarchical layer adds phase and
+  // pool-chunk children under each search (covered by
+  // trace_determinism_test); here only the top-level cardinalities matter.
   ASSERT_EQ(by_kind["split"].size(), 1u) << Slurp(path);
   ASSERT_EQ(by_kind["search"].size(), n) << Slurp(path);
   ASSERT_EQ(by_kind["save_outlier"].size(), n) << Slurp(path);
-  ASSERT_EQ(by_kind.size(), 3u) << Slurp(path);
   EXPECT_EQ(JsonUint(by_kind["split"][0], "index_queries"),
             saved.split_stats.index_queries);
 
