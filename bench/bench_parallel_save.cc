@@ -367,7 +367,9 @@ bool TopLevelNumber(const std::string& json, const std::string& key,
 
 /// The perf gate behind `--check`: compares the single-thread throughput of
 /// the run just written against the checked-in baseline with a 2% floor —
-/// tight enough to catch tracing hooks leaking cost into the detached path.
+/// tight enough to catch tracing or explain capture hooks leaking cost into
+/// the detached path (both ride the BudgetGauge: every site is one pointer
+/// test when nothing is attached, and this gate holds them to that).
 /// Skips (exit 0, loud WARN) when the baseline was recorded on a machine
 /// with a different hardware_threads count, mirroring
 /// scripts/check_bench_regression.py: cross-shape timings are incomparable.

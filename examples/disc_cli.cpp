@@ -4,7 +4,7 @@
 //   disc_cli <input.csv> <output.csv> [--epsilon E] [--eta N]
 //            [--kappa K] [--threads T] [--normalize] [--exact]
 //            [--deadline-ms D] [--per-outlier-deadline-ms D]
-//            [--metrics-json PATH] [--trace PATH]
+//            [--metrics-json PATH] [--trace PATH] [--explain[=PATH]]
 //            [--journal PATH] [--resume] [--retries N]
 //            [--fault-spec SPEC] [--fault-seed N]
 //            [--strict-csv] [--max-input-bytes N]
@@ -27,6 +27,14 @@
 // the per-phase children (index_query/bounds_scan/dcache_fill/verdict) and
 // the pool-chunk spans of nested scans, all linked by
 // trace_id/span_id/parent_id (analyze with scripts/analyze_trace.py).
+// --explain[=PATH] streams per-search decision provenance to PATH (or
+// stdout when PATH is omitted) as JSONL, one object per saved outlier:
+// every node the branch-and-bound search visited with the action taken
+// (expand / prune_lb / prune_budget / infeasible / incumbent_update /
+// memo_hit / revert_refine), its Prop-3/Prop-5 bounds, and a derived
+// summary with prune breakdown, incumbent timeline and bound-tightness
+// ratios (schemas/explain.schema.json; analyze with
+// scripts/analyze_explain.py). Capture is bit-identical for any --threads.
 //
 // Crash safety & chaos testing (DESIGN.md §11):
 // --journal PATH appends every definitively finished outlier to a JSONL
@@ -44,9 +52,10 @@
 // Live observability plane (DESIGN.md §8):
 // --serve[=PORT] starts the embedded HTTP server on 127.0.0.1 (PORT omitted
 // or 0 = ephemeral, printed at startup) before the pipeline runs, serving
-// /metrics, /metrics.json, /tracez, /profilez, /healthz and /statusz
-// concurrently with the save (serve mode also attaches the trace recorder
-// and the wall-phase profiler). The process then keeps serving until
+// /metrics, /metrics.json, /tracez, /profilez, /explainz, /healthz and
+// /statusz concurrently with the save (serve mode also attaches the trace
+// recorder, the wall-phase profiler and the explain recorder). The process
+// then keeps serving until
 // SIGINT/SIGTERM; the signal
 // cancels any in-flight batch cooperatively, stops the server, and flushes
 // metrics/trace outputs before exiting 0. --serve-idle[=PORT] serves
@@ -77,6 +86,7 @@
 #include "core/outlier_saving.h"
 #include "distance/normalization.h"
 #include "obs/endpoints.h"
+#include "obs/explain.h"
 #include "obs/http_server.h"
 #include "obs/progress.h"
 
@@ -88,6 +98,7 @@ void PrintUsage(const char* argv0) {
                "          [--kappa K] [--threads T] [--normalize] [--exact]\n"
                "          [--deadline-ms D] [--per-outlier-deadline-ms D]\n"
                "          [--metrics-json PATH] [--trace PATH]\n"
+               "          [--explain[=PATH]]\n"
                "          [--journal PATH] [--resume] [--retries N]\n"
                "          [--fault-spec SPEC] [--fault-seed N]\n"
                "          [--strict-csv] [--max-input-bytes N]\n"
@@ -137,6 +148,8 @@ int main(int argc, char** argv) {
   long long per_outlier_deadline_ms = 0;
   std::string metrics_json_path;
   std::string trace_path;
+  bool explain_requested = false;
+  std::string explain_path;
   std::string journal_path;
   bool resume = false;
   std::size_t retries = 0;
@@ -168,6 +181,11 @@ int main(int argc, char** argv) {
     if (path_flag(&i, "--metrics-json", &metrics_json_path)) {
       metrics_requested = true;
     } else if (path_flag(&i, "--trace", &trace_path)) {
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain_requested = true;
+    } else if (std::strncmp(argv[i], "--explain=", 10) == 0) {
+      explain_requested = true;
+      explain_path = argv[i] + 10;
     } else if (path_flag(&i, "--journal", &journal_path)) {
     } else if (path_flag(&i, "--fault-spec", &fault_spec)) {
     } else if (std::strcmp(argv[i], "--resume") == 0) {
@@ -279,6 +297,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ProgressRegistry> progress;
   std::unique_ptr<TraceRecorder> recorder;
   std::unique_ptr<WallPhaseProfiler> profiler;
+  std::unique_ptr<ExplainRecorder> explain_recorder;
   std::unique_ptr<HttpServer> server;
   if (serve) {
     progress = std::make_unique<ProgressRegistry>();
@@ -291,6 +310,9 @@ int main(int argc, char** argv) {
     AttachGlobalTraceRecorder(recorder.get());
     profiler = std::make_unique<WallPhaseProfiler>();
     AttachGlobalWallProfiler(profiler.get());
+    // /explainz backend: per-search decision summaries (recent + slowest).
+    explain_recorder = std::make_unique<ExplainRecorder>();
+    AttachGlobalExplainRecorder(explain_recorder.get());
     HttpServer::Options server_options;
     server_options.port = static_cast<std::uint16_t>(serve_port);
     server = std::make_unique<HttpServer>(server_options);
@@ -301,8 +323,8 @@ int main(int argc, char** argv) {
                    started.ToString().c_str());
       return 1;
     }
-    std::printf("serving /metrics /metrics.json /tracez /profilez /healthz "
-                "/statusz on http://127.0.0.1:%u\n",
+    std::printf("serving /metrics /metrics.json /tracez /profilez /explainz "
+                "/healthz /statusz on http://127.0.0.1:%u\n",
                 static_cast<unsigned>(server->port()));
     std::fflush(stdout);
     // Install the graceful-shutdown path only in serve mode: without the
@@ -315,6 +337,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<JsonlTraceSink> trace;
   if (!trace_path.empty()) {
     trace = std::make_unique<JsonlTraceSink>(trace_path);
+  }
+  std::unique_ptr<ExplainJsonlSink> explain_sink;
+  if (explain_requested) {
+    explain_sink = std::make_unique<ExplainJsonlSink>(explain_path);
   }
 
   int exit_code = 0;
@@ -372,6 +398,7 @@ int main(int argc, char** argv) {
     options.cancellation = cancel.token();
     options.metrics = metrics.get();
     options.trace = trace.get();
+    options.explain = explain_sink.get();
     options.journal_path = journal_path;
     options.resume_from_journal = resume;
     if (retries > 0) options.retry.max_attempts = retries + 1;
@@ -458,6 +485,7 @@ int main(int argc, char** argv) {
     // live hooks can go first; record sites degrade to no-ops instantly.
     AttachGlobalTraceRecorder(nullptr);
     AttachGlobalWallProfiler(nullptr);
+    AttachGlobalExplainRecorder(nullptr);
     AttachGlobalProgress(nullptr);
   }
 
@@ -491,6 +519,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error writing trace to %s: %s\n",
                    trace_path.c_str(), trace_status.ToString().c_str());
       exit_code = 1;
+    }
+  }
+  if (explain_sink != nullptr) {
+    Status explain_status = explain_sink->Close();
+    if (!explain_status.ok()) {
+      std::fprintf(stderr, "error writing explain log: %s\n",
+                   explain_status.ToString().c_str());
+      exit_code = 1;
+    } else if (!explain_path.empty() && explain_path != "-") {
+      std::printf("wrote explain log to %s\n", explain_path.c_str());
     }
   }
   return exit_code;

@@ -58,6 +58,10 @@ std::optional<SimdTier> ParseSimdTier(std::string_view value) {
   return std::nullopt;
 }
 
+SimdTier CompiledSimdTier() {
+  return kSimdCompiledIn ? SimdTier::kAvx2 : SimdTier::kScalar;
+}
+
 SimdTier DetectedSimdTier() {
   static const SimdTier tier = Probe();
   return tier;

@@ -26,6 +26,13 @@ const char* SimdTierName(SimdTier tier);
 /// treats them as "auto" and logs a warning once).
 std::optional<SimdTier> ParseSimdTier(std::string_view value);
 
+/// The widest tier this *binary* carries kernels for — kAvx2 on an x86-64
+/// build, kScalar when DISC_SIMD=OFF or on non-x86 targets. Build metadata
+/// for /healthz and /statusz: together with DetectedSimdTier and
+/// ActiveSimdTier it distinguishes "compiled out" from "CPU lacks it" from
+/// "narrowed by DISC_SIMD".
+SimdTier CompiledSimdTier();
+
 /// The widest tier this CPU can execute, probed once via CPUID (the AVX2
 /// tier additionally requires FMA — every AVX2-era core has it, but the
 /// bits are distinct so both are checked). On non-x86 builds, or when the

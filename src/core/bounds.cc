@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "distance/lp_norm.h"
+#include "obs/explain.h"
 
 namespace disc {
 
@@ -16,6 +17,15 @@ namespace {
 /// The per-search trace context riding on the gauge (null when untraced).
 inline SearchTrace* TraceOf(BudgetGauge* gauge) {
   return gauge != nullptr ? gauge->trace() : nullptr;
+}
+
+/// Marks one abandoned bound scan on the per-search decision log (no-op
+/// when explain is detached). An abandoned scan returns its safe
+/// uninformative value, so the log flags the searches whose bound-quality
+/// data is polluted by truncation.
+inline void NoteAbandonedScan(BudgetGauge* gauge) {
+  if (gauge == nullptr) return;
+  if (SearchExplain* explain = gauge->explain()) explain->NoteAbandonedScan();
 }
 
 /// Tracks one chunked bound scan for span recording: derives the scan's
@@ -216,6 +226,7 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
         });
     if (aborted.load(std::memory_order_relaxed)) {
       gauge->RecordHardStop();
+      NoteAbandonedScan(gauge);
       return 0;  // same safe value as an abandoned sequential scan
     }
     std::vector<double> all;
@@ -236,7 +247,10 @@ double BoundsEngine::LowerBoundForX(const Tuple& outlier,
   for (std::size_t row = 0; row < n; ++row) {
     // An abandoned scan returns the uninformative bound 0: nothing is
     // pruned on its account, and the caller unwinds via gauge->stopped().
-    if (gauge != nullptr && !gauge->KeepScanning()) return 0;
+    if (gauge != nullptr && !gauge->KeepScanning()) {
+      NoteAbandonedScan(gauge);
+      return 0;
+    }
     double dx = dcache != nullptr
                     ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)
                     : evaluator_.DistanceOnWithin(x, outlier, relation_[row],
@@ -354,6 +368,7 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
         });
     if (aborted.load(std::memory_order_relaxed)) {
       gauge->RecordHardStop();
+      NoteAbandonedScan(gauge);
       return std::nullopt;  // never a bound from a partial donor scan
     }
     for (const ChunkBest& best : bests) {
@@ -371,7 +386,10 @@ std::optional<BoundsEngine::UpperBound> BoundsEngine::UpperBoundForX(
       // No partial donor scan may produce a bound: abandoning returns "no
       // upper bound" so the incumbent is never replaced by a half-searched
       // splice (anytime-soundness — see DESIGN.md).
-      if (gauge != nullptr && !gauge->KeepScanning()) return std::nullopt;
+      if (gauge != nullptr && !gauge->KeepScanning()) {
+        NoteAbandonedScan(gauge);
+        return std::nullopt;
+      }
       double dx =
           dcache != nullptr
               ? SubsetDistanceWithin(band, norm, row, constraint_.epsilon)

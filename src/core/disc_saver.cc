@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <string>
@@ -16,6 +17,7 @@
 #include "common/trace.h"
 #include "core/save_journal.h"
 #include "index/index_factory.h"
+#include "obs/explain.h"
 #include "obs/progress.h"
 
 namespace disc {
@@ -102,13 +104,32 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
                         SearchState* state) const {
   BudgetGauge* gauge = state->gauge;
   if (gauge->stopped()) return;
+  // Decision capture (DESIGN.md §14): exactly one event per visited node,
+  // recording which rule decided its fate and the bounds behind the
+  // decision. `node` accumulates as the node is evaluated; every exit path
+  // below records it. Null when explain is detached — each site is then a
+  // single pointer check and the search is untouched.
+  SearchExplain* ex = gauge->explain();
+  ExplainEvent node;
+  node.x_bits = x.bits();
+  node.incumbent = state->best_cost;
   if (!state->visited.insert(x.bits()).second) {
+    if (ex != nullptr) {
+      node.action = ExplainAction::kMemoHit;
+      ex->Record(node);
+    }
     return;  // this X was already processed (§3.3.1)
   }
   // Node expansion: hit the `search.node` fault site, then check
   // cancellation, deadline, visited-set and query budgets. On any trip the
   // incumbent stands and the whole search unwinds (anytime contract).
-  if (!gauge->OnNodeExpanded(state->visited.size())) return;
+  if (!gauge->OnNodeExpanded(state->visited.size())) {
+    if (ex != nullptr) {
+      node.action = ExplainAction::kPruneBudget;
+      ex->Record(node);
+    }
+    return;
+  }
 
   // Lower bound (Algorithm 1 lines 1-3, Proposition 3): any adjustment that
   // keeps X fixed costs at least LB(X); supersets of X only cost more, so
@@ -116,9 +137,21 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   if (options.use_lower_bound_pruning) {
     double lb = bounds_->LowerBoundForX(outlier, x, gauge, state->dcache,
                                         state->nested);
-    if (gauge->stopped()) return;
+    if (gauge->stopped()) {
+      if (ex != nullptr) {
+        node.action = ExplainAction::kPruneBudget;
+        ex->Record(node);
+      }
+      return;
+    }
+    node.lb = lb;
     if (lb >= state->best_cost) {
       ++state->pruned;
+      if (ex != nullptr) {
+        node.action = std::isinf(lb) ? ExplainAction::kInfeasible
+                                     : ExplainAction::kPruneLb;
+        ex->Record(node);
+      }
       return;
     }
   }
@@ -129,11 +162,29 @@ void DiscSaver::Explore(const Tuple& outlier, AttributeSet x,
   // half-searched splice into the incumbent.
   std::optional<BoundsEngine::UpperBound> ub =
       bounds_->UpperBoundForX(outlier, x, gauge, state->dcache, state->nested);
-  if (gauge->stopped()) return;
+  if (gauge->stopped()) {
+    if (ex != nullptr) {
+      node.action = ExplainAction::kPruneBudget;
+      ex->Record(node);
+    }
+    return;
+  }
+  if (ub.has_value()) {
+    node.ub = ub->cost;
+    node.donor_row = ub->donor_row;
+  }
   if (ub.has_value() && ub->cost < state->best_cost) {
     state->best_cost = ub->cost;
     state->best_adjusted = ub->adjusted;
     state->found = true;
+    if (ex != nullptr) {
+      node.action = ExplainAction::kIncumbentUpdate;
+      node.incumbent = state->best_cost;
+      ex->Record(node);
+    }
+  } else if (ex != nullptr) {
+    node.action = ExplainAction::kExpand;
+    ex->Record(node);
   }
 
   // Recurse (lines 10-11): grow the unadjusted set.
@@ -169,6 +220,14 @@ void DiscSaver::RevertRefine(const Tuple& outlier, Tuple* adjusted,
       trial[a] = outlier[a];
       if (bounds_->IsFeasible(trial, gauge)) {
         *adjusted = std::move(trial);
+        ++gauge->stats().revert_refines;
+        if (SearchExplain* ex = gauge->explain()) {
+          ExplainEvent event;
+          event.action = ExplainAction::kRevertRefine;
+          event.x_bits = AttributeSet().With(a).bits();
+          event.ub = evaluator_.Distance(outlier, *adjusted);
+          ex->Record(event);
+        }
         changed = true;
         break;  // re-rank contributions after each successful revert
       }
@@ -202,8 +261,8 @@ double DiscSaver::EstimateSearchCost(const Tuple& outlier) const {
 SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
                                Deadline task_deadline,
                                const CancellationToken& batch_cancellation,
-                               WorkStealingPool* nested,
-                               SearchTrace* strace) const {
+                               WorkStealingPool* nested, SearchTrace* strace,
+                               SearchExplain* sexplain) const {
   const std::uint64_t start_ns = TraceNowNs();
   // `search.start` fault site: an error here aborts the search before any
   // work, as an index handle or arena acquisition would.
@@ -213,9 +272,11 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
   const std::size_t arity = evaluator_.arity();
   const bool restricted = options.kappa != 0 && options.kappa < arity;
   BudgetGauge gauge(&options.budget, task_deadline, batch_cancellation);
-  // Context propagation: the trace rides on the gauge, which every bound
-  // computation and index query of this search already receives.
+  // Context propagation: the trace and explain contexts ride on the gauge,
+  // which every bound computation and index query of this search already
+  // receives.
   gauge.set_trace(strace);
+  gauge.set_explain(sexplain);
   SearchState state;
   state.gauge = &gauge;
   state.nested = nested;
@@ -253,6 +314,17 @@ SaveResult DiscSaver::SaveImpl(const Tuple& outlier, const SaveOptions& options,
     state.best_cost = global_seed->cost;
     state.best_adjusted = global_seed->adjusted;
     state.found = true;
+    if (sexplain != nullptr) {
+      // The seed is an incumbent adoption but not a visited node; `seed`
+      // keeps it out of the node-count cross-checks (obs/explain.h).
+      ExplainEvent event;
+      event.action = ExplainAction::kIncumbentUpdate;
+      event.seed = true;
+      event.ub = global_seed->cost;
+      event.incumbent = global_seed->cost;
+      event.donor_row = global_seed->donor_row;
+      sexplain->Record(event);
+    }
   }
 
   if (!restricted) {
@@ -388,7 +460,8 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
                                            WorkStealingPool* pool,
                                            const BatchBudget& batch,
                                            TraceSink* trace,
-                                           const BatchRecovery& recovery) const {
+                                           const BatchRecovery& recovery,
+                                           ExplainSink* explain) const {
   const std::size_t n = outliers.size();
   std::vector<SaveResult> results(n);
   if (n == 0) return results;
@@ -424,12 +497,19 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   TraceRecorder* recorder = GlobalTraceRecorder();
   WallPhaseProfiler* profiler = GlobalWallProfiler();
   const bool span_tracing = trace != nullptr || recorder != nullptr;
+  // Decision-log capture (DESIGN.md §14): same per-worker-buffer discipline
+  // as the span collector, engaged by an explicit sink or the live
+  // /explainz recorder. Explain-only runs still derive trace ids so logs,
+  // spans and exemplars stay joinable on one identity.
+  ExplainRecorder* erecorder = GlobalExplainRecorder();
+  const bool explaining = explain != nullptr || erecorder != nullptr;
+  const bool derive_ids = span_tracing || explaining;
   std::optional<SpanCollector> collector;
+  std::optional<ExplainCollector> ecollector;
   std::uint64_t batch_seed = 0;
-  if (span_tracing) {
-    batch_seed = NextTraceBatchSeed();
-    collector.emplace((parallel ? pool->size() : 0) + 1);
-  }
+  if (derive_ids) batch_seed = NextTraceBatchSeed();
+  if (span_tracing) collector.emplace((parallel ? pool->size() : 0) + 1);
+  if (explaining) ecollector.emplace((parallel ? pool->size() : 0) + 1);
 
   // Live progress: registered once per batch when a global registry is
   // attached, written once per outlier from whichever thread finishes it.
@@ -473,9 +553,10 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   };
 
   auto run_one = [&](const Tuple& outlier, std::size_t ordinal) -> SaveResult {
-    // Derived trace identity of this save; zero when spans are off.
+    // Derived trace identity of this save; zero when both spans and explain
+    // are off.
     const std::uint64_t trace_id =
-        span_tracing ? DeriveTraceId(batch_seed, ordinal) : 0;
+        derive_ids ? DeriveTraceId(batch_seed, ordinal) : 0;
     const std::uint64_t root_span =
         span_tracing ? DeriveSpanId(trace_id, TraceSpanKind::kRoot, 0) : 0;
     std::uint64_t search_span =
@@ -498,6 +579,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       // deadline slack allow. Each attempt computes a fresh fair slice;
       // the final attempt's result — and only its work counters — stands.
       std::size_t attempt = 1;
+      SearchExplain sexplain;
       for (;;) {
         // Fresh per-attempt trace context: phase accumulators restart and
         // the search span id carries the attempt ordinal, so a retried
@@ -514,8 +596,12 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
           search_span = strace.search_span_id;
           strace_ptr = &strace;
         }
+        // Fresh per-attempt decision log, for the same reason: the reported
+        // log describes exactly the attempt whose result stands.
+        sexplain = SearchExplain();
         result = SaveImpl(outlier, options, task_slice(), batch.cancellation,
-                          nested, strace_ptr);
+                          nested, strace_ptr,
+                          ecollector.has_value() ? &sexplain : nullptr);
         if (attempt >= recovery.retry.max_attempts ||
             !RetryPolicy::IsTransient(result.termination)) {
           break;
@@ -533,6 +619,31 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       result.stats.retries = attempt - 1;
       remaining.fetch_sub(1, std::memory_order_relaxed);
       if (recorder != nullptr) recorder->EndActive(active_slot);
+      if (ecollector.has_value()) {
+        // The finished decision log: the final attempt's events plus the
+        // verdict fields and the SearchStats mirrors the analyzer
+        // cross-checks against (scripts/analyze_explain.py).
+        ExplainSearchLog log;
+        log.ordinal = ordinal;
+        log.trace_id = trace_id;
+        log.attempt = attempt;
+        log.termination = SaveTerminationName(result.termination);
+        log.feasible = result.feasible;
+        if (result.feasible) log.final_cost = result.cost;
+        log.global_lb = result.lower_bound;
+        log.wall_nanos = result.stats.wall_nanos;
+        log.visited_sets = result.stats.visited_sets;
+        log.lb_prunes = result.stats.lb_prunes;
+        log.nodes_expanded = result.stats.nodes_expanded;
+        log.revert_refines = result.stats.revert_refines;
+        log.abandoned_scans = sexplain.abandoned_scans;
+        log.dropped_events = sexplain.dropped_events;
+        log.events = std::move(sexplain.events);
+        ecollector->Record(
+            SpanSlotForWorker(WorkStealingPool::CurrentWorkerIndex(),
+                              ecollector->slots()),
+            std::move(log));
+      }
     }
     result.trace_id = trace_id;
     if (recovery.journal != nullptr &&
@@ -588,6 +699,19 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
     }
   };
 
+  // Explain drain: logs come back sorted by (ordinal, attempt), so the sink
+  // sees input order, /explainz sees the same recent window at every thread
+  // count, and the metric flush sums are deterministic.
+  auto drain_explain = [&]() {
+    if (!ecollector.has_value()) return;
+    const std::vector<ExplainSearchLog> logs = ecollector->Drain();
+    for (const ExplainSearchLog& log : logs) {
+      if (erecorder != nullptr) erecorder->RecordSearch(log);
+      if (explain != nullptr) explain->Emit(log);
+    }
+    FlushExplainMetrics(GlobalMetrics(), logs);
+  };
+
   if (pending == 0) {
     if (progress != nullptr) progress->MarkDone();
     return results;
@@ -599,6 +723,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
       results[i] = run_one(outliers[i], i);
     }
     drain_spans();
+    drain_explain();
     if (progress != nullptr) progress->MarkDone();
     return results;
   }
@@ -672,6 +797,7 @@ std::vector<SaveResult> DiscSaver::SaveAll(const std::vector<Tuple>& outliers,
   });
   if (depth_gauge != nullptr) depth_gauge->Set(0);
   drain_spans();
+  drain_explain();
   if (metrics != nullptr) {
     const WorkStealingPool::SchedStats after = pool->stats();
     if (Counter* c = metrics->GetCounter(

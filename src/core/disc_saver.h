@@ -20,6 +20,7 @@
 
 namespace disc {
 
+class ExplainSink;
 class TraceSink;
 class SaveJournalWriter;
 struct SaveJournal;
@@ -96,11 +97,12 @@ struct SaveResult {
   /// legacy mirrors above (`visited_sets`, `pruned_sets`, `index_queries`)
   /// always equal the corresponding stats fields.
   SearchStats stats;
-  /// Trace identity of this save when the batch was traced (0 otherwise,
-  /// including journal-restored results). Derived from the batch seed and
-  /// the input ordinal — never from time or scheduling — so it is excluded
-  /// from work-parity comparisons the same way wall_nanos is. Links the
-  /// result to its span tree and to histogram exemplars.
+  /// Trace identity of this save when the batch was traced or explained (0
+  /// otherwise, including journal-restored results). Derived from the batch
+  /// seed and the input ordinal — never from time or scheduling — so it is
+  /// excluded from work-parity comparisons the same way wall_nanos is.
+  /// Links the result to its span tree, decision log and histogram
+  /// exemplars.
   std::uint64_t trace_id = 0;
 };
 
@@ -212,12 +214,23 @@ class DiscSaver {
   /// durable as it lands; with `recovery.resume` journaled ordinals are
   /// restored instead of searched; `recovery.retry` re-runs transient
   /// failures. See BatchRecovery — the default is a strict no-op.
+  ///
+  /// Explain (DESIGN.md §14): with a non-null `explain` sink — or a global
+  /// ExplainRecorder attached — each search's final attempt captures its
+  /// full decision log (obs/explain.h) into per-worker buffers, drained at
+  /// batch end sorted by input ordinal: sink emission order, the /explainz
+  /// feed and the disc_explain_* metric flush are all deterministic.
+  /// Capture rides the BudgetGauge, so the logged events are the search's
+  /// actual decisions and the log is bit-identical for every thread count
+  /// (explain_determinism_test). Detached, every capture site is one null
+  /// check. Skipped and journal-restored ordinals emit no log.
   std::vector<SaveResult> SaveAll(const std::vector<Tuple>& outliers,
                                   const SaveOptions& options = {},
                                   WorkStealingPool* pool = nullptr,
                                   const BatchBudget& batch = {},
                                   TraceSink* trace = nullptr,
-                                  const BatchRecovery& recovery = {}) const;
+                                  const BatchRecovery& recovery = {},
+                                  ExplainSink* explain = nullptr) const;
 
   /// The bounds engine (exposed for tests and diagnostics).
   const BoundsEngine& bounds() const { return *bounds_; }
@@ -228,12 +241,14 @@ class DiscSaver {
   /// (results bit-identical with or without it). `strace`, when non-null,
   /// rides on the BudgetGauge through every bound computation and records
   /// the wall phases and span buffers of this search (common/trace.h);
-  /// tracing never changes what is computed.
+  /// tracing never changes what is computed. `sexplain` likewise rides on
+  /// the gauge and captures the decision log (obs/explain.h).
   SaveResult SaveImpl(const Tuple& outlier, const SaveOptions& options,
                       Deadline task_deadline,
                       const CancellationToken& batch_cancellation,
                       WorkStealingPool* nested = nullptr,
-                      SearchTrace* strace = nullptr) const;
+                      SearchTrace* strace = nullptr,
+                      SearchExplain* sexplain = nullptr) const;
   /// Scheduling cost estimate for one outlier: its η−1-NN distance in r.
   /// Cheap (one grid-accelerated kNN query), correlates with how much of
   /// the space the B&B search must cover, and runs outside any BudgetGauge

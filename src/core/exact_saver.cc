@@ -4,6 +4,7 @@
 
 #include "common/trace.h"
 #include "index/index_factory.h"
+#include "obs/explain.h"
 
 namespace disc {
 
@@ -70,7 +71,16 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
     // incumbent only ever holds candidates that passed a complete
     // feasibility check, so stopping here is always safe.
     ++state->checked;
-    if (!state->gauge->OnNodeExpanded(state->checked)) return;
+    if (!state->gauge->OnNodeExpanded(state->checked)) {
+      if (SearchExplain* ex = state->gauge->explain()) {
+        ExplainEvent event;
+        event.action = ExplainAction::kPruneBudget;
+        event.x_bits = ChangedAttributes(outlier, *candidate).bits();
+        event.incumbent = state->best_cost;
+        ex->Record(event);
+      }
+      return;
+    }
     if (options.max_candidates != 0 &&
         state->checked > options.max_candidates) {
       state->candidate_cap_hit = true;
@@ -85,6 +95,14 @@ void ExactSaver::Enumerate(const Tuple& outlier, std::size_t attr,
         state->best_cost = cost;
         state->best_adjusted = *candidate;
         state->found = true;
+        if (SearchExplain* ex = state->gauge->explain()) {
+          ExplainEvent event;
+          event.action = ExplainAction::kIncumbentUpdate;
+          event.x_bits = ChangedAttributes(outlier, *candidate).bits();
+          event.ub = cost;
+          event.incumbent = cost;
+          ex->Record(event);
+        }
       }
     }
     return;
@@ -117,6 +135,7 @@ ExactResult ExactSaver::Save(const Tuple& outlier, const ExactOptions& options,
   const std::uint64_t start_ns = TraceNowNs();
   BudgetGauge gauge(&options.budget, extra_deadline, extra_cancellation);
   gauge.set_trace(options.trace);
+  gauge.set_explain(options.explain);
   EnumState state;
   state.gauge = &gauge;
   Tuple candidate = outlier;

@@ -35,6 +35,11 @@ struct ExactOptions {
   /// charged to the index_query wall phase (the exact enumerator has no
   /// bound scans, so that is its only phased work). Not owned.
   SearchTrace* trace = nullptr;
+  /// Optional decision-capture context (obs/explain.h). The exact
+  /// enumerator has no bounds, so it records only incumbent_update events
+  /// (x_bits = the candidate's *changed*-attribute mask, ub = its cost) and
+  /// a prune_budget event when the budget layer stops it. Not owned.
+  SearchExplain* explain = nullptr;
 };
 
 /// Outcome of an exact save.

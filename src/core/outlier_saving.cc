@@ -15,6 +15,7 @@
 #include "core/save_journal.h"
 #include "core/search_stats.h"
 #include "index/index_factory.h"
+#include "obs/explain.h"
 #include "obs/progress.h"
 
 namespace disc {
@@ -351,10 +352,19 @@ SavedDataset SaveOutliers(const Relation& data,
     }
     disc_results = disc_saver.SaveAll(outlier_tuples, effective.save,
                                       pool.get(), batch, options.trace,
-                                      recovery);
+                                      recovery, options.explain);
   }
 
   const std::size_t total_outliers = split.outlier_rows.size();
+
+  // Explain on the exact path (the DISC path captures inside SaveAll): the
+  // enumerations run sequentially in the merge loop below, so logs are
+  // captured, emitted and flushed here, already in input order.
+  ExplainRecorder* explain_recorder = GlobalExplainRecorder();
+  const bool exact_explaining =
+      effective.use_exact &&
+      (options.explain != nullptr || explain_recorder != nullptr);
+  std::vector<ExplainSearchLog> exact_explain_logs;
 
   // The exact path saves sequentially in the merge loop below, so it gets
   // its own tracker here (the DISC path registers "save_all" inside
@@ -400,6 +410,8 @@ SavedDataset SaveOutliers(const Relation& data,
         ExactOptions exact_options;
         exact_options.max_candidates = effective.exact_max_candidates;
         exact_options.budget = effective.save.budget;
+        SearchExplain sexplain;
+        if (exact_explaining) exact_options.explain = &sexplain;
         ExactResult res = exact_saver->Save(outlier, exact_options,
                                             task_deadline, batch.cancellation);
         feasible = res.feasible;
@@ -409,6 +421,25 @@ SavedDataset SaveOutliers(const Relation& data,
         rec.adjusted = res.adjusted;
         rec.cost = res.cost;
         rec.adjusted_attributes = res.adjusted_attributes;
+        if (exact_explaining) {
+          ExplainSearchLog log;
+          log.ordinal = i;
+          log.algo = "exact";
+          log.termination = SaveTerminationName(res.termination);
+          log.feasible = res.feasible;
+          if (res.feasible) log.final_cost = res.cost;
+          log.wall_nanos = res.stats.wall_nanos;
+          log.visited_sets = res.stats.visited_sets;
+          log.lb_prunes = res.stats.lb_prunes;
+          log.nodes_expanded = res.stats.nodes_expanded;
+          log.revert_refines = res.stats.revert_refines;
+          log.abandoned_scans = sexplain.abandoned_scans;
+          log.dropped_events = sexplain.dropped_events;
+          log.events = std::move(sexplain.events);
+          if (explain_recorder != nullptr) explain_recorder->RecordSearch(log);
+          if (options.explain != nullptr) options.explain->Emit(log);
+          exact_explain_logs.push_back(std::move(log));
+        }
       }
     } else {
       SaveResult& res = disc_results[i];
@@ -477,6 +508,9 @@ SavedDataset SaveOutliers(const Relation& data,
     out.records.push_back(std::move(rec));
   }
   if (exact_progress != nullptr) exact_progress->MarkDone();
+  // Same registry the DISC path's in-SaveAll flush uses, so disc_explain_*
+  // series aggregate identically across both algorithms.
+  FlushExplainMetrics(GlobalMetrics(), exact_explain_logs);
   FlushBatchMetrics(options.metrics, out);
   DISC_LOG(INFO)
       .Uint("saved", out.CountDisposition(OutlierDisposition::kSaved))

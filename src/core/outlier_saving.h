@@ -16,6 +16,7 @@
 
 namespace disc {
 
+class ExplainSink;
 class MetricsRegistry;
 class TraceSink;
 
@@ -72,6 +73,13 @@ struct OutlierSavingOptions {
   /// from the sequential merge loop in input order, each carrying the full
   /// SearchStats as attributes. Must outlive the call.
   TraceSink* trace = nullptr;
+  /// Optional explain sink (null = explain disabled, the default). Receives
+  /// one decision log per searched outlier (obs/explain.h) in input order —
+  /// which bounds pruned which subtrees, how the incumbent evolved, how
+  /// tight the bounds ran. A globally attached ExplainRecorder
+  /// (AttachGlobalExplainRecorder) captures the same logs for /explainz
+  /// without a sink. Must outlive the call. See DESIGN.md §14.
+  ExplainSink* explain = nullptr;
   /// Path of a SaveJournal to append definitive per-outlier results to
   /// (empty = no journaling, the default). DISC path only. With a journal
   /// the pipeline becomes crash-safe: re-running with

@@ -318,6 +318,7 @@ constexpr StatsField kStatsFields[] = {
     {"index_count_queries", &SearchStats::index_count_queries},
     {"index_knn_queries", &SearchStats::index_knn_queries},
     {"index_queries", &SearchStats::index_queries},
+    {"revert_refines", &SearchStats::revert_refines},
     {"retries", &SearchStats::retries},
     {"wall_nanos", &SearchStats::wall_nanos},
     {"start_ns", &SearchStats::start_ns},

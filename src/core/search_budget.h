@@ -13,6 +13,7 @@
 
 namespace disc {
 
+struct SearchExplain;
 struct SearchTrace;
 
 /// Why a per-outlier save ended. The minimum-cost adjustment problem is
@@ -201,6 +202,12 @@ class BudgetGauge {
   SearchTrace* trace() const { return trace_; }
   void set_trace(SearchTrace* trace) { trace_ = trace; }
 
+  /// Per-search decision-capture context (obs/explain.h), riding on the
+  /// gauge for the same reason as the trace: the gauge already reaches
+  /// every decision site. Null (the default) = explain detached.
+  SearchExplain* explain() const { return explain_; }
+  void set_explain(SearchExplain* explain) { explain_ = explain; }
+
   /// True once any limit tripped; search loops must unwind promptly.
   bool stopped() const { return stopped_; }
   /// The first stop reason (kCompleted while still running).
@@ -218,6 +225,7 @@ class BudgetGauge {
   FaultInjector::Site* fault_node_ = nullptr;
   FaultInjector::Site* fault_scan_ = nullptr;
   SearchTrace* trace_ = nullptr;
+  SearchExplain* explain_ = nullptr;
   SearchStats stats_;
   std::size_t nodes_ = 0;
   std::size_t scan_polls_ = 0;

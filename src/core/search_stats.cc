@@ -30,6 +30,7 @@ constexpr FieldSpec kWorkFields[] = {
     {"index_count_queries", &SearchStats::index_count_queries},
     {"index_knn_queries", &SearchStats::index_knn_queries},
     {"index_queries", &SearchStats::index_queries},
+    {"revert_refines", &SearchStats::revert_refines},
     {"retries", &SearchStats::retries},
 };
 

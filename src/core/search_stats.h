@@ -51,6 +51,11 @@ struct SearchStats {
   /// QueryCounter tally (this is the field `split_index_queries` and
   /// OutlierRecord::index_queries are fed from).
   std::uint64_t index_queries = 0;
+  /// Attributes restored to their original value by the RevertRefine
+  /// post-pass (each revert kept the adjustment feasible and strictly
+  /// cheaper). Deterministic; cross-checked against the explain layer's
+  /// revert_refine events (obs/explain.h).
+  std::uint64_t revert_refines = 0;
   /// Retry attempts consumed by this search under SaveAll's RetryPolicy
   /// (attempts − 1; zero when retries are disabled or the first attempt
   /// stood). The reported counters describe the final attempt only.

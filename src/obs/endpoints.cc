@@ -11,15 +11,43 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "obs/explain.h"
 #include "obs/progress.h"
 
 #ifndef DISC_VERSION
 #define DISC_VERSION "0.0.0-dev"
 #endif
 
+#ifndef DISC_BUILD_TYPE
+#define DISC_BUILD_TYPE "unknown"
+#endif
+
 namespace disc {
 
 namespace {
+
+HttpResponse BadParam(const std::string& message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("error").String(message);
+  json.Key("status").Int(400);
+  json.EndObject();
+  return HttpResponse::Json(json.str() + "\n", 400);
+}
+
+/// Build metadata shared by /healthz and /statusz. Three SIMD fields on
+/// purpose: compiled (what the binary carries), detected (what the CPU
+/// supports), active (what dispatch resolved after the DISC_SIMD override) —
+/// a mismatch between them is the first thing to check when throughput looks
+/// wrong on a new machine.
+void AppendBuildInfo(JsonWriter* json) {
+  json->Key("version").String(DiscVersion());
+  json->Key("compiler").String(DiscCompiler());
+  json->Key("build_type").String(DiscBuildType());
+  json->Key("simd_compiled").String(SimdTierName(CompiledSimdTier()));
+  json->Key("simd_detected").String(SimdTierName(DetectedSimdTier()));
+  json->Key("simd_tier").String(SimdTierName(ActiveSimdTier()));
+}
 
 HttpResponse NoRegistry() {
   return HttpResponse::Json(
@@ -38,7 +66,10 @@ HttpResponse HandleMetricsJson(const HttpRequest&) {
   return HttpResponse::Json(registry->ToJson());
 }
 
-HttpResponse HandleTracez(const HttpRequest&) {
+HttpResponse HandleTracez(const HttpRequest& request) {
+  HttpResponse error;
+  std::vector<std::size_t> values;
+  if (!ParseQuery(request, {}, &values, &error)) return error;
   TraceRecorder* recorder = GlobalTraceRecorder();
   if (recorder == nullptr) {
     return HttpResponse::Json(
@@ -48,6 +79,9 @@ HttpResponse HandleTracez(const HttpRequest&) {
 }
 
 HttpResponse HandleProfilez(const HttpRequest& request) {
+  HttpResponse error;
+  std::vector<std::size_t> values;
+  if (!ParseQuery(request, {{"reset", 1, 0}}, &values, &error)) return error;
   WallPhaseProfiler* profiler = GlobalWallProfiler();
   if (profiler == nullptr) {
     return HttpResponse::Json(
@@ -57,13 +91,84 @@ HttpResponse HandleProfilez(const HttpRequest& request) {
   // starts a fresh window — the serve-side primitive for interval profiling
   // (`curl /profilez?reset=1` once a minute gives per-minute flamegraphs).
   std::string body = profiler->ToJson();
-  if (request.QueryUint("reset", 0) == 1) profiler->Reset();
+  if (values[0] == 1) profiler->Reset();
+  return HttpResponse::Json(body + "\n");
+}
+
+HttpResponse HandleExplainz(const HttpRequest& request) {
+  HttpResponse error;
+  std::vector<std::size_t> values;
+  if (!ParseQuery(request, {{"reset", 1, 0}}, &values, &error)) return error;
+  ExplainRecorder* recorder = GlobalExplainRecorder();
+  if (recorder == nullptr) {
+    return HttpResponse::Json(
+        "{\"error\":\"no explain recorder attached\",\"status\":503}\n", 503);
+  }
+  // Same body-then-reset contract as /profilez: the response carries the
+  // window being closed, so an interval scraper never loses a search.
+  std::string body = recorder->ToJson();
+  if (values[0] == 1) recorder->Reset();
   return HttpResponse::Json(body + "\n");
 }
 
 }  // namespace
 
 const char* DiscVersion() { return DISC_VERSION; }
+
+const char* DiscBuildType() { return DISC_BUILD_TYPE; }
+
+const char* DiscCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+bool ParseQuery(const HttpRequest& request,
+                std::initializer_list<QueryParam> params,
+                std::vector<std::size_t>* values, HttpResponse* error) {
+  for (const auto& [name, raw] : request.query) {
+    bool known = false;
+    for (const QueryParam& param : params) {
+      if (name == param.name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      *error = BadParam("unknown query parameter: " + name);
+      return false;
+    }
+  }
+  values->clear();
+  values->reserve(params.size());
+  for (const QueryParam& param : params) {
+    auto it = request.query.find(param.name);
+    if (it == request.query.end() || it->second.empty()) {
+      values->push_back(param.fallback);
+      continue;
+    }
+    std::size_t value = 0;
+    for (char c : it->second) {
+      if (c < '0' || c > '9') {
+        *error = BadParam(std::string(param.name) +
+                          " must be a non-negative integer");
+        return false;
+      }
+      // Saturating accumulate: once past the cap the remaining digits can
+      // only push further past it, so clamp and stop (also avoids overflow).
+      if (value < param.max) {
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+        value = std::min(value, param.max);
+      }
+    }
+    values->push_back(value);
+  }
+  return true;
+}
 
 void RegisterObsEndpoints(HttpServer* server) {
   const std::uint64_t start_ns = TraceNowNs();
@@ -72,12 +177,13 @@ void RegisterObsEndpoints(HttpServer* server) {
   server->Handle("/metrics.json", HandleMetricsJson);
   server->Handle("/tracez", HandleTracez);
   server->Handle("/profilez", HandleProfilez);
+  server->Handle("/explainz", HandleExplainz);
 
   server->Handle("/healthz", [start_ns](const HttpRequest&) {
     JsonWriter json;
     json.BeginObject();
     json.Key("status").String("ok");
-    json.Key("version").String(DiscVersion());
+    AppendBuildInfo(&json);
     json.Key("uptime_seconds")
         .Number(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
     json.Key("pid").Int(static_cast<long long>(::getpid()));
@@ -86,32 +192,20 @@ void RegisterObsEndpoints(HttpServer* server) {
   });
 
   server->Handle("/statusz", [start_ns](const HttpRequest& request) {
-    // Validate ?logs=N up front: a non-numeric value is a client error,
-    // not a silent fallback, and N is clamped to the ring capacity (asking
-    // for more lines than the ring holds cannot return more).
-    std::size_t log_tail = 0;
-    {
-      auto it = request.query.find("logs");
-      if (it != request.query.end() && !it->second.empty()) {
-        for (char c : it->second) {
-          if (c < '0' || c > '9') {
-            return HttpResponse::Json(
-                "{\"error\":\"logs must be a non-negative integer\","
-                "\"status\":400}\n",
-                400);
-          }
-        }
-        log_tail = request.QueryUint("logs", kLogRingCapacity);
-        log_tail = std::min(log_tail, kLogRingCapacity);
-      }
+    HttpResponse error;
+    std::vector<std::size_t> values;
+    if (!ParseQuery(request, {{"logs", kLogRingCapacity, 0}}, &values,
+                    &error)) {
+      return error;
     }
+    const std::size_t log_tail = values[0];
     JsonWriter json;
     json.BeginObject();
     json.Key("schema_version").Int(1);
     json.Key("uptime_seconds")
         .Number(static_cast<double>(TraceNowNs() - start_ns) * 1e-9);
+    AppendBuildInfo(&json);
     json.Key("metrics_attached").Bool(GlobalMetrics() != nullptr);
-    json.Key("simd_tier").String(SimdTierName(ActiveSimdTier()));
     ProgressRegistry* progress = GlobalProgress();
     json.Key("progress_attached").Bool(progress != nullptr);
     json.Key("batches_started")

@@ -1,6 +1,11 @@
 #ifndef DISC_OBS_ENDPOINTS_H_
 #define DISC_OBS_ENDPOINTS_H_
 
+#include <cstddef>
+#include <initializer_list>
+#include <limits>
+#include <vector>
+
 #include "obs/http_server.h"
 
 namespace disc {
@@ -15,23 +20,60 @@ namespace disc {
 ///   GET /profilez      wall-phase profile as folded-stack flamegraph JSON
 ///                      (schemas/profilez.schema.json); `?reset=1` returns
 ///                      the window and starts a fresh one
-///   GET /healthz       liveness + build info (version, uptime, pid)
-///   GET /statusz       live snapshot of in-flight save batches
-///                      (schemas/statusz.schema.json); `?logs=N` appends
-///                      the newest N structured log lines from the ring
-///                      (clamped to kLogRingCapacity; non-numeric N → 400)
+///   GET /explainz      recent + slowest search decision summaries from the
+///                      global ExplainRecorder (schemas/explainz.schema.json);
+///                      `?reset=1` like /profilez
+///   GET /healthz       liveness + build info (version, compiler, build
+///                      type, SIMD tiers, uptime, pid)
+///   GET /statusz       live snapshot of in-flight save batches plus the
+///                      same build info (schemas/statusz.schema.json);
+///                      `?logs=N` appends the newest N structured log lines
+///                      from the ring (clamped to kLogRingCapacity)
+///
+/// Query hardening: /tracez, /profilez, /explainz and /statusz validate
+/// their query strings with ParseQuery — an unknown parameter or a
+/// non-numeric value for a numeric one is a 400, and numeric values are
+/// clamped to their documented maximum.
 ///
 /// Handlers resolve the matching global hook (GlobalMetrics /
-/// GlobalProgress / GlobalTraceRecorder / GlobalWallProfiler) per request,
-/// so they serve whatever the process attached; /metrics, /metrics.json,
-/// /tracez and /profilez answer 503 while their hook is detached (the
-/// health and status endpoints always answer 200). All handlers are
-/// thread-safe and allocation-bounded — safe to scrape while a SaveAll
-/// batch is running.
+/// GlobalProgress / GlobalTraceRecorder / GlobalWallProfiler /
+/// GlobalExplainRecorder) per request, so they serve whatever the process
+/// attached; /metrics, /metrics.json, /tracez, /profilez and /explainz
+/// answer 503 while their hook is detached (the health and status endpoints
+/// always answer 200). All handlers are thread-safe and
+/// allocation-bounded — safe to scrape while a SaveAll batch is running.
 void RegisterObsEndpoints(HttpServer* server);
 
 /// The version string baked into /healthz (DISC_VERSION, set by CMake).
 const char* DiscVersion();
+
+/// The CMake build type baked in at compile time (DISC_BUILD_TYPE), e.g.
+/// "Release"; "unknown" when the definition is missing.
+const char* DiscBuildType();
+
+/// The compiler that built this binary, e.g. "gcc 12.2.0".
+const char* DiscCompiler();
+
+/// One numeric query parameter an endpoint accepts. Values are digit-only
+/// unsigned integers; anything else is a client error.
+struct QueryParam {
+  const char* name = "";
+  /// Inclusive maximum; parsed values clamp to it (asking for more than an
+  /// endpoint can return must not error, it saturates).
+  std::size_t max = std::numeric_limits<std::size_t>::max();
+  /// Value reported when the parameter is absent or has an empty value.
+  std::size_t fallback = 0;
+};
+
+/// Shared query-string validation for the observability endpoints: checks
+/// `request.query` against the declared parameters. On success returns true
+/// and writes each parameter's (clamped) value into `values` in declaration
+/// order. A parameter name outside `params`, or a non-digit value for a
+/// declared one, returns false with a 400 JSON error in `*error` naming the
+/// offending parameter.
+bool ParseQuery(const HttpRequest& request,
+                std::initializer_list<QueryParam> params,
+                std::vector<std::size_t>* values, HttpResponse* error);
 
 }  // namespace disc
 

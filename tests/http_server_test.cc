@@ -27,6 +27,7 @@
 #include "data/generators.h"
 #include "distance/evaluator.h"
 #include "obs/endpoints.h"
+#include "obs/explain.h"
 #include "obs/http_server.h"
 #include "obs/progress.h"
 
@@ -399,6 +400,155 @@ TEST(HttpServer, ConcurrentScrapesDuringActiveSaveAll) {
               scrapes)
         << route;
   }
+}
+
+/// A minimal one-event decision log for feeding the /explainz recorder.
+ExplainSearchLog MakeExplainLog(std::uint64_t ordinal) {
+  ExplainSearchLog log;
+  log.ordinal = ordinal;
+  log.feasible = true;
+  log.final_cost = 2.0;
+  ExplainEvent event;
+  event.action = ExplainAction::kIncumbentUpdate;
+  event.ub = 2.0;
+  event.incumbent = 2.0;
+  log.events.push_back(event);
+  log.visited_sets = 1;
+  return log;
+}
+
+TEST(HttpServer, ParseQueryValidatesClampsAndRejects) {
+  std::vector<std::size_t> values;
+  HttpResponse error;
+  HttpRequest request;
+
+  // Present values parse; empty and absent values take the fallback.
+  request.query = {{"logs", "12"}, {"reset", ""}};
+  EXPECT_TRUE(ParseQuery(request, {{"logs", 100, 7}, {"reset", 1, 0}},
+                         &values, &error));
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 12u);
+  EXPECT_EQ(values[1], 0u);
+  request.query = {};
+  EXPECT_TRUE(ParseQuery(request, {{"logs", 100, 7}}, &values, &error));
+  EXPECT_EQ(values[0], 7u);
+
+  // Numeric values beyond max clamp — even past the uint64 overflow point.
+  request.query = {{"logs", "99999999999999999999999999"}};
+  EXPECT_TRUE(ParseQuery(request, {{"logs", 100, 7}}, &values, &error));
+  EXPECT_EQ(values[0], 100u);
+
+  // Unknown keys are a 400 naming the offender, not a silent ignore.
+  request.query = {{"bogus", "1"}};
+  EXPECT_FALSE(ParseQuery(request, {{"logs", 100, 7}}, &values, &error));
+  EXPECT_EQ(error.status, 400);
+  EXPECT_NE(error.body.find("bogus"), std::string::npos) << error.body;
+
+  // Non-digit values on a known key are a 400 too (covers "-1", "12x").
+  request.query = {{"logs", "-1"}};
+  EXPECT_FALSE(ParseQuery(request, {{"logs", 100, 7}}, &values, &error));
+  EXPECT_EQ(error.status, 400);
+  EXPECT_NE(error.body.find("non-negative integer"), std::string::npos)
+      << error.body;
+}
+
+TEST(HttpServer, UnknownQueryParamsAre400BeforeTheDetachedCheck) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  // All four parameterized endpoints reject junk queries even while their
+  // backing registry is detached — the 400 wins over the 503.
+  for (const char* target : {"/tracez?foo=1", "/profilez?reset=x",
+                             "/profilez?foo=1", "/explainz?bogus=1",
+                             "/explainz?reset=-1", "/statusz?logs=-1"}) {
+    const std::string response = Get(server->port(), target);
+    EXPECT_EQ(StatusCode(response), 400) << target << "\n" << response;
+  }
+  // Clean queries on detached planes still answer 503.
+  EXPECT_EQ(StatusCode(Get(server->port(), "/explainz")), 503);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/explainz?reset=1")), 503);
+}
+
+TEST(HttpServer, ExplainzServesSummariesAndResetsTheWindow) {
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  ExplainRecorder recorder;
+  recorder.RecordSearch(MakeExplainLog(3));
+  AttachGlobalExplainRecorder(&recorder);
+
+  const std::string response = Get(server->port(), "/explainz");
+  EXPECT_EQ(StatusCode(response), 200) << response;
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"schema_version\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"searches\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"ordinal\":3"), std::string::npos) << body;
+
+  // ?reset=2 clamps to 1: the scrape answers the old window, then resets.
+  EXPECT_EQ(StatusCode(Get(server->port(), "/explainz?reset=2")), 200);
+  const std::string fresh = Body(Get(server->port(), "/explainz"));
+  EXPECT_NE(fresh.find("\"searches\":0"), std::string::npos) << fresh;
+
+  AttachGlobalExplainRecorder(nullptr);
+  EXPECT_EQ(StatusCode(Get(server->port(), "/explainz")), 503);
+}
+
+TEST(HttpServer, ConcurrentExplainzScrapesDuringResetAndRecord) {
+  // Scrape-during-reset race under TSan: one thread feeds the recorder,
+  // one hammers ?reset=1, one scrapes — every response must be a complete
+  // 200 snapshot, never a torn window.
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  ExplainRecorder recorder;
+  AttachGlobalExplainRecorder(&recorder);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      recorder.RecordSearch(MakeExplainLog(i));
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::thread resetter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_EQ(StatusCode(Get(server->port(), "/explainz?reset=1")), 200);
+    }
+  });
+  std::size_t scrapes = 0;
+  while (!done.load(std::memory_order_acquire) || scrapes < 4) {
+    const std::string response = Get(server->port(), "/explainz");
+    EXPECT_EQ(StatusCode(response), 200) << response;
+    EXPECT_NE(Body(response).find("\"attached\":true"), std::string::npos);
+    ++scrapes;
+  }
+  writer.join();
+  resetter.join();
+  AttachGlobalExplainRecorder(nullptr);
+  EXPECT_GE(scrapes, 4u);
+}
+
+TEST(HttpServer, ConcurrentProfilezScrapesDuringReset) {
+  // The same race on /profilez?reset=1 against a live phase writer.
+  std::unique_ptr<HttpServer> server = StartObsServer();
+  WallPhaseProfiler profiler;
+  AttachGlobalWallProfiler(&profiler);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 4000; ++i) {
+      profiler.Add(TracePhase::kIndexQuery, 17);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::thread resetter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_EQ(StatusCode(Get(server->port(), "/profilez?reset=1")), 200);
+    }
+  });
+  std::size_t scrapes = 0;
+  while (!done.load(std::memory_order_acquire) || scrapes < 4) {
+    EXPECT_EQ(StatusCode(Get(server->port(), "/profilez")), 200);
+    ++scrapes;
+  }
+  writer.join();
+  resetter.join();
+  AttachGlobalWallProfiler(nullptr);
+  EXPECT_GE(scrapes, 4u);
 }
 
 }  // namespace
